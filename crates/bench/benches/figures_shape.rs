@@ -1,0 +1,34 @@
+//! End-to-end figure regeneration at micro scale, benchmarked.
+//!
+//! One Criterion target per paper figure so `cargo bench` exercises the exact
+//! code paths the `figures` binary uses to rebuild every figure. The scale is
+//! tiny (the point of the bench is coverage and regression tracking, not
+//! paper-grade numbers — run the `figures` binary for those).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psb_bench::{ablation, fig3, fig5, fig6, fig7, fig8, fig9, sensitivity, throughput, Scale};
+
+fn micro() -> Scale {
+    Scale::new(0.004, 0x2016) // 4 000 points, 24 queries
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = micro();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.bench_function("fig3_construction_methods", |b| b.iter(|| fig3(&scale)));
+    g.bench_function("fig5_distribution_sweep", |b| b.iter(|| fig5(&scale)));
+    g.bench_function("fig6_degree_sweep", |b| b.iter(|| fig6(&scale)));
+    g.bench_function("fig7_dimension_sweep", |b| b.iter(|| fig7(&scale)));
+    g.bench_function("fig8_k_sweep", |b| b.iter(|| fig8(&scale)));
+    g.bench_function("fig9_noaa", |b| b.iter(|| fig9(&scale)));
+    g.bench_function("ablation", |b| b.iter(|| ablation(&scale)));
+    g.bench_function("sensitivity", |b| b.iter(|| sensitivity(&scale)));
+    g.bench_function("throughput", |b| b.iter(|| throughput(&scale)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Simulated-kernel benchmarks: host cost of running each GPU kernel once.
+//!
+//! The simulated metrics (response ms, MB) come from the `figures` binary;
+//! these benches track the *simulator's* own throughput so regressions in the
+//! hot simulation paths (distance sweeps, metering) are caught.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psb_core::kernels::{bnb::bnb_query, brute::brute_query, psb::psb_query};
+use psb_core::KernelOptions;
+use psb_data::{sample_queries, ClusteredSpec};
+use psb_gpu::DeviceConfig;
+use psb_sstree::{build, BuildMethod};
+
+fn bench_kernels(c: &mut Criterion) {
+    let ps = ClusteredSpec {
+        clusters: 20,
+        points_per_cluster: 1_000,
+        dims: 16,
+        sigma: 120.0,
+        seed: 9,
+    }
+    .generate();
+    let tree = build(&ps, 128, &BuildMethod::Hilbert);
+    let queries = sample_queries(&ps, 8, 0.01, 10);
+    let cfg = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 32] {
+        g.bench_with_input(BenchmarkId::new("psb", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in queries.iter() {
+                    std::hint::black_box(psb_query(&tree, q, k, &cfg, &opts));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bnb", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in queries.iter() {
+                    std::hint::black_box(bnb_query(&tree, q, k, &cfg, &opts));
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("brute", k), &k, |b, &k| {
+            b.iter(|| {
+                for q in queries.iter() {
+                    std::hint::black_box(brute_query(&ps, q, k, &cfg, &opts));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

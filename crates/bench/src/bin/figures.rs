@@ -1,0 +1,112 @@
+//! Regenerates the paper's figures as text tables + CSV files.
+//!
+//! ```text
+//! cargo run --release -p psb-bench --bin figures -- all --scale 0.1 --out target/figures
+//! cargo run --release -p psb-bench --bin figures -- fig5 fig6
+//! ```
+//!
+//! `--scale 1.0` reproduces the paper's 1 M-point / 240-query workloads
+//! (minutes to hours depending on the host); the default 0.1 keeps every
+//! figure's *shape* while running in a few minutes.
+
+use std::path::PathBuf;
+
+use psb_bench::{ablation, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sensitivity, throughput, Scale, Table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|sensitivity|throughput|all>... \
+         [--scale F] [--seed S] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<String> = Vec::new();
+    let mut factor = 0.1f64;
+    let mut seed = 0x2016u64;
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                factor = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
+            }
+            f if f.starts_with("fig") || f == "ablation" || f == "sensitivity" || f == "throughput" || f == "all" => {
+                figs.push(f.to_string());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if figs.is_empty() {
+        usage();
+    }
+    if figs.iter().any(|f| f == "all") {
+        figs = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "sensitivity", "throughput"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let scale = Scale::new(factor, seed);
+    eprintln!(
+        "# scale factor {:.3} -> {} points, {} queries (paper: 1,000,000 / 240)",
+        scale.factor,
+        scale.points(psb_bench::PAPER_POINTS),
+        scale.queries()
+    );
+
+    let emit = |name: &str, table: &Table, out_dir: &Option<PathBuf>| {
+        println!("{}", table.render());
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir).expect("create --out directory");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write CSV");
+            eprintln!("# wrote {}", path.display());
+        }
+    };
+
+    for f in &figs {
+        let start = std::time::Instant::now();
+        match f.as_str() {
+            "fig3" => emit("fig3", &fig3(&scale), &out_dir),
+            "fig4" => {
+                for (name, csv) in fig4(&scale) {
+                    match &out_dir {
+                        Some(dir) => {
+                            std::fs::create_dir_all(dir).expect("create --out directory");
+                            let path = dir.join(format!("{name}.csv"));
+                            std::fs::write(&path, csv).expect("write CSV");
+                            eprintln!("# wrote {}", path.display());
+                        }
+                        None => {
+                            println!("# {name}: {} rows (pass --out to save)", csv.lines().count() - 1)
+                        }
+                    }
+                }
+            }
+            "fig5" => emit("fig5", &fig5(&scale), &out_dir),
+            "fig6" => emit("fig6", &fig6(&scale), &out_dir),
+            "fig7" => emit("fig7", &fig7(&scale), &out_dir),
+            "fig8" => emit("fig8", &fig8(&scale), &out_dir),
+            "fig9" => emit("fig9", &fig9(&scale), &out_dir),
+            "ablation" => emit("ablation", &ablation(&scale), &out_dir),
+            "sensitivity" => emit("sensitivity", &sensitivity(&scale), &out_dir),
+            "throughput" => emit("throughput", &throughput(&scale), &out_dir),
+            other => eprintln!("# unknown figure {other}, skipping"),
+        }
+        eprintln!("# {f} done in {:.1}s\n", start.elapsed().as_secs_f64());
+    }
+}

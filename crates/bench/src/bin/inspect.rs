@@ -1,0 +1,149 @@
+//! Per-engine counter breakdown on a configurable workload — the debugging /
+//! analysis companion to the `figures` binary.
+//!
+//! ```text
+//! cargo run --release -p psb-bench --bin inspect -- \
+//!     --dims 16 --sigma 160 --degree 128 --points 100000 --k 32 --queries 24
+//! ```
+//!
+//! Prints, for every engine in the workspace, the raw simulator counters that
+//! feed the cost model: node visits, bytes, transactions (and how many were
+//! streaming), issue counts, warp efficiency, shared-memory peak, and the
+//! modeled response time.
+
+use psb_core::{
+    bnb_batch, brute_batch, psb_batch, restart_batch, tpss_batch, KernelOptions,
+};
+use psb_data::{sample_queries, ClusteredSpec};
+use psb_gpu::{launch_blocks, DeviceConfig};
+use psb_kdtree::{gpu::knn_task_parallel, KdTree};
+use psb_srtree::SrTree;
+use psb_sstree::{build, BuildMethod};
+
+struct Args {
+    dims: usize,
+    sigma: f32,
+    degree: usize,
+    points: usize,
+    clusters: usize,
+    k: usize,
+    queries: usize,
+    seed: u64,
+}
+
+fn parse() -> Args {
+    let mut a = Args {
+        dims: 16,
+        sigma: 160.0,
+        degree: 128,
+        points: 100_000,
+        clusters: 100,
+        k: 32,
+        queries: 24,
+        seed: 0x2016,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let val = argv.get(i + 1).cloned().unwrap_or_default();
+        match argv[i].as_str() {
+            "--dims" => a.dims = val.parse().expect("--dims"),
+            "--sigma" => a.sigma = val.parse().expect("--sigma"),
+            "--degree" => a.degree = val.parse().expect("--degree"),
+            "--points" => a.points = val.parse().expect("--points"),
+            "--clusters" => a.clusters = val.parse().expect("--clusters"),
+            "--k" => a.k = val.parse().expect("--k"),
+            "--queries" => a.queries = val.parse().expect("--queries"),
+            "--seed" => a.seed = val.parse().expect("--seed"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    a
+}
+
+fn main() {
+    let a = parse();
+    let cfg = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+
+    let data = ClusteredSpec {
+        clusters: a.clusters,
+        points_per_cluster: (a.points / a.clusters).max(1),
+        dims: a.dims,
+        sigma: a.sigma,
+        seed: a.seed,
+    }
+    .generate();
+    let tree = build(&data, a.degree, &BuildMethod::Hilbert);
+    let queries = sample_queries(&data, a.queries, 0.01, a.seed ^ 1);
+    let nq = queries.len() as u64;
+
+    println!(
+        "workload: {} pts x {}d, sigma={}, degree={}, k={}, {} queries",
+        data.len(),
+        a.dims,
+        a.sigma,
+        a.degree,
+        a.k,
+        a.queries
+    );
+    println!(
+        "tree: {} nodes, {} leaves, height {}, leaf fill {:.0}%, index {:.1} MB\n",
+        tree.num_nodes(),
+        tree.num_leaves(),
+        tree.height(),
+        tree.leaf_utilization() * 100.0,
+        tree.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    println!(
+        "{:<22} {:>9} {:>7} {:>10} {:>8} {:>8} {:>9} {:>8} {:>8}",
+        "engine", "resp ms", "nodes", "KB/query", "trans", "stream", "issues", "eff %", "smem B"
+    );
+    let show = |name: &str, report: &psb_gpu::LaunchReport| {
+        let m = &report.merged;
+        println!(
+            "{:<22} {:>9.4} {:>7} {:>10.1} {:>8} {:>8} {:>9} {:>7.1}% {:>8}",
+            name,
+            report.avg_response_ms,
+            m.nodes_visited / nq,
+            m.global_bytes as f64 / 1024.0 / nq as f64,
+            m.global_transactions / nq,
+            m.stream_transactions / nq,
+            m.compute_issues / nq,
+            report.warp_efficiency * 100.0,
+            m.smem_peak_bytes
+        );
+    };
+
+    show("psb", &psb_batch(&tree, &queries, a.k, &cfg, &opts).report);
+    show("branch-and-bound", &bnb_batch(&tree, &queries, a.k, &cfg, &opts).report);
+    show("restart", &restart_batch(&tree, &queries, a.k, &cfg, &opts).report);
+    show("brute-force", &brute_batch(&data, &queries, a.k, &cfg, &opts).report);
+
+    let (_, tp_blocks) = tpss_batch(&tree, &queries, a.k, &cfg, 32);
+    show("task-parallel sstree", &launch_blocks(&cfg, 1, &tp_blocks));
+
+    let kd = KdTree::build(&data, 1); // minimal kd-tree (single-point leaves)
+    let (_, kd_blocks) = knn_task_parallel(&kd, &queries, a.k, &cfg, 32);
+    show("task-parallel kdtree", &launch_blocks(&cfg, 1, &kd_blocks));
+
+    // CPU baseline: real wall time.
+    let sr = SrTree::build(&data, 8192);
+    let t0 = std::time::Instant::now();
+    let mut pages = 0u64;
+    for q in queries.iter() {
+        pages += sr.knn_with_points(&data, q, a.k).1.nodes_visited;
+    }
+    println!(
+        "{:<22} {:>9.4} {:>7} {:>10.1}   (real CPU wall time; bytes = 8K pages)",
+        "srtree (cpu)",
+        t0.elapsed().as_secs_f64() * 1e3 / nq as f64,
+        pages / nq,
+        (pages * 8192) as f64 / 1024.0 / nq as f64,
+    );
+}

@@ -1,0 +1,149 @@
+//! Minimal result table: printable as aligned text, serializable as CSV.
+
+use std::fmt::Write as _;
+
+/// A figure's data: one row per (series, x) pair, one column per metric.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title (e.g. "Fig. 5 — query time vs cluster sigma").
+    pub title: String,
+    /// Column headers, starting with "series" and the x-axis name.
+    pub headers: Vec<String>,
+    /// Rows: series label, x label, then metric values.
+    pub rows: Vec<(String, String, Vec<f64>)>,
+}
+
+impl Table {
+    /// A new table with the given x-axis name and metric column names.
+    pub fn new(title: &str, x_name: &str, metrics: &[&str]) -> Self {
+        let mut headers = vec!["series".to_string(), x_name.to_string()];
+        headers.extend(metrics.iter().map(|m| m.to_string()));
+        Self { title: title.to_string(), headers, rows: Vec::new() }
+    }
+
+    /// Appends one row.
+    pub fn push(&mut self, series: &str, x: impl ToString, metrics: Vec<f64>) {
+        assert_eq!(
+            metrics.len() + 2,
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push((series.to_string(), x.to_string(), metrics));
+    }
+
+    /// All values of one metric column for one series, in insertion order.
+    pub fn series(&self, series: &str, metric: &str) -> Vec<f64> {
+        let col = self
+            .headers
+            .iter()
+            .position(|h| h == metric)
+            .unwrap_or_else(|| panic!("no metric column named {metric}"));
+        self.rows
+            .iter()
+            .filter(|(s, _, _)| s == series)
+            .map(|(_, _, m)| m[col - 2])
+            .collect()
+    }
+
+    /// Aligned, human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let cells: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(s, x, m)| {
+                let mut row = vec![s.clone(), x.clone()];
+                row.extend(m.iter().map(|v| format_value(*v)));
+                row
+            })
+            .collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (i, h) in self.headers.iter().enumerate() {
+            let _ = write!(out, "{:<width$}  ", h, width = widths[i]);
+        }
+        out.push('\n');
+        for row in &cells {
+            for (i, c) in row.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", c, width = widths[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for (s, x, m) in &self.rows {
+            let _ = write!(out, "{s},{x}");
+            for v in m {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("test", "x", &["ms", "mb"]);
+        t.push("a", 1, vec![0.5, 2.0]);
+        t.push("a", 2, vec![0.25, 4.0]);
+        t.push("b", 1, vec![1.5, 8.0]);
+        t
+    }
+
+    #[test]
+    fn series_extraction() {
+        let t = sample();
+        assert_eq!(t.series("a", "ms"), vec![0.5, 0.25]);
+        assert_eq!(t.series("b", "mb"), vec![8.0]);
+    }
+
+    #[test]
+    fn csv_round_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,ms,mb");
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "a,1,0.5,2");
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let txt = sample().render();
+        for needle in ["series", "ms", "mb", "a", "b", "0.500"] {
+            assert!(txt.contains(needle), "missing {needle} in:\n{txt}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "x", &["m"]);
+        t.push("s", 0, vec![1.0, 2.0]);
+    }
+}

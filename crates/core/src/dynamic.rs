@@ -1,0 +1,343 @@
+//! Incremental updates over the bottom-up-packed SS-tree.
+//!
+//! The paper's §IV builds the index in batches because "top-down insertion ...
+//! requires serialization of insert operations and excessive locking", and GPU
+//! indexes in practice are rebuilt rather than mutated. [`DynamicSsTree`]
+//! packages that pattern: inserts land in a host-side **delta buffer** that
+//! queries scan exactly (brute force over the delta is cheap while it is
+//! small), deletions are **tombstones** filtered out of results, and when the
+//! delta or tombstone volume crosses a threshold the whole index is rebuilt
+//! bottom-up — which is fast precisely because of the paper's parallel
+//! construction.
+//!
+//! Queries remain exact at every moment; the structure trades a bounded
+//! amount of per-query delta scanning for never paying top-down insertion.
+
+use std::collections::HashSet;
+
+use psb_geom::{dist, PointSet};
+use psb_gpu::{DeviceConfig, KernelStats};
+use psb_sstree::{build, BuildMethod, Neighbor, SsTree};
+
+use crate::kernels::psb::psb_query;
+use crate::options::KernelOptions;
+
+/// An SS-tree with batched inserts, tombstoned deletes, and rebuild-on-demand.
+pub struct DynamicSsTree {
+    base: SsTree,
+    method: BuildMethod,
+    degree: usize,
+    /// Points inserted since the last rebuild (scanned exactly by queries).
+    delta: PointSet,
+    /// External ids of the delta points.
+    delta_ids: Vec<u32>,
+    /// External ids removed since the last rebuild.
+    tombstones: HashSet<u32>,
+    /// Position in the base's build input → external id (fixed at rebuild).
+    base_snapshot_ids: Vec<u32>,
+    next_id: u32,
+    /// Rebuild when `delta + tombstones > fraction × live points`.
+    rebuild_fraction: f64,
+    /// All live coordinates keyed by external id order of insertion.
+    live: Vec<(u32, Vec<f32>)>,
+}
+
+impl DynamicSsTree {
+    /// Builds the initial index. Initial points receive external ids
+    /// `0..points.len()`.
+    pub fn new(points: &PointSet, degree: usize, method: BuildMethod) -> Self {
+        let base = build(points, degree, &method);
+        let live: Vec<(u32, Vec<f32>)> = (0..points.len())
+            .map(|i| (i as u32, points.point(i).to_vec()))
+            .collect();
+        let base_snapshot_ids: Vec<u32> = live.iter().map(|(id, _)| *id).collect();
+        Self {
+            base,
+            method,
+            degree,
+            base_snapshot_ids,
+            delta: PointSet::new(points.dims()),
+            delta_ids: Vec::new(),
+            tombstones: HashSet::new(),
+            next_id: points.len() as u32,
+            rebuild_fraction: 0.2,
+            live,
+        }
+    }
+
+    /// Number of live points.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether the structure holds no live points.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Points waiting in the delta buffer.
+    pub fn pending(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Inserts a point; returns its external id. May trigger a rebuild.
+    pub fn insert(&mut self, p: &[f32]) -> u32 {
+        assert_eq!(p.len(), self.base.dims, "dimensionality mismatch");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.delta.push(p);
+        self.delta_ids.push(id);
+        self.live.push((id, p.to_vec()));
+        self.maybe_rebuild();
+        id
+    }
+
+    /// Removes a point by external id; returns whether it was alive.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let Some(pos) = self.live.iter().position(|(i, _)| *i == id) else {
+            return false;
+        };
+        self.live.swap_remove(pos);
+        // A delta point can be dropped from the buffer outright.
+        if let Some(dpos) = self.delta_ids.iter().position(|&i| i == id) {
+            self.delta_ids.remove(dpos);
+            let dims = self.base.dims;
+            let mut flat = Vec::with_capacity(self.delta.as_flat().len() - dims);
+            for (i, point) in self.delta.iter().enumerate() {
+                if i != dpos {
+                    flat.extend_from_slice(point);
+                }
+            }
+            self.delta = PointSet::from_flat(dims, flat);
+            return true;
+        }
+        self.tombstones.insert(id);
+        self.maybe_rebuild();
+        true
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let churn = self.delta.len() + self.tombstones.len();
+        if churn as f64 > self.rebuild_fraction * self.live.len().max(1) as f64 {
+            self.rebuild();
+        }
+    }
+
+    /// Rebuilds the packed index from the live set and clears delta/tombstones.
+    ///
+    /// External ids are preserved through the rebuild: the internal tree ids
+    /// are remapped back to external ids on every query.
+    pub fn rebuild(&mut self) {
+        if self.live.is_empty() {
+            return; // keep the last base; queries return nothing via filters
+        }
+        let mut ps = PointSet::with_capacity(self.base.dims, self.live.len());
+        for (_, p) in &self.live {
+            ps.push(p);
+        }
+        self.base = build(&ps, self.degree, &self.method);
+        self.base_snapshot_ids = self.live.iter().map(|(id, _)| *id).collect();
+        self.delta = PointSet::new(self.base.dims);
+        self.delta_ids.clear();
+        self.tombstones.clear();
+    }
+
+    /// Internal result id → external id. Base results carry positions into the
+    /// dataset the base was last built from; the snapshot mapping taken at
+    /// rebuild time translates them to stable external ids.
+    fn external_id(&self, base_result_id: u32) -> u32 {
+        self.base_snapshot_ids[base_result_id as usize]
+    }
+
+    /// Exact kNN on the CPU: query the base over-fetched by the tombstone
+    /// count, filter, merge with an exact scan of the delta buffer.
+    pub fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        assert!(k >= 1);
+        if self.live.is_empty() {
+            return Vec::new();
+        }
+        let over = k + self.tombstones.len();
+        let mut merged: Vec<Neighbor> = psb_sstree::knn_best_first(&self.base, q, over)
+            .into_iter()
+            .map(|n| Neighbor { dist: n.dist, id: self.external_id(n.id) })
+            .filter(|n| !self.tombstones.contains(&n.id))
+            .collect();
+        for (pos, p) in self.delta.iter().enumerate() {
+            merged.push(Neighbor { dist: dist(q, p), id: self.delta_ids[pos] });
+        }
+        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.truncate(k.min(self.live.len()));
+        merged
+    }
+
+    /// Exact kNN on the simulated GPU: PSB over the base plus a streamed scan
+    /// of the delta buffer in the same block, counters merged.
+    pub fn knn_gpu(
+        &self,
+        q: &[f32],
+        k: usize,
+        cfg: &DeviceConfig,
+        opts: &KernelOptions,
+    ) -> (Vec<Neighbor>, KernelStats) {
+        assert!(k >= 1);
+        if self.live.is_empty() {
+            return (Vec::new(), KernelStats::default());
+        }
+        let over = k + self.tombstones.len();
+        let (base_hits, mut stats) = psb_query(&self.base, q, over, cfg, opts);
+        let mut merged: Vec<Neighbor> = base_hits
+            .into_iter()
+            .map(|n| Neighbor { dist: n.dist, id: self.external_id(n.id) })
+            .filter(|n| !self.tombstones.contains(&n.id))
+            .collect();
+        if !self.delta.is_empty() {
+            let (delta_hits, delta_stats) =
+                crate::kernels::brute::brute_query(&self.delta, q, k, cfg, opts);
+            stats.merge(&delta_stats);
+            stats.blocks = 1; // one logical query
+            merged.extend(delta_hits.into_iter().map(|n| Neighbor {
+                dist: n.dist,
+                id: self.delta_ids[n.id as usize],
+            }));
+        }
+        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.truncate(k.min(self.live.len()));
+        (merged, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_sstree::linear_knn;
+
+    fn dataset() -> PointSet {
+        ClusteredSpec {
+            clusters: 4,
+            points_per_cluster: 250,
+            dims: 3,
+            sigma: 80.0,
+            seed: 151,
+        }
+        .generate()
+    }
+
+    /// Reference: linear scan over the live set with external ids.
+    fn oracle(t: &DynamicSsTree, q: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = t
+            .live
+            .iter()
+            .map(|(id, p)| Neighbor { dist: dist(q, p), id: *id })
+            .collect();
+        v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        v.truncate(k.min(v.len()));
+        v
+    }
+
+    fn assert_matches(t: &DynamicSsTree, q: &[f32], k: usize) {
+        let want = oracle(t, q, k);
+        let got = t.knn(q, k);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+        }
+        let cfg = DeviceConfig::k40();
+        let (gpu, _) = t.knn_gpu(q, k, &cfg, &KernelOptions::default());
+        assert_eq!(gpu.len(), want.len());
+        for (g, w) in gpu.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+        }
+    }
+
+    #[test]
+    fn fresh_index_matches_static_search() {
+        let ps = dataset();
+        let t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+        let q = sample_queries(&ps, 5, 0.01, 152);
+        for qp in q.iter() {
+            let want = linear_knn(&ps, qp, 8);
+            let got = t.knn(qp, 8);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_are_visible_immediately() {
+        let ps = dataset();
+        let mut t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+        let probe = vec![99999.0f32, 99999.0, 99999.0];
+        let id = t.insert(&probe);
+        let got = t.knn(&probe, 1);
+        assert_eq!(got[0].id, id);
+        assert!(got[0].dist <= 1e-5);
+        assert_matches(&t, &probe, 5);
+    }
+
+    #[test]
+    fn removed_points_disappear() {
+        let ps = dataset();
+        let mut t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+        let q = ps.point(100).to_vec();
+        let before = t.knn(&q, 1);
+        assert_eq!(before[0].id, 100);
+        assert!(t.remove(100));
+        let after = t.knn(&q, 1);
+        assert_ne!(after[0].id, 100);
+        assert!(!t.remove(100), "double remove must report absent");
+        assert_matches(&t, &q, 8);
+    }
+
+    #[test]
+    fn churn_triggers_rebuild_and_stays_exact() {
+        let ps = dataset();
+        let mut t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+        let initial_len = t.len();
+        // Heavy churn: insert 30% new points, remove some old, some new.
+        let mut new_ids = Vec::new();
+        for i in 0..300 {
+            let p = vec![i as f32 * 7.0, 100.0, -50.0];
+            new_ids.push(t.insert(&p));
+        }
+        for id in 0..50u32 {
+            t.remove(id);
+        }
+        for &id in new_ids.iter().take(25) {
+            t.remove(id);
+        }
+        assert_eq!(t.len(), initial_len + 300 - 75);
+        // After this much churn a rebuild must have fired (threshold 20%).
+        assert!(t.pending() < 300, "delta was never flushed");
+        let q = vec![700.0f32, 100.0, -50.0];
+        assert_matches(&t, &q, 12);
+    }
+
+    #[test]
+    fn delta_point_removal_shrinks_buffer() {
+        let ps = dataset();
+        let mut t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+        let a = t.insert(&[1.0, 2.0, 3.0]);
+        let b = t.insert(&[4.0, 5.0, 6.0]);
+        assert_eq!(t.pending(), 2);
+        assert!(t.remove(a));
+        assert_eq!(t.pending(), 1);
+        let got = t.knn(&[4.0, 5.0, 6.0], 1);
+        assert_eq!(got[0].id, b);
+    }
+
+    #[test]
+    fn empty_after_removing_everything() {
+        let mut small = PointSet::new(2);
+        for i in 0..5 {
+            small.push(&[i as f32, 0.0]);
+        }
+        let mut t = DynamicSsTree::new(&small, 4, BuildMethod::Hilbert);
+        for id in 0..5u32 {
+            t.remove(id);
+        }
+        assert!(t.is_empty());
+        assert!(t.knn(&[0.0, 0.0], 3).is_empty());
+    }
+}

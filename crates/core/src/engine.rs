@@ -1,0 +1,202 @@
+//! Batched query execution: one simulated thread block per query, host-parallel.
+//!
+//! The paper's experiments submit 240 queries per batch (§V-B). Each query runs
+//! as an independent simulated block on the rayon pool; the per-block counters
+//! are collected in query order (deterministic under any host thread count) and
+//! aggregated by the device cost model into the figures' metrics.
+
+use psb_geom::PointSet;
+use psb_gpu::{launch_blocks, DeviceConfig, KernelStats, LaunchReport};
+use psb_sstree::Neighbor;
+
+use crate::index::GpuIndex;
+use rayon::prelude::*;
+
+use crate::kernels::{
+    bnb::bnb_query, brute::brute_query, psb::psb_query, range::range_query_gpu,
+    restart::restart_query,
+};
+use crate::options::KernelOptions;
+
+/// Merge per-block counters into one (sums; peak shared memory is a max).
+pub fn merge_stats(blocks: &[KernelStats]) -> KernelStats {
+    let mut m = KernelStats::default();
+    for b in blocks {
+        m.merge(b);
+    }
+    m
+}
+
+/// Exact results plus the aggregated device-model report for a query batch.
+#[derive(Clone, Debug)]
+pub struct QueryBatchResult {
+    /// Per-query neighbor lists, in query order.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Per-query (per-block) raw counters, in query order.
+    pub per_block: Vec<KernelStats>,
+    /// Aggregated metrics under the cost model.
+    pub report: LaunchReport,
+}
+
+fn run_batch(
+    queries: &PointSet,
+    warps_per_block: u32,
+    cfg: &DeviceConfig,
+    f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
+) -> QueryBatchResult {
+    assert!(!queries.is_empty(), "empty query batch");
+    let results: Vec<(Vec<Neighbor>, KernelStats)> = (0..queries.len())
+        .into_par_iter()
+        .map(|i| f(queries.point(i)))
+        .collect();
+    let (neighbors, per_block): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let report = launch_blocks(cfg, warps_per_block, &per_block);
+    QueryBatchResult { neighbors, per_block, report }
+}
+
+/// PSB over a batch of queries.
+pub fn psb_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch(queries, warps, cfg, |q| psb_query(tree, q, k, cfg, opts))
+}
+
+/// Branch-and-bound over a batch of queries.
+pub fn bnb_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch(queries, warps, cfg, |q| bnb_query(tree, q, k, cfg, opts))
+}
+
+/// Fixed-radius range queries over a batch (PSB-style sweep, fixed bound).
+pub fn range_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch(queries, warps, cfg, |q| range_query_gpu(tree, q, radius, cfg, opts))
+}
+
+/// Scan-and-restart (no parent links) over a batch of queries.
+pub fn restart_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch(queries, warps, cfg, |q| restart_query(tree, q, k, cfg, opts))
+}
+
+/// Brute-force scan over a batch of queries.
+pub fn brute_batch(
+    points: &PointSet,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch(queries, warps, cfg, |q| brute_query(points, q, k, cfg, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
+
+    fn setup() -> (PointSet, SsTree, PointSet) {
+        let ps = ClusteredSpec {
+            clusters: 5,
+            points_per_cluster: 400,
+            dims: 8,
+            sigma: 150.0,
+            seed: 41,
+        }
+        .generate();
+        let tree = build(&ps, 32, &BuildMethod::Hilbert);
+        let queries = sample_queries(&ps, 24, 0.01, 42);
+        (ps, tree, queries)
+    }
+
+    #[test]
+    fn all_engines_agree_with_oracle() {
+        let (ps, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let k = 10;
+        let a = psb_batch(&tree, &queries, k, &cfg, &opts);
+        let b = bnb_batch(&tree, &queries, k, &cfg, &opts);
+        let c = brute_batch(&ps, &queries, k, &cfg, &opts);
+        for (qi, q) in queries.iter().enumerate() {
+            let want = linear_knn(&ps, q, k);
+            for got in [&a.neighbors[qi], &b.neighbors[qi], &c.neighbors[qi]] {
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    let scale = w.dist.max(1.0);
+                    assert!((g.dist - w.dist).abs() <= scale * 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_deterministic_under_parallelism() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let a = psb_batch(&tree, &queries, 8, &cfg, &opts);
+        let b = psb_batch(&tree, &queries, 8, &cfg, &opts);
+        assert_eq!(a.per_block, b.per_block);
+        assert_eq!(a.report.merged, b.report.merged);
+    }
+
+    #[test]
+    fn report_covers_all_blocks() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let r = psb_batch(&tree, &queries, 8, &cfg, &KernelOptions::default());
+        assert_eq!(r.report.merged.blocks as usize, queries.len());
+        assert!(r.report.avg_response_ms > 0.0);
+        assert!(r.report.warp_efficiency > 0.0 && r.report.warp_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn index_beats_brute_force_on_bytes_for_tight_clusters() {
+        let ps = ClusteredSpec {
+            clusters: 8,
+            points_per_cluster: 500,
+            dims: 8,
+            sigma: 30.0,
+            seed: 43,
+        }
+        .generate();
+        let tree = build(&ps, 32, &BuildMethod::Hilbert);
+        let queries = sample_queries(&ps, 8, 0.005, 44);
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let psb = psb_batch(&tree, &queries, 8, &cfg, &opts);
+        let brute = brute_batch(&ps, &queries, 8, &cfg, &opts);
+        assert!(
+            psb.report.avg_accessed_mb < brute.report.avg_accessed_mb,
+            "PSB {} MB >= brute {} MB",
+            psb.report.avg_accessed_mb,
+            brute.report.avg_accessed_mb
+        );
+    }
+}

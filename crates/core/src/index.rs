@@ -1,0 +1,217 @@
+//! The index abstraction the GPU kernels traverse.
+//!
+//! The paper's title promise is *parallel tree traversal for n-ary
+//! multi-dimensional trees* — the traversal (PSB, branch-and-bound, restart,
+//! range) is independent of the node *shape*. [`GpuIndex`] captures exactly
+//! what a traversal needs: the flattened structure (contiguous children, dense
+//! left-to-right leaf ids, parent links, subtree leaf ranges) plus a bounding-
+//! volume evaluation with its instruction cost.
+//!
+//! Two implementations exist: the SS-tree (bounding spheres — one distance
+//! plus a radius add/subtract yields MINDIST *and* MAXDIST) and the packed
+//! R-tree in `psb-rtree` (bounding rectangles — per-facet work, and a separate
+//! farthest-corner pass for MAXDIST). Running the identical kernel over both
+//! turns the paper's §II-C computational-cost argument into a measurement.
+
+use psb_sstree::SsTree;
+
+/// A flattened n-ary spatial index traversable by the data-parallel kernels.
+///
+/// Structural contract (checked by each implementation's `validate`):
+/// children of a node are contiguous node ids; leaves are numbered densely
+/// left-to-right and own contiguous runs of the reordered point array; every
+/// node knows the max leaf id under it; `leaf_node_of(l + 1)` is the right
+/// sibling of leaf `l`.
+pub trait GpuIndex: Sync {
+    /// Dimensionality of the indexed space.
+    fn dims(&self) -> usize;
+    /// Maximum children per node (= leaf capacity).
+    fn degree(&self) -> usize;
+    /// Root node id.
+    fn root(&self) -> u32;
+    /// Whether `n` is a leaf.
+    fn is_leaf(&self, n: u32) -> bool;
+    /// Children of internal node `n` (contiguous).
+    fn children(&self, n: u32) -> std::ops::Range<u32>;
+    /// Parent of `n` (undefined for the root).
+    fn parent(&self, n: u32) -> u32;
+    /// Point positions of leaf `n`.
+    fn leaf_points(&self, n: u32) -> std::ops::Range<usize>;
+    /// Coordinates at point position `pos`.
+    fn point(&self, pos: usize) -> &[f32];
+    /// Original dataset id at point position `pos`.
+    fn point_id(&self, pos: usize) -> u32;
+    /// Dense left-to-right leaf number of leaf `n`.
+    fn leaf_id(&self, n: u32) -> u32;
+    /// Node id of leaf number `l`.
+    fn leaf_node_of(&self, l: u32) -> u32;
+    /// Number of leaves.
+    fn num_leaves(&self) -> usize;
+    /// Largest leaf id under `n`'s subtree.
+    fn subtree_max_leaf(&self, n: u32) -> u32;
+    /// Bytes fetched for internal node `n` (its child bounding volumes, SoA).
+    fn internal_node_bytes(&self, n: u32) -> u64;
+    /// Bytes fetched for leaf node `n` (its points, SoA).
+    fn leaf_node_bytes(&self, n: u32) -> u64;
+    /// Bytes per child entry (for the AoS strided-layout ablation).
+    fn child_entry_bytes(&self) -> u64;
+    /// Bytes per point entry (for the AoS strided-layout ablation).
+    fn point_entry_bytes(&self) -> u64;
+
+    /// MINDIST (and MAXDIST when `with_max`) from `q` to child `c`'s bounding
+    /// volume. When `with_max` is false the second component is unspecified.
+    fn child_min_max(&self, c: u32, q: &[f32], with_max: bool) -> (f32, f32);
+
+    /// Instruction cost of one `child_min_max` evaluation under the cost
+    /// model. This is where sphere and rectangle indexes differ (§II-C).
+    fn child_eval_cost(&self, with_max: bool) -> u64;
+
+    /// Distance from `q` to child `c`'s representative point (sphere center /
+    /// rectangle center). Used as the tie-break when several overlapping
+    /// volumes report `MINDIST = 0` during the initial greedy descent.
+    fn child_anchor_dist(&self, c: u32, q: &[f32]) -> f32;
+}
+
+impl GpuIndex for SsTree {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+    fn degree(&self) -> usize {
+        self.degree
+    }
+    fn root(&self) -> u32 {
+        self.root
+    }
+    fn is_leaf(&self, n: u32) -> bool {
+        SsTree::is_leaf(self, n)
+    }
+    fn children(&self, n: u32) -> std::ops::Range<u32> {
+        SsTree::children(self, n)
+    }
+    fn parent(&self, n: u32) -> u32 {
+        self.parent[n as usize]
+    }
+    fn leaf_points(&self, n: u32) -> std::ops::Range<usize> {
+        SsTree::leaf_points(self, n)
+    }
+    fn point(&self, pos: usize) -> &[f32] {
+        self.points.point(pos)
+    }
+    fn point_id(&self, pos: usize) -> u32 {
+        self.point_ids[pos]
+    }
+    fn leaf_id(&self, n: u32) -> u32 {
+        self.leaf_id[n as usize]
+    }
+    fn leaf_node_of(&self, l: u32) -> u32 {
+        self.leaf_node_of[l as usize]
+    }
+    fn num_leaves(&self) -> usize {
+        SsTree::num_leaves(self)
+    }
+    fn subtree_max_leaf(&self, n: u32) -> u32 {
+        self.subtree_max_leaf[n as usize]
+    }
+    fn internal_node_bytes(&self, n: u32) -> u64 {
+        SsTree::internal_node_bytes(self, n)
+    }
+    fn leaf_node_bytes(&self, n: u32) -> u64 {
+        SsTree::leaf_node_bytes(self, n)
+    }
+    fn child_entry_bytes(&self) -> u64 {
+        self.dims as u64 * 4 + 4 + 12
+    }
+    fn point_entry_bytes(&self) -> u64 {
+        self.dims as u64 * 4 + 4
+    }
+
+    fn child_min_max(&self, c: u32, q: &[f32], _with_max: bool) -> (f32, f32) {
+        // One center distance yields both bounds — the sphere advantage.
+        let center_d = psb_geom::dist(q, self.center(c));
+        let r = self.radius(c);
+        ((center_d - r).max(0.0), center_d + r)
+    }
+
+    fn child_eval_cost(&self, _with_max: bool) -> u64 {
+        // Distance + radius add/subtract; MAXDIST is free (same distance).
+        crate::dist_cost(self.dims) + 2
+    }
+
+    fn child_anchor_dist(&self, c: u32, q: &[f32]) -> f32 {
+        psb_geom::dist(q, self.center(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::ClusteredSpec;
+    use psb_sstree::{build, BuildMethod};
+
+    #[test]
+    fn sstree_implements_the_contract() {
+        let ps = ClusteredSpec {
+            clusters: 4,
+            points_per_cluster: 200,
+            dims: 3,
+            sigma: 50.0,
+            seed: 71,
+        }
+        .generate();
+        let tree = build(&ps, 16, &BuildMethod::Hilbert);
+        let t: &dyn Fn(&SsTree) = &|tree| {
+            assert_eq!(GpuIndex::dims(tree), 3);
+            assert_eq!(GpuIndex::degree(tree), 16);
+            let root = GpuIndex::root(tree);
+            assert!(!GpuIndex::is_leaf(tree, root));
+            let kids = GpuIndex::children(tree, root);
+            assert!(!kids.is_empty());
+            for c in kids {
+                assert_eq!(GpuIndex::parent(tree, c), root);
+            }
+            // Leaf chain is dense and consistent.
+            for l in 0..GpuIndex::num_leaves(tree) as u32 {
+                let n = GpuIndex::leaf_node_of(tree, l);
+                assert_eq!(GpuIndex::leaf_id(tree, n), l);
+                assert_eq!(GpuIndex::subtree_max_leaf(tree, n), l);
+            }
+        };
+        t(&tree);
+    }
+
+    #[test]
+    fn sphere_min_max_from_one_distance() {
+        let ps = ClusteredSpec {
+            clusters: 2,
+            points_per_cluster: 100,
+            dims: 2,
+            sigma: 20.0,
+            seed: 72,
+        }
+        .generate();
+        let tree = build(&ps, 8, &BuildMethod::Hilbert);
+        let c = GpuIndex::children(&tree, tree.root).start;
+        let q = vec![0.0f32, 0.0];
+        let (lo, hi) = GpuIndex::child_min_max(&tree, c, &q, true);
+        assert!(lo <= hi);
+        assert_eq!(lo, tree.sphere(c).min_dist(&q));
+        assert_eq!(hi, tree.sphere(c).max_dist(&q));
+    }
+
+    #[test]
+    fn maxdist_costs_nothing_extra_for_spheres() {
+        let ps = ClusteredSpec {
+            clusters: 2,
+            points_per_cluster: 50,
+            dims: 8,
+            sigma: 20.0,
+            seed: 73,
+        }
+        .generate();
+        let tree = build(&ps, 8, &BuildMethod::Hilbert);
+        assert_eq!(
+            GpuIndex::child_eval_cost(&tree, false),
+            GpuIndex::child_eval_cost(&tree, true)
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Classic branch-and-bound kNN on the GPU tree — the paper's main baseline.
+//!
+//! The traversal is the Roussopoulos et al. algorithm: at every internal node
+//! visit children in ascending MINDIST order, pruning those outside the current
+//! k-th best distance. Because the GPU has no usable runtime stack, the
+//! implementation backtracks through **parent links**, and — as the paper points
+//! out (§II-A) — every return to a parent must *re-fetch the node from global
+//! memory and re-evaluate its child distances* to find the next-best unvisited
+//! child. That repeated work is metered here: an internal node whose `m`
+//! children get visited is fetched `m + 1` times.
+
+use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_sstree::Neighbor;
+
+use crate::index::GpuIndex;
+
+use super::{child_distances, fetch_internal, kth_maxdist, process_leaf, Scratch};
+use crate::knnlist::GpuKnnList;
+use crate::options::KernelOptions;
+
+/// Runs one branch-and-bound query on a simulated block.
+pub fn bnb_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
+    block
+        .reserve_shared(static_smem, cfg.smem_per_sm)
+        .expect("node-degree scratch must fit in shared memory");
+    let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
+    let mut scratch = Scratch::default();
+    let mut pruning = f32::INFINITY;
+
+    visit(tree, tree.root(), q, k, opts, &mut block, &mut list, &mut scratch, &mut pruning);
+    (list.into_sorted(), block.finish())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn visit<T: GpuIndex>(
+    tree: &T,
+    n: u32,
+    q: &[f32],
+    k: usize,
+    opts: &KernelOptions,
+    block: &mut Block,
+    list: &mut GpuKnnList,
+    scratch: &mut Scratch,
+    pruning: &mut f32,
+) {
+    if tree.is_leaf(n) {
+        process_leaf(block, tree, n, q, list, scratch, opts, false);
+        *pruning = pruning.min(list.bound());
+        return;
+    }
+
+    let kids = tree.children(n);
+    let cnt = kids.len();
+    let mut visited = vec![false; cnt];
+    loop {
+        // (Re-)fetch the node and recompute child distances: with no stack
+        // there is nowhere to keep them across the recursive descent.
+        fetch_internal(block, tree, n, opts.layout);
+        child_distances(block, tree, n, q, opts.use_minmax_prune, scratch);
+        if opts.use_minmax_prune && scratch.max_d.len() >= k {
+            let bound = kth_maxdist(block, &scratch.max_d, k);
+            *pruning = pruning.min(bound);
+        }
+        // Select the unvisited child with the smallest in-bound MINDIST.
+        block.par_reduce(cnt, 2);
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &d) in scratch.min_d.iter().enumerate() {
+            if visited[i] || d >= *pruning {
+                continue;
+            }
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            None => return,
+            Some((i, _)) => {
+                visited[i] = true;
+                visit(tree, kids.start + i as u32, q, k, opts, block, list, scratch, pruning);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::psb::psb_query;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_geom::PointSet;
+    use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
+
+    fn setup(dims: usize, sigma: f32) -> (PointSet, SsTree) {
+        let ps = ClusteredSpec {
+            clusters: 5,
+            points_per_cluster: 300,
+            dims,
+            sigma,
+            seed: 13,
+        }
+        .generate();
+        let tree = build(&ps, 16, &BuildMethod::Hilbert);
+        (ps, tree)
+    }
+
+    #[test]
+    fn exact_against_linear_scan() {
+        let (ps, tree) = setup(4, 120.0);
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 20, 0.01, 21).iter() {
+            let (got, _) = bnb_query(&tree, q, 8, &cfg, &opts);
+            let want = linear_knn(&ps, q, 8);
+            for (g, w) in got.iter().zip(&want) {
+                let scale = w.dist.max(1.0);
+                assert!((g.dist - w.dist).abs() <= scale * 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_psb_result_distances() {
+        let (ps, tree) = setup(8, 200.0);
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 10, 0.01, 22).iter() {
+            let (a, _) = bnb_query(&tree, q, 16, &cfg, &opts);
+            let (b, _) = psb_query(&tree, q, 16, &cfg, &opts);
+            for (x, y) in a.iter().zip(&b) {
+                let scale = x.dist.max(1.0);
+                assert!((x.dist - y.dist).abs() <= scale * 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn refetches_parents_more_than_psb() {
+        // The defining cost difference: parent-link backtracking re-fetches
+        // internal nodes, so B&B must read at least as many bytes as PSB reads
+        // on the same tree for the same query set (and typically more).
+        let (ps, tree) = setup(4, 2000.0); // loose clusters force backtracking
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let queries = sample_queries(&ps, 10, 0.02, 23);
+        let mut bnb_bytes = 0u64;
+        let mut psb_bytes = 0u64;
+        for q in queries.iter() {
+            bnb_bytes += bnb_query(&tree, q, 8, &cfg, &opts).1.global_bytes;
+            psb_bytes += psb_query(&tree, q, 8, &cfg, &opts).1.global_bytes;
+        }
+        assert!(
+            bnb_bytes * 10 > psb_bytes * 9,
+            "B&B bytes {bnb_bytes} unexpectedly far below PSB bytes {psb_bytes}"
+        );
+    }
+
+    #[test]
+    fn exact_with_tiny_k_and_large_k() {
+        let (ps, tree) = setup(2, 80.0);
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let q = sample_queries(&ps, 3, 0.01, 24);
+        for qp in q.iter() {
+            for k in [1usize, 64] {
+                let (got, _) = bnb_query(&tree, qp, k, &cfg, &opts);
+                let want = linear_knn(&ps, qp, k);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    let scale = w.dist.max(1.0);
+                    assert!((g.dist - w.dist).abs() <= scale * 1e-4);
+                }
+            }
+        }
+    }
+}

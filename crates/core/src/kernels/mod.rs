@@ -1,0 +1,147 @@
+//! The GPU kNN kernels: PSB, branch-and-bound, brute force, restart, range,
+//! and the task-parallel strawman.
+//!
+//! All tree kernels are generic over [`GpuIndex`], so the identical traversal
+//! runs over bounding-sphere trees (SS-tree) and bounding-rectangle trees
+//! (packed R-tree) — the node shape only changes the per-child evaluation and
+//! its instruction cost, which is precisely the comparison the paper's §II-C
+//! makes. Every kernel returns exact results plus the simulated block's
+//! counters; shared helpers live here so all kernels are metered identically
+//! wherever they do identical work.
+
+pub mod bnb;
+pub mod brute;
+pub mod psb;
+pub mod range;
+pub mod restart;
+pub mod tpss;
+
+use psb_geom::dist;
+use psb_gpu::Block;
+
+use crate::dist_cost;
+use crate::index::GpuIndex;
+use crate::knnlist::GpuKnnList;
+use crate::options::{KernelOptions, NodeLayout};
+
+/// Meter fetching an internal node's child-volume block.
+pub(crate) fn fetch_internal<T: GpuIndex>(
+    block: &mut Block,
+    tree: &T,
+    n: u32,
+    layout: NodeLayout,
+) {
+    block.visit_node();
+    match layout {
+        NodeLayout::Soa => block.load_global(tree.internal_node_bytes(n)),
+        NodeLayout::Aos => {
+            block.load_global_strided(
+                tree.children(n).len() as u64,
+                tree.child_entry_bytes(),
+            );
+        }
+    }
+}
+
+/// Meter fetching a leaf node's point block. `sequential` marks arrivals via
+/// the right-sibling link: leaves are laid out contiguously, so the scan is a
+/// prefetchable stream (the paper's "fast linear scanning").
+pub(crate) fn fetch_leaf<T: GpuIndex>(
+    block: &mut Block,
+    tree: &T,
+    n: u32,
+    layout: NodeLayout,
+    sequential: bool,
+) {
+    block.visit_node();
+    match layout {
+        NodeLayout::Soa if sequential => block.load_global_stream(tree.leaf_node_bytes(n)),
+        NodeLayout::Soa => block.load_global(tree.leaf_node_bytes(n)),
+        NodeLayout::Aos => {
+            block.load_global_strided(
+                tree.leaf_points(n).len() as u64,
+                tree.point_entry_bytes(),
+            );
+        }
+    }
+}
+
+/// Scratch buffers reused across node visits so the simulation does not
+/// allocate in its hot loop.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    pub min_d: Vec<f32>,
+    pub max_d: Vec<f32>,
+    pub leaf: Vec<(f32, u32)>,
+}
+
+/// Fetch a leaf, compute all point distances in parallel, and push improvements
+/// into the k-best list. Returns true when the list changed (PSB's
+/// continue-scanning test). `sequential` marks sibling-scan arrivals.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_leaf<T: GpuIndex>(
+    block: &mut Block,
+    tree: &T,
+    n: u32,
+    q: &[f32],
+    list: &mut GpuKnnList,
+    scratch: &mut Scratch,
+    opts: &KernelOptions,
+    sequential: bool,
+) -> bool {
+    fetch_leaf(block, tree, n, opts.layout, sequential);
+    let range = tree.leaf_points(n);
+    let start = range.start;
+    let len = range.len();
+    scratch.leaf.clear();
+    let dc = dist_cost(tree.dims());
+    block.par_for(len, dc, |i| {
+        let p = start + i;
+        let d = dist(q, tree.point(p));
+        scratch.leaf.push((d, tree.point_id(p)));
+    });
+    let mut changed = false;
+    for &(d, id) in &scratch.leaf {
+        changed |= list.offer(block, d, id);
+    }
+    changed
+}
+
+/// Compute MINDIST (and optionally MAXDIST) for every child of internal node
+/// `n` into the scratch buffers, metered as one data-parallel sweep whose
+/// per-item cost comes from the index's node shape.
+pub(crate) fn child_distances<T: GpuIndex>(
+    block: &mut Block,
+    tree: &T,
+    n: u32,
+    q: &[f32],
+    with_max: bool,
+    scratch: &mut Scratch,
+) {
+    let kids = tree.children(n);
+    let start = kids.start;
+    let cnt = kids.len();
+    scratch.min_d.clear();
+    scratch.max_d.clear();
+    let cost = tree.child_eval_cost(with_max);
+    block.par_for(cnt, cost, |i| {
+        let c = start + i as u32;
+        let (lo, hi) = tree.child_min_max(c, q, with_max);
+        scratch.min_d.push(lo);
+        if with_max {
+            scratch.max_d.push(hi);
+        }
+    });
+}
+
+/// The k-th smallest MAXDIST bound (Algorithm 1 line 14): an upper bound on the
+/// k-th nearest neighbor distance, valid because each of the k nearest child
+/// subtrees contains at least one point no farther than its MAXDIST.
+/// Only callable when the node has at least k children.
+pub(crate) fn kth_maxdist(block: &mut Block, max_d: &[f32], k: usize) -> f32 {
+    debug_assert!(max_d.len() >= k && k >= 1);
+    block.par_kth_select(max_d.len(), k);
+    let mut v: Vec<f32> = max_d.to_vec();
+    v.sort_by(f32::total_cmp);
+    v[k - 1]
+}

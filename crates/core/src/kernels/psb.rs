@@ -1,0 +1,294 @@
+//! Parallel Scan and Backtrack — Algorithm 1 of the paper.
+//!
+//! One thread block processes one query:
+//!
+//! 1. **Initial descent** (`getInitialPruningDistance`): greedily follow the
+//!    child with the smallest MINDIST to a leaf and prime the k-best list —
+//!    this makes the pruning distance finite before the sweep starts.
+//! 2. **Sweep**: restart from the root and descend to the *leftmost* child
+//!    whose MINDIST is inside the pruning distance and whose subtree still
+//!    contains unvisited leaves (`subtreeMaxLeafId > visitedLeafId`). At every
+//!    internal node all child MINDIST/MAXDISTs are computed data-parallel, and
+//!    the k-th smallest MAXDIST tightens the pruning distance (each of the k
+//!    closest children is guaranteed to contain a point within its MAXDIST).
+//! 3. **Leaf scan**: process the leaf; while the k-best list keeps changing,
+//!    step to the right sibling leaf (leaves are contiguous in memory — this is
+//!    the linear scan that buys PSB its coalesced accesses). When a leaf stops
+//!    improving the result, backtrack through the parent link.
+//! 4. Terminate when backtracking pops past the root.
+//!
+//! The sweep's `visitedLeafId` cursor is monotone, so no leaf is processed
+//! twice, and a leaf is only ever skipped when its subtree MINDIST is outside
+//! the pruning distance at skip time — which can only shrink afterwards, so the
+//! skip stays justified and the result is exact.
+
+use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_sstree::Neighbor;
+
+use crate::index::GpuIndex;
+
+use super::{child_distances, fetch_internal, kth_maxdist, process_leaf, Scratch};
+use crate::knnlist::GpuKnnList;
+use crate::options::KernelOptions;
+
+/// Runs one PSB query on a simulated block; returns exact kNN plus counters.
+pub fn psb_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    // Static shared memory: the per-child MINDIST/MAXDIST arrays of Algorithm 1
+    // plus a warp-reduction scratch line.
+    let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
+    block
+        .reserve_shared(static_smem, cfg.smem_per_sm)
+        .expect("node-degree scratch must fit in shared memory");
+    let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
+    let mut scratch = Scratch::default();
+    let mut pruning = f32::INFINITY;
+
+    // ---- Phase 1: initial greedy descent. ----
+    let mut n = tree.root();
+    while !tree.is_leaf(n) {
+        fetch_internal(&mut block, tree, n, opts.layout);
+        child_distances(&mut block, tree, n, q, false, &mut scratch);
+        block.par_reduce(scratch.min_d.len(), 2);
+        // Pick the child nearest the query. MINDIST alone ties at 0 whenever
+        // several child spheres overlap the query (common for the oversized
+        // boundary spheres Hilbert packing creates), and a bad tie-break lands
+        // the initial descent in a garbage leaf whose k-th distance is huge —
+        // so break ties by centroid distance, matching the paper's "leaf node
+        // which is closest to the query point".
+        let kids = tree.children(n);
+        let mut best = (f32::INFINITY, f32::INFINITY);
+        let mut best_c = kids.start;
+        for (i, c) in kids.enumerate() {
+            let key = (scratch.min_d[i], tree.child_anchor_dist(c, q));
+            if key < best {
+                best = key;
+                best_c = c;
+            }
+        }
+        n = best_c;
+    }
+    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false);
+    pruning = pruning.min(list.bound());
+
+    // ---- Phase 2: the left-to-right sweep. ----
+    let last_leaf = (tree.num_leaves() - 1) as u32;
+    let mut visited: i64 = -1;
+    n = tree.root();
+    'sweep: loop {
+        // Descend to the leftmost qualifying leaf (or backtrack when none).
+        while !tree.is_leaf(n) {
+            fetch_internal(&mut block, tree, n, opts.layout);
+            child_distances(&mut block, tree, n, q, opts.use_minmax_prune, &mut scratch);
+            if opts.use_minmax_prune && scratch.max_d.len() >= k {
+                let bound = kth_maxdist(&mut block, &scratch.max_d, k);
+                pruning = pruning.min(bound);
+            }
+            let kids = tree.children(n);
+            // Leftmost-qualifying-child selection. Algorithm 1 writes this as
+            // a serial loop (lines 16–26), but on a real device it is one
+            // parallel predicate evaluation plus a ballot/find-first-set
+            // reduction — metered as such.
+            block.par_for(kids.len(), 1, |_| {});
+            block.par_reduce(kids.len(), 1);
+            block.scalar(2);
+            let mut chosen = None;
+            for (i, c) in kids.enumerate() {
+                if scratch.min_d[i] < pruning
+                    && tree.subtree_max_leaf(c) as i64 > visited
+                {
+                    chosen = Some(c);
+                    break;
+                }
+            }
+            match chosen {
+                Some(c) => n = c,
+                None => {
+                    // No child qualifies: every leaf under `n` is now either
+                    // visited or pruned with justification (each child was
+                    // rejected for `subtreeMaxLeafId <= visited` or
+                    // `MINDIST >= pruning`, and pruning only shrinks). Advance
+                    // the cursor past the whole subtree — without this the
+                    // parent would re-select `n` forever, since `n`'s own
+                    // MINDIST can be inside the pruning distance even when no
+                    // child's is.
+                    visited = visited.max(tree.subtree_max_leaf(n) as i64);
+                    if n == tree.root() {
+                        break 'sweep;
+                    }
+                    block.scalar(1); // follow the parent link
+                    n = tree.parent(n);
+                }
+            }
+        }
+
+        // Leaf phase: linear scan of sibling leaves while they improve.
+        let mut via_sibling = false;
+        loop {
+            let changed = process_leaf(
+                &mut block, tree, n, q, &mut list, &mut scratch, opts, via_sibling,
+            );
+            pruning = pruning.min(list.bound());
+            let lid = tree.leaf_id(n);
+            visited = lid as i64;
+            if opts.leaf_scan && changed && lid < last_leaf {
+                block.scalar(1); // follow the right-sibling link
+                n = tree.leaf_node_of(lid + 1);
+                via_sibling = true; // contiguous leaves: a prefetchable stream
+            } else if n == tree.root() {
+                // Single-leaf tree: nothing to backtrack to.
+                break 'sweep;
+            } else {
+                block.scalar(1); // follow the parent link
+                n = tree.parent(n);
+                break;
+            }
+        }
+    }
+
+    (list.into_sorted(), block.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_geom::PointSet;
+    use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
+
+    fn setup(dims: usize, sigma: f32, degree: usize) -> (PointSet, SsTree) {
+        let ps = ClusteredSpec {
+            clusters: 6,
+            points_per_cluster: 350,
+            dims,
+            sigma,
+            seed: 11,
+        }
+        .generate();
+        let tree = build(&ps, degree, &BuildMethod::Hilbert);
+        (ps, tree)
+    }
+
+    fn assert_exact(tree: &SsTree, ps: &PointSet, q: &[f32], k: usize, opts: &KernelOptions) {
+        let cfg = DeviceConfig::k40();
+        let (got, _) = psb_query(tree, q, k, &cfg, opts);
+        let want = linear_knn(ps, q, k);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            let scale = w.dist.max(1.0);
+            assert!(
+                (g.dist - w.dist).abs() <= scale * 1e-4,
+                "got {} want {}",
+                g.dist,
+                w.dist
+            );
+        }
+    }
+
+    #[test]
+    fn exact_on_clustered_data() {
+        let (ps, tree) = setup(4, 150.0, 16);
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 25, 0.01, 3).iter() {
+            assert_exact(&tree, &ps, q, 8, &opts);
+        }
+    }
+
+    #[test]
+    fn exact_without_minmax_pruning() {
+        let (ps, tree) = setup(4, 150.0, 16);
+        let opts = KernelOptions { use_minmax_prune: false, ..Default::default() };
+        for q in sample_queries(&ps, 10, 0.01, 4).iter() {
+            assert_exact(&tree, &ps, q, 8, &opts);
+        }
+    }
+
+    #[test]
+    fn exact_without_leaf_scan() {
+        let (ps, tree) = setup(4, 150.0, 16);
+        let opts = KernelOptions { leaf_scan: false, ..Default::default() };
+        for q in sample_queries(&ps, 10, 0.01, 5).iter() {
+            assert_exact(&tree, &ps, q, 8, &opts);
+        }
+    }
+
+    #[test]
+    fn exact_in_high_dimensions() {
+        let (ps, tree) = setup(32, 400.0, 32);
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 6, 0.01, 6).iter() {
+            assert_exact(&tree, &ps, q, 16, &opts);
+        }
+    }
+
+    #[test]
+    fn exact_with_k_exceeding_degree() {
+        // k > node degree disables the MINMAXDIST bound; still exact.
+        let (ps, tree) = setup(3, 100.0, 8);
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 5, 0.01, 7).iter() {
+            assert_exact(&tree, &ps, q, 50, &opts);
+        }
+    }
+
+    #[test]
+    fn exact_on_single_leaf_tree() {
+        let mut ps = PointSet::new(2);
+        for i in 0..10 {
+            ps.push(&[i as f32, 0.0]);
+        }
+        let tree = build(&ps, 128, &BuildMethod::Hilbert);
+        assert_exact(&tree, &ps, &[3.2, 0.0], 3, &KernelOptions::default());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (ps, tree) = setup(4, 150.0, 16);
+        let cfg = DeviceConfig::k40();
+        let q = sample_queries(&ps, 1, 0.01, 8);
+        let (_, stats) = psb_query(&tree, q.point(0), 8, &cfg, &KernelOptions::default());
+        assert!(stats.nodes_visited >= 2, "must visit at least root + a leaf");
+        assert!(stats.global_bytes > 0);
+        assert!(stats.warp_efficiency() > 0.0 && stats.warp_efficiency() <= 1.0);
+        assert!(stats.smem_peak_bytes > 0);
+    }
+
+    #[test]
+    fn visits_fewer_bytes_than_whole_dataset_on_tight_clusters() {
+        let (ps, tree) = setup(4, 20.0, 16);
+        let cfg = DeviceConfig::k40();
+        // Jitter must stay inside the sigma=20 cluster radius, or the true kNN
+        // ball legitimately spans many leaves (space is 65 536 wide, so even
+        // 0.5% jitter is ~330 units).
+        let q = sample_queries(&ps, 1, 0.0001, 9);
+        let (_, stats) = psb_query(&tree, q.point(0), 8, &cfg, &KernelOptions::default());
+        // The budget below allows for the home cluster's leaves plus PSB's
+        // stackless parent refetches (each backtrack re-reads an internal
+        // node); on this 6-cluster micro dataset that lands near 1/2 of the
+        // raw data volume. Pruning failure would read essentially all of it.
+        assert!(
+            stats.global_bytes < ps.bytes() / 2,
+            "PSB read {} of {} dataset bytes — pruning is not working",
+            stats.global_bytes,
+            ps.bytes()
+        );
+    }
+
+    #[test]
+    fn query_on_data_point_finds_itself() {
+        let (ps, tree) = setup(2, 60.0, 16);
+        let cfg = DeviceConfig::k40();
+        let q = ps.point(321).to_vec();
+        let (got, _) = psb_query(&tree, &q, 1, &cfg, &KernelOptions::default());
+        assert!(got[0].dist <= 1e-6);
+        assert_eq!(got[0].id, 321);
+    }
+}

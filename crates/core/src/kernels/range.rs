@@ -1,0 +1,193 @@
+//! Data-parallel fixed-radius range query on the simulated GPU.
+//!
+//! Range queries are the workload of the MPRS system the paper cites as prior
+//! work (§VI, Kim et al.): "the MPRS algorithm targets low dimensional range
+//! query processing". The kernel here shows that PSB's machinery — leftmost
+//! descent under a bound, linear sibling-leaf scanning, `subtreeMaxLeafId`
+//! cursor — applies directly when the pruning distance is *fixed* (`radius`)
+//! instead of shrinking: the traversal degenerates to a single left-to-right
+//! sweep over the in-range leaves with no re-tightening, which is exactly why
+//! the paper's design generalizes beyond kNN.
+//!
+//! Result rows are written to global memory (metered as streaming writes, the
+//! way a real kernel would append via an atomic cursor into an output buffer).
+
+use psb_geom::dist;
+use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_sstree::Neighbor;
+
+use crate::index::GpuIndex;
+
+use super::{child_distances, fetch_internal, fetch_leaf, Scratch};
+use crate::dist_cost;
+use crate::options::KernelOptions;
+
+/// Runs one range query on a simulated block; returns the points within
+/// `radius` of `q`, ascending by distance, plus the block counters.
+pub fn range_query_gpu<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    let static_smem = tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
+    block
+        .reserve_shared(static_smem, cfg.smem_per_sm)
+        .expect("node-degree scratch must fit in shared memory");
+    let mut scratch = Scratch::default();
+    let mut out: Vec<Neighbor> = Vec::new();
+    let dc = dist_cost(tree.dims());
+
+    let last_leaf = (tree.num_leaves() - 1) as u32;
+    let mut visited: i64 = -1;
+    let mut n = tree.root();
+    'sweep: loop {
+        while !tree.is_leaf(n) {
+            fetch_internal(&mut block, tree, n, opts.layout);
+            child_distances(&mut block, tree, n, q, false, &mut scratch);
+            let kids = tree.children(n);
+            block.par_for(kids.len(), 1, |_| {});
+            block.par_reduce(kids.len(), 1);
+            block.scalar(2);
+            let mut chosen = None;
+            for (i, c) in kids.enumerate() {
+                if scratch.min_d[i] <= radius
+                    && tree.subtree_max_leaf(c) as i64 > visited
+                {
+                    chosen = Some(c);
+                    break;
+                }
+            }
+            match chosen {
+                Some(c) => n = c,
+                None => {
+                    visited = visited.max(tree.subtree_max_leaf(n) as i64);
+                    if n == tree.root() {
+                        break 'sweep;
+                    }
+                    block.scalar(1);
+                    n = tree.parent(n);
+                }
+            }
+        }
+
+        // Leaf chain: with a fixed bound, scan rightward while leaves keep
+        // producing hits (in-range leaves cluster together on the curve).
+        let mut via_sibling = false;
+        loop {
+            fetch_leaf(&mut block, tree, n, opts.layout, via_sibling);
+            let range = tree.leaf_points(n);
+            let start = range.start;
+            let len = range.len();
+            scratch.leaf.clear();
+            block.par_for(len, dc, |i| {
+                let p = start + i;
+                let d = dist(q, tree.point(p));
+                scratch.leaf.push((d, tree.point_id(p)));
+            });
+            let mut hits = 0u64;
+            for &(d, id) in &scratch.leaf {
+                if d <= radius {
+                    out.push(Neighbor { dist: d, id });
+                    hits += 1;
+                }
+            }
+            if hits > 0 {
+                // Append to the global output buffer (atomic cursor + rows).
+                block.scalar(2);
+                block.load_global_stream(hits * 8);
+            }
+            let lid = tree.leaf_id(n);
+            visited = lid as i64;
+            if opts.leaf_scan && hits > 0 && lid < last_leaf {
+                block.scalar(1);
+                n = tree.leaf_node_of(lid + 1);
+                via_sibling = true;
+            } else if n == tree.root() {
+                break 'sweep;
+            } else {
+                block.scalar(1);
+                n = tree.parent(n);
+                break;
+            }
+        }
+    }
+
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    (out, block.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_geom::PointSet;
+    use psb_sstree::{build, search::linear_range, BuildMethod, SsTree};
+
+    fn setup() -> (PointSet, SsTree) {
+        let ps = ClusteredSpec {
+            clusters: 6,
+            points_per_cluster: 300,
+            dims: 4,
+            sigma: 120.0,
+            seed: 141,
+        }
+        .generate();
+        let tree = build(&ps, 16, &BuildMethod::Hilbert);
+        (ps, tree)
+    }
+
+    #[test]
+    fn matches_linear_filter() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 12, 0.01, 142).iter() {
+            for radius in [10.0f32, 200.0, 2000.0] {
+                let (got, _) = range_query_gpu(&tree, q, radius, &cfg, &opts);
+                let want = linear_range(&ps, q, radius);
+                assert_eq!(got.len(), want.len(), "radius {radius}");
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_result_for_distant_query() {
+        let (_, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let q = vec![-1e6; 4];
+        let (got, stats) = range_query_gpu(&tree, &q, 1.0, &cfg, &KernelOptions::default());
+        assert!(got.is_empty());
+        // One root fetch plus the pruned descent: far fewer bytes than the tree.
+        assert!(stats.global_bytes < tree.total_bytes() / 4);
+    }
+
+    #[test]
+    fn huge_radius_returns_everything() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let q = ps.point(0).to_vec();
+        let (got, _) = range_query_gpu(&tree, &q, 1e9, &cfg, &KernelOptions::default());
+        assert_eq!(got.len(), ps.len());
+    }
+
+    #[test]
+    fn exact_without_leaf_scan() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions { leaf_scan: false, ..Default::default() };
+        let q = sample_queries(&ps, 4, 0.01, 143);
+        for qp in q.iter() {
+            let (got, _) = range_query_gpu(&tree, qp, 500.0, &cfg, &opts);
+            let want = linear_range(&ps, qp, 500.0);
+            assert_eq!(got.len(), want.len());
+        }
+    }
+}

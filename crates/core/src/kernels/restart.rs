@@ -1,0 +1,224 @@
+//! Scan-and-Restart: the stackless alternative without parent links.
+//!
+//! The paper's §II-A and §VI discuss restart-style traversals (kd-restart,
+//! MPRS): instead of backtracking through parent links, the traversal returns
+//! to the **root** whenever it runs out of qualifying siblings and re-descends
+//! with the monotone `visitedLeafId` cursor. Compared to PSB this trades
+//! parent-link refetches for full root-to-leaf re-descents — cheap on shallow
+//! n-ary trees, increasingly expensive as the tree deepens. Implemented here so
+//! the trade-off the paper argues about is measurable (`figures ablation` and
+//! the shape tests exercise it).
+//!
+//! Exactness argument is identical to PSB's: the cursor only advances past
+//! leaves that are visited or provably outside the pruning distance.
+
+use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_sstree::Neighbor;
+
+use crate::index::GpuIndex;
+
+use super::{child_distances, fetch_internal, kth_maxdist, process_leaf, Scratch};
+use crate::knnlist::GpuKnnList;
+use crate::options::KernelOptions;
+
+/// Runs one scan-and-restart query on a simulated block.
+pub fn restart_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
+    block
+        .reserve_shared(static_smem, cfg.smem_per_sm)
+        .expect("node-degree scratch must fit in shared memory");
+    let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
+    let mut scratch = Scratch::default();
+    let mut pruning = f32::INFINITY;
+
+    // Initial greedy descent primes the pruning distance (same as PSB).
+    let mut n = tree.root();
+    while !tree.is_leaf(n) {
+        fetch_internal(&mut block, tree, n, opts.layout);
+        child_distances(&mut block, tree, n, q, false, &mut scratch);
+        block.par_reduce(scratch.min_d.len(), 2);
+        // Pick the child nearest the query. MINDIST alone ties at 0 whenever
+        // several child spheres overlap the query (common for the oversized
+        // boundary spheres Hilbert packing creates), and a bad tie-break lands
+        // the initial descent in a garbage leaf whose k-th distance is huge —
+        // so break ties by centroid distance, matching the paper's "leaf node
+        // which is closest to the query point".
+        let kids = tree.children(n);
+        let mut best = (f32::INFINITY, f32::INFINITY);
+        let mut best_c = kids.start;
+        for (i, c) in kids.enumerate() {
+            let key = (scratch.min_d[i], tree.child_anchor_dist(c, q));
+            if key < best {
+                best = key;
+                best_c = c;
+            }
+        }
+        n = best_c;
+    }
+    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false);
+    pruning = pruning.min(list.bound());
+
+    let last_leaf = (tree.num_leaves() - 1) as u32;
+    let mut visited: i64 = -1;
+    'restart: loop {
+        // Full descent from the root toward the leftmost qualifying leaf.
+        n = tree.root();
+        while !tree.is_leaf(n) {
+            fetch_internal(&mut block, tree, n, opts.layout);
+            child_distances(&mut block, tree, n, q, opts.use_minmax_prune, &mut scratch);
+            if opts.use_minmax_prune && scratch.max_d.len() >= k {
+                let bound = kth_maxdist(&mut block, &scratch.max_d, k);
+                pruning = pruning.min(bound);
+            }
+            let kids = tree.children(n);
+            // Parallel predicate + ballot/ffs selection (see psb.rs).
+            block.par_for(kids.len(), 1, |_| {});
+            block.par_reduce(kids.len(), 1);
+            block.scalar(2);
+            let mut chosen = None;
+            for (i, c) in kids.enumerate() {
+                if scratch.min_d[i] < pruning
+                    && tree.subtree_max_leaf(c) as i64 > visited
+                {
+                    chosen = Some(c);
+                    break;
+                }
+            }
+            match chosen {
+                Some(c) => n = c,
+                None => {
+                    // Everything under `n` is visited or justifiably pruned.
+                    visited = visited.max(tree.subtree_max_leaf(n) as i64);
+                    if n == tree.root() {
+                        break 'restart;
+                    }
+                    continue 'restart; // no parent link: go back to the root
+                }
+            }
+        }
+        // Linear scan of sibling leaves while they improve (same as PSB).
+        let mut via_sibling = false;
+        loop {
+            let changed = process_leaf(
+                &mut block, tree, n, q, &mut list, &mut scratch, opts, via_sibling,
+            );
+            pruning = pruning.min(list.bound());
+            let lid = tree.leaf_id(n);
+            visited = lid as i64;
+            if opts.leaf_scan && changed && lid < last_leaf {
+                block.scalar(1);
+                n = tree.leaf_node_of(lid + 1);
+                via_sibling = true;
+            } else if n == tree.root() {
+                break 'restart; // single-leaf tree
+            } else {
+                continue 'restart;
+            }
+        }
+    }
+
+    (list.into_sorted(), block.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::psb::psb_query;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_geom::PointSet;
+    use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
+
+    fn setup() -> (PointSet, SsTree) {
+        let ps = ClusteredSpec {
+            clusters: 6,
+            points_per_cluster: 300,
+            dims: 6,
+            sigma: 140.0,
+            seed: 91,
+        }
+        .generate();
+        let tree = build(&ps, 16, &BuildMethod::Hilbert);
+        (ps, tree)
+    }
+
+    #[test]
+    fn exact_against_oracle() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 15, 0.01, 92).iter() {
+            let (got, _) = restart_query(&tree, q, 10, &cfg, &opts);
+            let want = linear_knn(&ps, q, 10);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_psb_distances() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        for q in sample_queries(&ps, 10, 0.01, 93).iter() {
+            let (a, _) = restart_query(&tree, q, 8, &cfg, &opts);
+            let (b, _) = psb_query(&tree, q, 8, &cfg, &opts);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x.dist - y.dist).abs() <= y.dist.max(1.0) * 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn restarts_cost_more_upper_level_fetches_than_psb() {
+        // On a loose dataset (lots of backtracking) the restart variant must
+        // fetch at least as many node bytes as PSB: each restart re-reads the
+        // root path that PSB's parent links skip.
+        let ps = ClusteredSpec {
+            clusters: 6,
+            points_per_cluster: 300,
+            dims: 6,
+            sigma: 4000.0,
+            seed: 94,
+        }
+        .generate();
+        let tree = build(&ps, 8, &BuildMethod::Hilbert); // deep tree amplifies it
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let queries = sample_queries(&ps, 10, 0.02, 95);
+        let mut restart_nodes = 0u64;
+        let mut psb_nodes = 0u64;
+        for q in queries.iter() {
+            restart_nodes += restart_query(&tree, q, 8, &cfg, &opts).1.nodes_visited;
+            psb_nodes += psb_query(&tree, q, 8, &cfg, &opts).1.nodes_visited;
+        }
+        assert!(
+            restart_nodes >= psb_nodes,
+            "restart visited {restart_nodes} < psb {psb_nodes}"
+        );
+    }
+
+    #[test]
+    fn exact_on_single_leaf_tree() {
+        let mut ps = PointSet::new(2);
+        for i in 0..9 {
+            ps.push(&[i as f32, 0.0]);
+        }
+        let tree = build(&ps, 64, &BuildMethod::Hilbert);
+        let cfg = DeviceConfig::k40();
+        let (got, _) =
+            restart_query(&tree, &[4.2, 0.0], 2, &cfg, &KernelOptions::default());
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! The k-best candidate list a thread block maintains in shared memory.
+//!
+//! The paper stores the k pruning distances in shared memory because every
+//! thread of the block reads and updates them (§V-E); this is why response time
+//! degrades super-linearly with k (Fig. 8) — the list's footprint reduces
+//! occupancy. The §V-E extension ("keep only a couple of large pruning
+//! distances in shared memory but the rest ... in global memory") is
+//! implemented as [`SharedMemPolicy::Hybrid`]: insertions that land in the
+//! rarely-updated small-distance region pay a global-memory write instead of
+//! shared-memory traffic.
+//!
+//! Results are exact: the list is a plain sorted array on the host; only the
+//! *cost* of maintaining it is modeled.
+
+use psb_gpu::Block;
+use psb_sstree::Neighbor;
+
+/// Placement policy for the k-best list (paper §V-E).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SharedMemPolicy {
+    /// All k distances + ids in shared memory (the paper's evaluated design).
+    AllShared,
+    /// The `shared_slots` *largest* distances (the hot end that gates pruning)
+    /// in shared memory; the small, rarely-touched remainder in global memory.
+    Hybrid { shared_slots: usize },
+}
+
+/// Bytes per list entry: f32 distance + u32 id.
+const ENTRY_BYTES: u64 = 8;
+
+/// A metered k-best list.
+pub struct GpuKnnList {
+    k: usize,
+    /// Ascending by (distance, id); at most k entries.
+    entries: Vec<Neighbor>,
+    /// Entries at rank >= `global_from` live in shared memory (the large end);
+    /// ranks below it live in global memory under the hybrid policy.
+    global_region: usize,
+    update_cost: u64,
+}
+
+impl GpuKnnList {
+    /// Creates the list and reserves its shared-memory footprint on `block`.
+    ///
+    /// Under [`SharedMemPolicy::AllShared`] the whole list must fit in shared
+    /// memory; if it cannot (huge k), the constructor degrades to a hybrid
+    /// split at the largest size that fits, which is what a real implementation
+    /// would be forced to do.
+    pub fn new(
+        k: usize,
+        policy: SharedMemPolicy,
+        block: &mut Block,
+        smem_per_sm: u64,
+    ) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let want_shared = match policy {
+            SharedMemPolicy::AllShared => k,
+            SharedMemPolicy::Hybrid { shared_slots } => shared_slots.clamp(1, k),
+        };
+        let mut shared = want_shared;
+        while shared > 1 && block.reserve_shared(shared as u64 * ENTRY_BYTES, smem_per_sm).is_err()
+        {
+            shared /= 2;
+        }
+        if shared == 1 {
+            // A single boundary slot always fits on any realistic device.
+            let _ = block.reserve_shared(ENTRY_BYTES, smem_per_sm);
+        }
+        Self {
+            k,
+            entries: Vec::with_capacity(k + 1),
+            global_region: k - shared.min(k),
+            update_cost: (k.next_power_of_two().trailing_zeros() as u64).max(1),
+        }
+    }
+
+    /// Current pruning distance: the k-th best distance, or ∞ until k found.
+    pub fn bound(&self) -> f32 {
+        if self.entries.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.entries.last().map_or(f32::INFINITY, |n| n.dist)
+        }
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no candidate has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offers a candidate. Returns true when the list (and hence the pruning
+    /// distance or result set) changed — PSB's leaf-scan continuation test.
+    /// Metering: an accepted candidate costs a serialized sift
+    /// (`log2 k` instructions on one lane); one landing in the global region of
+    /// a hybrid list additionally pays a global write.
+    pub fn offer(&mut self, block: &mut Block, dist: f32, id: u32) -> bool {
+        if self.entries.len() >= self.k && dist >= self.bound() {
+            return false;
+        }
+        let pos = self
+            .entries
+            .partition_point(|n| (n.dist, n.id) < (dist, id));
+        // PSB's sweep can re-scan the leaf already processed during the initial
+        // greedy descent; the same (point, distance) pair must not enter twice.
+        if self.entries.get(pos).is_some_and(|n| n.id == id && n.dist == dist) {
+            return false;
+        }
+        self.entries.insert(pos, Neighbor { dist, id });
+        if self.entries.len() > self.k {
+            self.entries.pop();
+        }
+        block.scalar(self.update_cost);
+        if pos < self.global_region {
+            block.load_global(ENTRY_BYTES);
+        }
+        true
+    }
+
+    /// Final results, ascending by distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_gpu::DeviceConfig;
+
+    fn block() -> (Block, u64) {
+        let cfg = DeviceConfig::k40();
+        (Block::new(32, &cfg), cfg.smem_per_sm)
+    }
+
+    #[test]
+    fn keeps_k_smallest() {
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(3, SharedMemPolicy::AllShared, &mut b, smem);
+        for (d, id) in [(5.0, 0), (1.0, 1), (4.0, 2), (2.0, 3), (9.0, 4)] {
+            list.offer(&mut b, d, id);
+        }
+        let out = list.into_sorted();
+        let dists: Vec<f32> = out.iter().map(|n| n.dist).collect();
+        assert_eq!(dists, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn bound_is_infinite_until_full() {
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(2, SharedMemPolicy::AllShared, &mut b, smem);
+        assert_eq!(list.bound(), f32::INFINITY);
+        list.offer(&mut b, 3.0, 0);
+        assert_eq!(list.bound(), f32::INFINITY);
+        list.offer(&mut b, 1.0, 1);
+        assert_eq!(list.bound(), 3.0);
+    }
+
+    #[test]
+    fn offer_reports_change() {
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(1, SharedMemPolicy::AllShared, &mut b, smem);
+        assert!(list.offer(&mut b, 2.0, 0));
+        assert!(!list.offer(&mut b, 5.0, 1), "worse candidate must not change");
+        assert!(list.offer(&mut b, 1.0, 2));
+    }
+
+    #[test]
+    fn reserves_shared_memory() {
+        let (mut b, smem) = block();
+        let _ = GpuKnnList::new(1024, SharedMemPolicy::AllShared, &mut b, smem);
+        assert_eq!(b.stats().smem_peak_bytes, 1024 * 8);
+    }
+
+    #[test]
+    fn hybrid_reserves_less_and_writes_global() {
+        let (mut b, smem) = block();
+        let mut list =
+            GpuKnnList::new(1024, SharedMemPolicy::Hybrid { shared_slots: 16 }, &mut b, smem);
+        assert_eq!(b.stats().smem_peak_bytes, 16 * 8);
+        // Fill, then force an insertion at rank 0 (global region).
+        for i in 0..1024 {
+            list.offer(&mut b, 100.0 + i as f32, i);
+        }
+        let before = b.stats().global_bytes;
+        list.offer(&mut b, 0.5, 9999);
+        assert_eq!(b.stats().global_bytes, before + 8);
+    }
+
+    #[test]
+    fn all_shared_never_touches_global() {
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(8, SharedMemPolicy::AllShared, &mut b, smem);
+        for i in 0..100 {
+            list.offer(&mut b, 100.0 - i as f32, i);
+        }
+        assert_eq!(b.stats().global_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_k_degrades_to_a_fitting_split() {
+        let cfg = DeviceConfig::k40();
+        let mut b = Block::new(32, &cfg);
+        // 10_000 entries = 80 KB > 48 KB: must halve until it fits.
+        let list = GpuKnnList::new(10_000, SharedMemPolicy::AllShared, &mut b, cfg.smem_per_sm);
+        assert!(b.stats().smem_peak_bytes <= cfg.smem_per_sm);
+        assert!(b.stats().smem_peak_bytes >= 16 * 1024, "should use most of smem");
+        assert!(list.global_region > 0);
+    }
+
+    #[test]
+    fn equal_distance_candidates_do_not_displace() {
+        // Once the list is full, a candidate at exactly the k-th distance is
+        // rejected (dist >= bound): the distance multiset is already optimal,
+        // and this mirrors the GPU update test `dist < pruningDist`.
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(2, SharedMemPolicy::AllShared, &mut b, smem);
+        assert!(list.offer(&mut b, 1.0, 7));
+        assert!(list.offer(&mut b, 1.0, 3));
+        assert!(!list.offer(&mut b, 1.0, 5));
+        let out = list.into_sorted();
+        assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn duplicate_point_is_inserted_once() {
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(4, SharedMemPolicy::AllShared, &mut b, smem);
+        assert!(list.offer(&mut b, 2.0, 9));
+        assert!(!list.offer(&mut b, 2.0, 9), "same point must not enter twice");
+        assert_eq!(list.len(), 1);
+    }
+}

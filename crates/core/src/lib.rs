@@ -1,0 +1,46 @@
+//! Parallel Scan and Backtrack (PSB) — the paper's primary contribution.
+//!
+//! This crate implements exact kNN query processing on the simulated GPU
+//! ([`psb_gpu`]) over SS-trees ([`psb_sstree`]):
+//!
+//! * [`kernels::psb`] — the PSB traversal (Algorithm 1): an initial greedy
+//!   descent establishes a pruning distance, then a stackless left-to-right
+//!   sweep visits the leftmost unvisited leaf within the pruning distance,
+//!   linearly scans sibling leaves while they keep improving the result, and
+//!   backtracks through parent links guarded by `subtreeMaxLeafId`.
+//! * [`kernels::bnb`] — the classic branch-and-bound baseline on the same tree,
+//!   with parent-link backtracking that re-fetches and re-evaluates parent
+//!   nodes from global memory (the cost the paper attributes to it).
+//! * [`kernels::brute`] — the GPU brute-force scan baseline.
+//! * [`knnlist`] — the shared-memory k-best list, including the paper's §V-E
+//!   "hybrid" extension that spills the rarely-touched small distances to
+//!   global memory.
+//! * [`engine`] — batched execution: one simulated thread block per query,
+//!   host-parallel via rayon, aggregated with the device cost model.
+//!
+//! Every kernel returns both exact results (verified against CPU oracles) and
+//! the counters the paper's figures are built from.
+
+pub mod dynamic;
+pub mod engine;
+pub mod index;
+pub mod kernels;
+pub mod knnlist;
+pub mod options;
+
+pub use engine::{
+    bnb_batch, brute_batch, merge_stats, psb_batch, range_batch, restart_batch,
+    QueryBatchResult,
+};
+pub use dynamic::DynamicSsTree;
+pub use index::GpuIndex;
+pub use kernels::tpss::tpss_batch;
+pub use knnlist::SharedMemPolicy;
+pub use options::{KernelOptions, NodeLayout};
+
+/// Instruction cost of one `dims`-dimensional distance evaluation in the cost
+/// model: a 4-wide FMA loop plus the sqrt/compare tail.
+#[inline]
+pub fn dist_cost(dims: usize) -> u64 {
+    (dims as u64).div_ceil(4) + 2
+}

@@ -1,0 +1,62 @@
+//! Kernel launch options, including the ablation switches called out in
+//! DESIGN.md §7.
+
+use crate::knnlist::SharedMemPolicy;
+
+/// Simulated memory layout of tree nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NodeLayout {
+    /// Structure-of-arrays: the paper's layout; child spheres stream as one
+    /// coalesced block (§V-A).
+    #[default]
+    Soa,
+    /// Array-of-structures: every child entry is its own strided transaction.
+    /// Exists to quantify why the paper chose SoA.
+    Aos,
+}
+
+/// Options shared by the GPU kernels.
+#[derive(Clone, Debug)]
+pub struct KernelOptions {
+    /// Threads per block. The paper runs 32 threads over degree-128 nodes
+    /// ("each processing unit ... processes four branches", §IV-D), so one warp
+    /// per query is the default.
+    pub threads_per_block: u32,
+    /// Where the k-best list lives (§V-E).
+    pub smem_policy: SharedMemPolicy,
+    /// Use the k-th-MINMAXDIST bound to tighten the pruning distance at
+    /// internal nodes (Algorithm 1, lines 13–15). Ablation switch.
+    pub use_minmax_prune: bool,
+    /// PSB's linear scan of sibling leaves (Algorithm 1, lines 39–45).
+    /// Disabling it backtracks after every leaf — the ablation that shows where
+    /// PSB's advantage comes from.
+    pub leaf_scan: bool,
+    /// Node memory layout (SoA vs AoS ablation).
+    pub layout: NodeLayout,
+}
+
+impl Default for KernelOptions {
+    fn default() -> Self {
+        Self {
+            threads_per_block: 32,
+            smem_policy: SharedMemPolicy::AllShared,
+            use_minmax_prune: true,
+            leaf_scan: true,
+            layout: NodeLayout::Soa,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let o = KernelOptions::default();
+        assert_eq!(o.threads_per_block, 32);
+        assert!(o.use_minmax_prune);
+        assert!(o.leaf_scan);
+        assert_eq!(o.layout, NodeLayout::Soa);
+    }
+}

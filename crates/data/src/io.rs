@@ -1,0 +1,195 @@
+//! Dataset persistence: CSV (interoperable) and a compact binary format.
+//!
+//! The paper's real datasets (NOAA ISD extracts) arrive as delimited text;
+//! this module lets users run the engines over their own files and cache
+//! generated workloads between runs.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use psb_geom::PointSet;
+
+/// Magic bytes of the binary format (`PSB1`).
+const MAGIC: [u8; 4] = *b"PSB1";
+
+/// Writes a point set as CSV with a `d0,d1,...` header.
+pub fn write_csv(ps: &PointSet, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    let header: Vec<String> = (0..ps.dims()).map(|d| format!("d{d}")).collect();
+    writeln!(w, "{}", header.join(","))?;
+    for p in ps.iter() {
+        let row: Vec<String> = p.iter().map(|x| x.to_string()).collect();
+        writeln!(w, "{}", row.join(","))?;
+    }
+    w.flush()
+}
+
+/// Reads a point set from CSV. A non-numeric first line is treated as a
+/// header; every row must have the same number of columns.
+pub fn read_csv(path: &Path) -> io::Result<PointSet> {
+    let r = BufReader::new(std::fs::File::open(path)?);
+    let mut dims = 0usize;
+    let mut data: Vec<f32> = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let parsed: Result<Vec<f32>, _> = fields.iter().map(|f| f.parse::<f32>()).collect();
+        match parsed {
+            Err(_) if lineno == 0 => continue, // header
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                ))
+            }
+            Ok(row) => {
+                if dims == 0 {
+                    dims = row.len();
+                    if dims == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "empty data row",
+                        ));
+                    }
+                } else if row.len() != dims {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "line {}: {} columns, expected {dims}",
+                            lineno + 1,
+                            row.len()
+                        ),
+                    ));
+                }
+                data.extend_from_slice(&row);
+            }
+        }
+    }
+    if dims == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "no data rows"));
+    }
+    Ok(PointSet::from_flat(dims, data))
+}
+
+/// Writes a point set in the compact binary format
+/// (`PSB1 | dims:u32 | len:u64 | f32 coords LE`).
+pub fn write_binary(ps: &PointSet, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&(ps.dims() as u32).to_le_bytes())?;
+    w.write_all(&(ps.len() as u64).to_le_bytes())?;
+    for &x in ps.as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format written by [`write_binary`].
+pub fn read_binary(path: &Path) -> io::Result<PointSet> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let dims = u32::from_le_bytes(u32buf) as usize;
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let len = u64::from_le_bytes(u64buf) as usize;
+    if dims == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero dims"));
+    }
+    let total = dims
+        .checked_mul(len)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "size overflow"))?;
+    let mut data = vec![0f32; total];
+    let mut byte = [0u8; 4];
+    for slot in data.iter_mut() {
+        r.read_exact(&mut byte)?;
+        *slot = f32::from_le_bytes(byte);
+    }
+    Ok(PointSet::from_flat(dims, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::ClusteredSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("psb_io_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> PointSet {
+        ClusteredSpec { clusters: 3, points_per_cluster: 40, dims: 5, sigma: 10.0, seed: 4 }
+            .generate()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ps = sample();
+        let p = tmp("roundtrip.csv");
+        write_csv(&ps, &p).unwrap();
+        let back = read_csv(&p).unwrap();
+        assert_eq!(back.dims(), ps.dims());
+        assert_eq!(back.len(), ps.len());
+        for (a, b) in ps.iter().zip(back.iter()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() <= x.abs() * 1e-5 + 1e-6);
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let ps = sample();
+        let p = tmp("roundtrip.bin");
+        write_binary(&ps, &p).unwrap();
+        let back = read_binary(&p).unwrap();
+        assert_eq!(back, ps, "binary round trip must be bit-exact");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_without_header_parses() {
+        let p = tmp("noheader.csv");
+        std::fs::write(&p, "1.0,2.0\n3.5,4.5\n").unwrap();
+        let ps = read_csv(&p).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.point(1), &[3.5, 4.5]);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn ragged_csv_rejected() {
+        let p = tmp("ragged.csv");
+        std::fs::write(&p, "1,2\n3,4,5\n").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn garbage_binary_rejected() {
+        let p = tmp("garbage.bin");
+        std::fs::write(&p, b"NOPE....").unwrap();
+        assert!(read_binary(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_csv_rejected() {
+        let p = tmp("empty.csv");
+        std::fs::write(&p, "").unwrap();
+        assert!(read_csv(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generators for the PSB evaluation.
+//!
+//! The paper evaluates on (a) synthetic mixtures of Gaussian clusters with varying
+//! cluster counts, standard deviations and dimensionality (§V-A/B), and (b) the
+//! NOAA Integrated Surface Database — ~20 000 weather stations reporting sensor
+//! values tagged with latitude/longitude (§V-F). The real ISD files are not
+//! available offline, so [`noaa`] generates a synthetic equivalent that preserves
+//! what matters to an index: heavy geographic clustering of a large report stream
+//! around a fixed set of station locations (see DESIGN.md §2).
+//!
+//! Everything is seeded and deterministic.
+
+pub mod csv;
+pub mod gaussian;
+pub mod io;
+pub mod noaa;
+pub mod normal;
+pub mod queries;
+pub mod uniform;
+
+pub use gaussian::ClusteredSpec;
+pub use noaa::NoaaSpec;
+pub use queries::sample_queries;
+pub use uniform::UniformSpec;
+
+/// Side length of the synthetic coordinate space. The paper sweeps cluster
+/// standard deviations from 10 to 10 240 and observes near-uniform behaviour at
+/// the top of that range, which implies a coordinate space a handful of sigmas
+/// wide — 65 536 fits that reading.
+pub const SPACE: f32 = 65_536.0;

@@ -1,0 +1,201 @@
+//! NOAA ISD–like synthetic station data (substitute for the paper's real dataset).
+//!
+//! The paper's §V-F uses the Integrated Surface Database: sensor reports from
+//! "over 20,000 geographically distributed stations", each tagged with latitude
+//! and longitude. The real files are not available offline, so this generator
+//! reproduces the *structural* properties that drive index behaviour (compare the
+//! Fig. 4e projection): a fixed set of stations placed with continental-scale
+//! clustering (dense in some regions, empty oceans elsewhere), and a large stream
+//! of reports concentrated at station coordinates with small positional jitter
+//! (ISD rounds coordinates; multiple reports of one station nearly coincide).
+//!
+//! Coordinates are emitted in degrees: longitude in `[-180, 180]`, latitude in
+//! `[-90, 90]`. Optional extra dimensions append normalized time-of-year and a
+//! temperature-like sensor value correlated with latitude, matching the paper's
+//! description of ISD records ("sensor values ... tagged with time and
+//! two-dimensional coordinates").
+
+use psb_geom::PointSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::normal::standard_normal;
+
+/// Rough continental anchor regions: (lon center, lat center, lon spread, lat
+/// spread, weight). Weights skew station density the way real ISD coverage does
+/// (dense North America / Europe / East Asia, sparse elsewhere).
+const CONTINENTS: &[(f32, f32, f32, f32, f32)] = &[
+    (-98.0, 39.0, 18.0, 8.0, 0.28),  // North America
+    (10.0, 50.0, 12.0, 6.0, 0.24),   // Europe
+    (115.0, 33.0, 14.0, 9.0, 0.18),  // East Asia
+    (78.0, 22.0, 8.0, 6.0, 0.08),    // South Asia
+    (-58.0, -15.0, 10.0, 10.0, 0.07), // South America
+    (22.0, 2.0, 12.0, 10.0, 0.07),   // Africa
+    (134.0, -24.0, 10.0, 7.0, 0.05), // Australia
+    (-18.0, 65.0, 3.0, 2.0, 0.03),   // North Atlantic islands
+];
+
+/// Specification of the synthetic NOAA-like dataset.
+#[derive(Clone, Debug)]
+pub struct NoaaSpec {
+    /// Number of stations (paper: "over 20,000").
+    pub stations: usize,
+    /// Total report records generated.
+    pub reports: usize,
+    /// Extra non-spatial dimensions appended after (lon, lat): 0, 1 (time) or
+    /// 2 (time + temperature).
+    pub extra_dims: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoaaSpec {
+    fn default() -> Self {
+        Self { stations: 20_000, reports: 1_000_000, extra_dims: 0, seed: 0x2016 }
+    }
+}
+
+impl NoaaSpec {
+    /// Output dimensionality: 2 spatial + `extra_dims`.
+    pub fn dims(&self) -> usize {
+        2 + self.extra_dims
+    }
+
+    /// Generates the report stream.
+    pub fn generate(&self) -> PointSet {
+        assert!(self.extra_dims <= 2, "extra_dims supports 0..=2");
+        assert!(self.stations > 0 && self.reports > 0);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Place stations: pick a weighted continent, then a sub-cluster within it
+        // (country/metro scale), then the station inside the sub-cluster.
+        let mut stations = Vec::with_capacity(self.stations);
+        let cumulative: Vec<f32> = CONTINENTS
+            .iter()
+            .scan(0f32, |acc, c| {
+                *acc += c.4;
+                Some(*acc)
+            })
+            .collect();
+        let total_w = *cumulative.last().unwrap();
+        // A handful of sub-cluster offsets per continent, fixed per dataset.
+        let sub_clusters: Vec<Vec<(f32, f32)>> = CONTINENTS
+            .iter()
+            .map(|&(_, _, sx, sy, _)| {
+                (0..12)
+                    .map(|_| {
+                        (
+                            sx * standard_normal(&mut rng) as f32 * 0.8,
+                            sy * standard_normal(&mut rng) as f32 * 0.8,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        for _ in 0..self.stations {
+            let r: f32 = rng.gen_range(0.0..total_w);
+            let ci = cumulative.iter().position(|&c| r < c).unwrap_or(0);
+            let (lon_c, lat_c, sx, sy, _) = CONTINENTS[ci];
+            let &(dx, dy) = &sub_clusters[ci][rng.gen_range(0..sub_clusters[ci].len())];
+            let lon = (lon_c + dx + sx * 0.25 * standard_normal(&mut rng) as f32)
+                .clamp(-180.0, 180.0);
+            let lat = (lat_c + dy + sy * 0.25 * standard_normal(&mut rng) as f32)
+                .clamp(-90.0, 90.0);
+            stations.push((lon, lat));
+        }
+
+        // Emit reports: uniform station choice plus tiny jitter (coordinate
+        // rounding / sensor relocation noise in the real data).
+        let mut ps = PointSet::with_capacity(self.dims(), self.reports);
+        let mut buf = vec![0f32; self.dims()];
+        for _ in 0..self.reports {
+            let &(lon, lat) = &stations[rng.gen_range(0..stations.len())];
+            buf[0] = lon + 0.01 * standard_normal(&mut rng) as f32;
+            buf[1] = lat + 0.01 * standard_normal(&mut rng) as f32;
+            if self.extra_dims >= 1 {
+                buf[2] = rng.gen_range(0.0..1.0); // time of year, normalized
+            }
+            if self.extra_dims >= 2 {
+                // Temperature-like value anti-correlated with |latitude|.
+                buf[3] = 30.0 - 0.5 * lat.abs() + 5.0 * standard_normal(&mut rng) as f32;
+            }
+            ps.push(&buf);
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> NoaaSpec {
+        NoaaSpec { stations: 500, reports: 5_000, extra_dims: 0, seed: 42 }
+    }
+
+    #[test]
+    fn shape() {
+        let ps = small().generate();
+        assert_eq!(ps.len(), 5_000);
+        assert_eq!(ps.dims(), 2);
+    }
+
+    #[test]
+    fn coordinates_in_geographic_range() {
+        let ps = small().generate();
+        for p in ps.iter() {
+            assert!((-181.0..=181.0).contains(&p[0]), "lon {}", p[0]);
+            assert!((-91.0..=91.0).contains(&p[1]), "lat {}", p[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(small().generate(), small().generate());
+    }
+
+    #[test]
+    fn reports_cluster_at_stations() {
+        // With 500 stations and 5 000 reports, many reports nearly coincide:
+        // the nearest-neighbor distance distribution must be heavily skewed
+        // toward ~jitter scale (0.01 degrees), unlike a uniform scatter.
+        let ps = small().generate();
+        let mut near = 0;
+        for i in 0..200 {
+            let p = ps.point(i);
+            let mut best = f32::INFINITY;
+            for j in 0..ps.len() {
+                if i == j {
+                    continue;
+                }
+                let d = psb_geom::dist(p, ps.point(j));
+                if d < best {
+                    best = d;
+                }
+            }
+            if best < 0.2 {
+                near += 1;
+            }
+        }
+        assert!(near > 150, "only {near}/200 reports are near another report");
+    }
+
+    #[test]
+    fn extra_dims_append_time_and_temperature() {
+        let ps = NoaaSpec { extra_dims: 2, ..small() }.generate();
+        assert_eq!(ps.dims(), 4);
+        for p in ps.iter().take(500) {
+            assert!((0.0..1.0).contains(&p[2]), "time {}", p[2]);
+            assert!((-60.0..70.0).contains(&p[3]), "temp {}", p[3]);
+        }
+    }
+
+    #[test]
+    fn density_is_geographically_skewed() {
+        // More reports in the northern hemisphere band (NA/Europe/Asia weights
+        // dominate) than the southern.
+        let ps = small().generate();
+        let north = ps.iter().filter(|p| p[1] > 0.0).count();
+        assert!(north > ps.len() * 6 / 10, "north {north}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Query workload sampling.
+//!
+//! The paper submits 240 kNN queries per experiment (§V-B). It does not state the
+//! query distribution; following standard practice for clustered benchmarks (and
+//! because a uniform query stream over a clustered dataset mostly measures empty
+//! space), queries are sampled from the data distribution itself: a random data
+//! point plus a small Gaussian displacement.
+
+use psb_geom::PointSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::normal::standard_normal;
+
+/// Samples `count` query points near data points of `ps`.
+///
+/// `jitter` is the standard deviation of the displacement added per dimension,
+/// expressed as a fraction of the dataset's per-dimension extent (0.01 keeps the
+/// query in the neighborhood of its source cluster).
+pub fn sample_queries(ps: &PointSet, count: usize, jitter: f32, seed: u64) -> PointSet {
+    assert!(!ps.is_empty(), "cannot sample queries from an empty dataset");
+    let dims = ps.dims();
+    let bounds = psb_geom::Rect::of_point_set(ps);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = PointSet::with_capacity(dims, count);
+    let mut buf = vec![0f32; dims];
+    for _ in 0..count {
+        let src = ps.point(rng.gen_range(0..ps.len()));
+        for (d, slot) in buf.iter_mut().enumerate() {
+            let extent = bounds.extent(d).max(f32::MIN_POSITIVE);
+            *slot = src[d] + jitter * extent * standard_normal(&mut rng) as f32;
+        }
+        out.push(&buf);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaussian::ClusteredSpec;
+
+    #[test]
+    fn count_and_dims() {
+        let ps = ClusteredSpec { clusters: 3, points_per_cluster: 100, dims: 4, sigma: 10.0, seed: 1 }
+            .generate();
+        let q = sample_queries(&ps, 24, 0.01, 7);
+        assert_eq!(q.len(), 24);
+        assert_eq!(q.dims(), 4);
+    }
+
+    #[test]
+    fn zero_jitter_lands_on_data_points() {
+        let ps = ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 2, sigma: 5.0, seed: 2 }
+            .generate();
+        let q = sample_queries(&ps, 10, 0.0, 3);
+        for qp in q.iter() {
+            let on_data = ps.iter().any(|p| p == qp);
+            assert!(on_data, "query {qp:?} is not a data point");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ps = ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 2, sigma: 5.0, seed: 2 }
+            .generate();
+        let a = sample_queries(&ps, 16, 0.01, 9);
+        let b = sample_queries(&ps, 16, 0.01, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn queries_stay_near_the_data() {
+        let ps = ClusteredSpec { clusters: 5, points_per_cluster: 200, dims: 2, sigma: 50.0, seed: 4 }
+            .generate();
+        let bounds = psb_geom::Rect::of_point_set(&ps);
+        let q = sample_queries(&ps, 50, 0.01, 5);
+        for qp in q.iter() {
+            // Within 10% of the data bounding box on each side.
+            for d in 0..2 {
+                let slack = bounds.extent(d) * 0.1;
+                assert!(qp[d] > bounds.min[d] - slack && qp[d] < bounds.max[d] + slack);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Uniform datasets — the degenerate case the paper uses for context.
+//!
+//! §V-B notes that as cluster sigma grows, the mixture approaches a uniform
+//! distribution, where (per Beyer et al.) high-dimensional nearest neighbor loses
+//! meaning and brute force wins. The uniform generator exists to test and bench
+//! that regime explicitly.
+
+use psb_geom::PointSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SPACE;
+
+/// Specification of a uniform dataset over `[0, SPACE)^dims`.
+#[derive(Clone, Debug)]
+pub struct UniformSpec {
+    /// Number of points.
+    pub len: usize,
+    /// Dimensionality.
+    pub dims: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl UniformSpec {
+    /// Generates the dataset.
+    pub fn generate(&self) -> PointSet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut ps = PointSet::with_capacity(self.dims, self.len);
+        let mut buf = vec![0f32; self.dims];
+        for _ in 0..self.len {
+            for slot in buf.iter_mut() {
+                *slot = rng.gen_range(0.0..SPACE);
+            }
+            ps.push(&buf);
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_bounds() {
+        let ps = UniformSpec { len: 1000, dims: 4, seed: 3 }.generate();
+        assert_eq!(ps.len(), 1000);
+        assert_eq!(ps.dims(), 4);
+        for p in ps.iter() {
+            for &x in p {
+                assert!((0.0..SPACE).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = UniformSpec { len: 64, dims: 2, seed: 11 };
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn covers_the_space() {
+        // Mean of a large uniform sample sits near the center of the space.
+        let ps = UniformSpec { len: 20_000, dims: 2, seed: 5 }.generate();
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        let c = ps.centroid(&idx);
+        for &x in &c {
+            assert!((x - SPACE / 2.0).abs() < SPACE * 0.02, "centroid {c:?}");
+        }
+    }
+}

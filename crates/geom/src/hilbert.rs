@@ -1,0 +1,257 @@
+//! d-dimensional Hilbert space-filling curve (Skilling's transpose algorithm).
+//!
+//! Bottom-up SS-tree construction (paper §IV-A) sorts all points by their Hilbert
+//! index and packs consecutive runs into leaves. We implement John Skilling's
+//! "Programming the Hilbert curve" (AIP 2004) transpose encoding, which works for
+//! any dimensionality, and serialize the transposed form into a 256-bit key whose
+//! natural ordering equals curve ordering.
+//!
+//! Precision budget: `dims × bits_per_dim ≤ 256`, so 2-d data gets 31-bit cells
+//! while 64-d data gets 4-bit cells. Coarse cells in high dimensions are inherent
+//! to any fixed-width curve key — and are part of why the paper finds k-means
+//! packing beats Hilbert packing as `d` grows.
+
+use crate::rect::Rect;
+
+/// A totally ordered 256-bit Hilbert curve position (most-significant word first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct HilbertKey(pub [u64; 4]);
+
+/// Bits of curve resolution per dimension for a given dimensionality.
+pub fn bits_for_dims(dims: usize) -> u32 {
+    assert!(dims > 0);
+    ((256 / dims) as u32).clamp(1, 31)
+}
+
+/// In-place Skilling transform: coordinates → transposed Hilbert index.
+/// `x[i]` holds a `bits`-bit coordinate on entry and the i-th transposed index
+/// word on exit.
+pub fn axes_to_transpose(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    let m = 1u32 << (bits - 1);
+
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Inverse of [`axes_to_transpose`]: transposed Hilbert index → coordinates.
+pub fn transpose_to_axes(x: &mut [u32], bits: u32) {
+    let n = x.len();
+    let top = 2u32 << (bits - 1);
+
+    // Gray decode by H ^ (H/2).
+    let t0 = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t0;
+
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != top {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Packs a transposed index into a totally ordered key: bits are emitted
+/// column-wise, most-significant bit plane first, dimension 0 first within a
+/// plane — exactly the Hilbert index bit order.
+pub fn transpose_to_key(x: &[u32], bits: u32) -> HilbertKey {
+    let mut key = [0u64; 4];
+    let mut bit_pos = 0usize; // 0 = MSB of word 0
+    for plane in (0..bits).rev() {
+        for &xi in x {
+            if (xi >> plane) & 1 != 0 {
+                key[bit_pos / 64] |= 1u64 << (63 - bit_pos % 64);
+            }
+            bit_pos += 1;
+        }
+    }
+    HilbertKey(key)
+}
+
+/// Quantizes a point into curve cells over the given bounds and returns its
+/// Hilbert key. Coordinates outside the bounds are clamped to the boundary cell.
+pub fn hilbert_key(p: &[f32], bounds: &Rect) -> HilbertKey {
+    let dims = p.len();
+    assert_eq!(bounds.dims(), dims, "bounds dimensionality mismatch");
+    let bits = bits_for_dims(dims);
+    let cells = (1u64 << bits) as f64;
+    let mut x: Vec<u32> = p
+        .iter()
+        .enumerate()
+        .map(|(d, &v)| {
+            let lo = bounds.min[d] as f64;
+            let hi = bounds.max[d] as f64;
+            let span = (hi - lo).max(f64::MIN_POSITIVE);
+            let cell = ((v as f64 - lo) / span * cells).floor();
+            cell.clamp(0.0, cells - 1.0) as u32
+        })
+        .collect();
+    axes_to_transpose(&mut x, bits);
+    transpose_to_key(&x, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_round_trips() {
+        for dims in [2usize, 3, 5, 8] {
+            let bits = 5u32;
+            let mask = (1u32 << bits) - 1;
+            let mut seed = 12345u64;
+            for _ in 0..200 {
+                let coords: Vec<u32> = (0..dims)
+                    .map(|_| {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ((seed >> 33) as u32) & mask
+                    })
+                    .collect();
+                let mut x = coords.clone();
+                axes_to_transpose(&mut x, bits);
+                transpose_to_axes(&mut x, bits);
+                assert_eq!(x, coords, "round trip failed for dims={dims}");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_on_full_grid_2d() {
+        let bits = 4u32;
+        let mut keys = Vec::new();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut x = [a, b];
+                axes_to_transpose(&mut x, bits);
+                keys.push(transpose_to_key(&x, bits));
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 256, "Hilbert mapping must be a bijection");
+    }
+
+    #[test]
+    fn curve_order_visits_grid_neighbors_2d() {
+        // Sort all 16x16 cells by key; consecutive cells must be Manhattan
+        // distance 1 apart — the defining continuity property of the curve.
+        let bits = 4u32;
+        let mut cells: Vec<([u32; 2], HilbertKey)> = Vec::new();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                let mut x = [a, b];
+                axes_to_transpose(&mut x, bits);
+                cells.push(([a, b], transpose_to_key(&x, bits)));
+            }
+        }
+        cells.sort_by_key(|&(_, k)| k);
+        for w in cells.windows(2) {
+            let (c0, c1) = (w[0].0, w[1].0);
+            let manhattan = c0[0].abs_diff(c1[0]) + c0[1].abs_diff(c1[1]);
+            assert_eq!(manhattan, 1, "cells {c0:?} -> {c1:?} are not adjacent");
+        }
+    }
+
+    #[test]
+    fn curve_order_visits_grid_neighbors_3d() {
+        let bits = 3u32;
+        let side = 1u32 << bits;
+        let mut cells = Vec::new();
+        for a in 0..side {
+            for b in 0..side {
+                for c in 0..side {
+                    let mut x = [a, b, c];
+                    axes_to_transpose(&mut x, bits);
+                    cells.push(([a, b, c], transpose_to_key(&x, bits)));
+                }
+            }
+        }
+        cells.sort_by_key(|&(_, k)| k);
+        assert_eq!(cells.len(), (side * side * side) as usize);
+        for w in cells.windows(2) {
+            let (c0, c1) = (w[0].0, w[1].0);
+            let manhattan: u32 = (0..3).map(|i| c0[i].abs_diff(c1[i])).sum();
+            assert_eq!(manhattan, 1, "cells {c0:?} -> {c1:?} are not adjacent");
+        }
+    }
+
+    #[test]
+    fn quantization_clamps_out_of_bounds() {
+        let bounds = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let far = hilbert_key(&[7.0, 9.0], &bounds);
+        let farther = hilbert_key(&[100.0, 50.0], &bounds);
+        assert_eq!(far, farther, "out-of-bounds points clamp to the same edge cell");
+        let below = hilbert_key(&[-3.0, -8.0], &bounds);
+        let origin = hilbert_key(&[0.0, 0.0], &bounds);
+        assert_eq!(below, origin, "underflow clamps to the origin cell");
+    }
+
+    #[test]
+    fn bits_scale_with_dims() {
+        assert_eq!(bits_for_dims(2), 31);
+        assert_eq!(bits_for_dims(8), 31);
+        assert_eq!(bits_for_dims(16), 16);
+        assert_eq!(bits_for_dims(64), 4);
+        assert_eq!(bits_for_dims(300), 1);
+    }
+
+    #[test]
+    fn nearby_points_get_nearby_keys() {
+        // Spatial locality: two points in the same tiny region should be closer
+        // in curve order than a point across the space, for most placements.
+        let bounds = Rect::new(vec![0.0, 0.0], vec![100.0, 100.0]);
+        let a = hilbert_key(&[10.0, 10.0], &bounds);
+        let b = hilbert_key(&[10.5, 10.2], &bounds);
+        let c = hilbert_key(&[90.0, 95.0], &bounds);
+        let gap_ab = key_gap(a, b);
+        let gap_ac = key_gap(a, c);
+        assert!(gap_ab < gap_ac, "locality violated: {gap_ab} >= {gap_ac}");
+    }
+
+    fn key_gap(a: HilbertKey, b: HilbertKey) -> u128 {
+        // Compare via the top 128 bits — enough resolution for the test.
+        let hi = |k: HilbertKey| ((k.0[0] as u128) << 64) | k.0[1] as u128;
+        hi(a).abs_diff(hi(b))
+    }
+}

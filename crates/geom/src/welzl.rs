@@ -1,0 +1,221 @@
+//! Exact minimum enclosing ball (Welzl's algorithm) — the test oracle.
+//!
+//! The paper accepts Ritter spheres because they are "5–20 % larger" than optimal
+//! (§IV-C). To *check* that claim rather than assume it, this module implements the
+//! exact minimum enclosing ball for small inputs: Welzl's randomized incremental
+//! algorithm with a support set of at most `d + 1` points, solving each support
+//! circumsphere with the Gram-matrix reduction. Everything runs in `f64`; it is
+//! only used in tests and ablation benches (low `d`, small `n`), never in the
+//! indexing hot path.
+
+use crate::matrix::solve;
+use crate::point::PointSet;
+use crate::sphere::Sphere;
+
+/// A ball in `f64` while the algorithm runs.
+#[derive(Clone, Debug)]
+struct Ball {
+    center: Vec<f64>,
+    radius: f64,
+}
+
+impl Ball {
+    fn invalid(dims: usize) -> Self {
+        Ball { center: vec![0.0; dims], radius: -1.0 }
+    }
+
+    fn contains(&self, p: &[f64], eps: f64) -> bool {
+        if self.radius < 0.0 {
+            return false;
+        }
+        let d2: f64 = self.center.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+        d2.sqrt() <= self.radius + eps
+    }
+}
+
+/// Circumsphere of an affinely independent support set (1 to d+1 points):
+/// parameterize the center as `p0 + Σ λ_i (p_i - p0)` and solve the Gram system
+/// `G λ = b`, `G_ij = 2 (p_i − p0)·(p_j − p0)`, `b_i = |p_i − p0|²`.
+fn ball_from_support(support: &[Vec<f64>], dims: usize) -> Ball {
+    match support.len() {
+        0 => Ball::invalid(dims),
+        1 => Ball { center: support[0].clone(), radius: 0.0 },
+        _ => {
+            let p0 = &support[0];
+            let m = support.len() - 1;
+            let mut g = vec![0f64; m * m];
+            let mut b = vec![0f64; m];
+            for i in 0..m {
+                let vi: Vec<f64> =
+                    support[i + 1].iter().zip(p0).map(|(a, b)| a - b).collect();
+                b[i] = vi.iter().map(|x| x * x).sum::<f64>();
+                for j in 0..m {
+                    let dot: f64 = support[j + 1]
+                        .iter()
+                        .zip(p0)
+                        .map(|(a, b)| a - b)
+                        .zip(&vi)
+                        .map(|(x, y)| x * y)
+                        .sum();
+                    g[i * m + j] = 2.0 * dot;
+                }
+            }
+            match solve(&g, &b, m) {
+                None => Ball::invalid(dims),
+                Some(lambda) => {
+                    let mut center = p0.clone();
+                    for (i, &l) in lambda.iter().enumerate() {
+                        for (c, (a, b0)) in
+                            center.iter_mut().zip(support[i + 1].iter().zip(p0))
+                        {
+                            *c += l * (a - b0);
+                        }
+                    }
+                    let radius = center
+                        .iter()
+                        .zip(p0)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt();
+                    Ball { center, radius }
+                }
+            }
+        }
+    }
+}
+
+fn welzl_rec(
+    pts: &[Vec<f64>],
+    order: &mut Vec<usize>,
+    n: usize,
+    support: &mut Vec<Vec<f64>>,
+    dims: usize,
+) -> Ball {
+    if n == 0 || support.len() == dims + 1 {
+        return ball_from_support(support, dims);
+    }
+    let mut ball = welzl_rec(pts, order, n - 1, support, dims);
+    let idx = order[n - 1];
+    if !ball.contains(&pts[idx], 1e-9) {
+        support.push(pts[idx].clone());
+        ball = welzl_rec(pts, order, n - 1, support, dims);
+        support.pop();
+        // Move-to-front: points that defined a ball tend to keep defining it.
+        let pos = n - 1;
+        order[..=pos].rotate_right(1);
+    }
+    ball
+}
+
+/// Exact minimum enclosing ball of the points selected by `idx` from `ps`.
+///
+/// Deterministic: the incremental order is a fixed LCG shuffle of `idx`, so repeat
+/// calls return the same ball. Intended for tests / oracles (cost grows steeply
+/// with `n` and `d`).
+pub fn welzl(ps: &PointSet, idx: &[u32]) -> Sphere {
+    assert!(!idx.is_empty(), "welzl over an empty point set");
+    let dims = ps.dims();
+    let pts: Vec<Vec<f64>> = idx
+        .iter()
+        .map(|&i| ps.point(i as usize).iter().map(|&x| x as f64).collect())
+        .collect();
+
+    // Deterministic pseudo-shuffle (64-bit LCG) for expected-linear behaviour.
+    let mut order: Vec<usize> = (0..pts.len()).collect();
+    let mut state = 0x9e3779b97f4a7c15u64 ^ (pts.len() as u64);
+    for i in (1..order.len()).rev() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+
+    let mut support = Vec::with_capacity(dims + 1);
+    let n = pts.len();
+    let ball = welzl_rec(&pts, &mut order, n, &mut support, dims);
+    Sphere::new(
+        ball.center.iter().map(|&x| x as f32).collect(),
+        (ball.radius * (1.0 + 1e-9)) as f32,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(rows: &[&[f32]]) -> PointSet {
+        let mut ps = PointSet::new(rows[0].len());
+        for r in rows {
+            ps.push(r);
+        }
+        ps
+    }
+
+    fn idx(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn two_points() {
+        let ps = points(&[&[0.0, 0.0], &[4.0, 0.0]]);
+        let s = welzl(&ps, &idx(2));
+        assert!((s.radius - 2.0).abs() < 1e-4);
+        assert!((s.center[0] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn equilateral_triangle_circumcircle() {
+        let h = 3f32.sqrt() / 2.0;
+        let ps = points(&[&[0.0, 0.0], &[1.0, 0.0], &[0.5, h]]);
+        let s = welzl(&ps, &idx(3));
+        // Circumradius of a unit equilateral triangle = 1/sqrt(3).
+        assert!((s.radius - 1.0 / 3f32.sqrt()).abs() < 1e-4, "radius {}", s.radius);
+    }
+
+    #[test]
+    fn interior_points_are_ignored() {
+        let ps = points(&[&[-1.0, 0.0], &[1.0, 0.0], &[0.0, 0.1], &[0.2, -0.3]]);
+        let s = welzl(&ps, &idx(4));
+        assert!((s.radius - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // For an obtuse triangle the MEB is the diameter of the longest side.
+        let ps = points(&[&[0.0, 0.0], &[10.0, 0.0], &[5.0, 0.1]]);
+        let s = welzl(&ps, &idx(3));
+        assert!((s.radius - 5.0).abs() < 1e-3, "radius {}", s.radius);
+    }
+
+    #[test]
+    fn three_dims_tetrahedron() {
+        let ps = points(&[
+            &[1.0, 1.0, 1.0],
+            &[1.0, -1.0, -1.0],
+            &[-1.0, 1.0, -1.0],
+            &[-1.0, -1.0, 1.0],
+        ]);
+        let s = welzl(&ps, &idx(4));
+        // Regular tetrahedron inscribed in a sphere of radius sqrt(3).
+        assert!((s.radius - 3f32.sqrt()).abs() < 1e-4, "radius {}", s.radius);
+        for p in ps.iter() {
+            assert!(s.contains_point(p, 1e-5));
+        }
+    }
+
+    #[test]
+    fn contains_everything_it_is_given() {
+        let ps = points(&[
+            &[2.0, 8.0],
+            &[3.0, 1.0],
+            &[9.0, 4.0],
+            &[5.0, 5.0],
+            &[1.0, 1.0],
+            &[8.0, 8.0],
+            &[4.0, 9.0],
+        ]);
+        let s = welzl(&ps, &idx(7));
+        for p in ps.iter() {
+            assert!(s.contains_point(p, 1e-5), "{p:?} outside {s:?}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the geometry substrate (crate-local; the
+//! cross-crate properties live in the workspace-level `tests/`).
+
+use proptest::prelude::*;
+use psb_geom::hilbert::{axes_to_transpose, bits_for_dims, transpose_to_axes};
+use psb_geom::{kmeans, sq_dist, welzl, KMeansParams, PointSet};
+
+fn point_set(dims: usize, max_n: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(prop::collection::vec(-500.0f32..500.0, dims), 2..max_n)
+        .prop_map(move |rows| {
+            let mut ps = PointSet::new(dims);
+            for r in &rows {
+                ps.push(r);
+            }
+            ps
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_assignment_is_wellformed(
+        ps in point_set(3, 80),
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        let r = kmeans(&ps, &idx, &KMeansParams { k, max_iters: 8, seed });
+        let k_eff = k.min(ps.len());
+        prop_assert_eq!(r.assignment.len(), ps.len());
+        prop_assert!(r.assignment.iter().all(|&a| (a as usize) < k_eff));
+        prop_assert_eq!(r.counts.iter().sum::<u32>() as usize, ps.len());
+        prop_assert_eq!(r.centroids.len(), k_eff);
+    }
+
+    #[test]
+    fn kmeans_assigns_each_point_to_its_nearest_centroid(
+        ps in point_set(2, 60),
+        seed in 0u64..100,
+    ) {
+        // After the final update + implicit assignment pass, every point's
+        // cluster must be its argmin centroid (allowing fp ties).
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        let r = kmeans(&ps, &idx, &KMeansParams { k: 3, max_iters: 20, seed });
+        for (pos, &a) in r.assignment.iter().enumerate() {
+            let p = ps.point(pos);
+            let assigned = sq_dist(p, r.centroids.point(a as usize));
+            for c in 0..r.centroids.len() {
+                let other = sq_dist(p, r.centroids.point(c));
+                prop_assert!(
+                    assigned <= other * (1.0 + 1e-4) + 1e-4,
+                    "point {pos} assigned {assigned} but centroid {c} at {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_transpose_bijective(
+        coords in prop::collection::vec(0u32..32, 2..8),
+    ) {
+        let bits = 5u32;
+        let mut x = coords.clone();
+        axes_to_transpose(&mut x, bits);
+        transpose_to_axes(&mut x, bits);
+        prop_assert_eq!(x, coords);
+    }
+
+    #[test]
+    fn bits_for_dims_keeps_key_within_256_bits(dims in 1usize..300) {
+        let bits = bits_for_dims(dims) as usize;
+        prop_assert!(bits >= 1);
+        prop_assert!(dims * bits <= 256 || bits == 1);
+    }
+
+    #[test]
+    fn welzl_is_optimal_under_perturbation(ps in point_set(2, 25)) {
+        // Removing any single non-support point must not shrink the ball by
+        // more than fp noise; i.e. welzl over a superset is never smaller.
+        let all: Vec<u32> = (0..ps.len() as u32).collect();
+        let full = welzl(&ps, &all);
+        let subset: Vec<u32> = all[..all.len() - 1].to_vec();
+        if !subset.is_empty() {
+            let sub = welzl(&ps, &subset);
+            prop_assert!(sub.radius <= full.radius * (1.0 + 1e-4) + 1e-4,
+                "subset ball {} larger than superset ball {}", sub.radius, full.radius);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The data-parallel thread-block execution context.
+//!
+//! A [`Block`] meters a kernel written in the paper's data-parallel style: all
+//! threads of the block cooperate on one query, processing one tree node (or one
+//! tile of points) at a time. The closure passed to [`Block::par_for`] runs
+//! sequentially on the host — the *results* are exact — while the metering
+//! reflects how the same work would issue on a warp-synchronous device.
+//!
+//! Masked issue accounting: a warp instruction always occupies `warp_size` lane
+//! slots; only the active lanes count toward efficiency. A `par_for` over `n`
+//! items with `t` threads runs `ceil(n / t)` rounds; each round issues only the
+//! warps that have at least one active lane (idle whole warps are skipped by the
+//! hardware scheduler and cost nothing — same as CUDA).
+
+use crate::config::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// Metering context for one simulated thread block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    threads: u32,
+    warp_size: u32,
+    transaction_bytes: u64,
+    stats: KernelStats,
+    smem_in_use: u64,
+}
+
+impl Block {
+    /// A block of `threads` threads on the given device. `threads` is rounded up
+    /// to a whole number of warps (CUDA launches always are).
+    pub fn new(threads: u32, cfg: &DeviceConfig) -> Self {
+        assert!(threads > 0, "a block needs at least one thread");
+        let threads = threads.div_ceil(cfg.warp_size) * cfg.warp_size;
+        Self {
+            threads,
+            warp_size: cfg.warp_size,
+            transaction_bytes: cfg.transaction_bytes,
+            stats: KernelStats { blocks: 1, ..Default::default() },
+            smem_in_use: 0,
+        }
+    }
+
+    /// Threads in the block (multiple of the warp size).
+    #[inline]
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// Warps in the block.
+    #[inline]
+    pub fn warps(&self) -> u32 {
+        self.threads / self.warp_size
+    }
+
+    /// Issue `count` warp instructions with `active` lanes enabled out of a
+    /// whole-warp `slots` capacity. The fundamental metering primitive.
+    fn issue(&mut self, warps: u64, active: u64, cost: u64) {
+        let slots = warps * self.warp_size as u64 * cost;
+        self.stats.lane_slots += slots;
+        self.stats.active_lanes += active * cost;
+        self.stats.compute_issues += warps * cost;
+    }
+
+    /// Data-parallel loop: `n` items distributed over the block's threads, each
+    /// item costing `cost_per_item` instructions. `f` is invoked for every item
+    /// index in order (sequentially, on the host).
+    pub fn par_for(&mut self, n: usize, cost_per_item: u64, mut f: impl FnMut(usize)) {
+        let t = self.threads as usize;
+        let mut remaining = n;
+        while remaining > 0 {
+            let round = remaining.min(t);
+            // Only warps holding at least one of the `round` items issue.
+            let active_warps = (round as u64).div_ceil(self.warp_size as u64);
+            self.issue(active_warps, round as u64, cost_per_item.max(1));
+            remaining -= round;
+        }
+        for i in 0..n {
+            f(i);
+        }
+    }
+
+    /// Meter a warp-synchronous tree reduction over `n` values held one per
+    /// thread: `ceil(log2)` halving steps, each issuing only the warps that still
+    /// hold active lanes. The caller computes the actual reduction on the host.
+    pub fn par_reduce(&mut self, n: usize, cost_per_step: u64) {
+        if n <= 1 {
+            return;
+        }
+        let mut width = n.next_power_of_two() / 2;
+        while width >= 1 {
+            let active = width.min(n) as u64;
+            let warps = active.div_ceil(self.warp_size as u64);
+            self.issue(warps, active, cost_per_step.max(1));
+            if width == 1 {
+                break;
+            }
+            width /= 2;
+        }
+    }
+
+    /// Meter a k-th smallest selection over `n` values (the paper's
+    /// `parReduceFindKthMinMaxDist`). Modeled as a warp-wide bitonic partial sort:
+    /// `log2(n) · (log2(n)+1) / 2` compare-exchange stages over all lanes. For
+    /// `k == 1` a plain min-reduction is cheaper and used instead.
+    pub fn par_kth_select(&mut self, n: usize, k: usize) {
+        if n <= 1 {
+            return;
+        }
+        if k <= 1 {
+            self.par_reduce(n, 1);
+            return;
+        }
+        let stages = {
+            let l = (n.next_power_of_two().trailing_zeros()) as u64;
+            l * (l + 1) / 2
+        };
+        let warps = (n as u64).div_ceil(self.warp_size as u64);
+        self.issue(warps, n as u64, stages);
+    }
+
+    /// A single-lane serial section of `instructions` instructions (e.g. the PSB
+    /// child-scan loop, lines 16–26 of Algorithm 1): one active lane, whole warp
+    /// occupied. This is where data-parallel kernels lose efficiency.
+    pub fn scalar(&mut self, instructions: u64) {
+        self.issue(1, 1, instructions.max(1));
+    }
+
+    /// A block-wide barrier (`__syncthreads()`): every warp issues once.
+    pub fn sync(&mut self) {
+        let w = self.warps() as u64;
+        self.issue(w, self.threads as u64, 1);
+    }
+
+    /// Coalesced global-memory read of `bytes` bytes (SoA layouts): transactions
+    /// are `ceil(bytes / 128)`. The address is treated as data-dependent (a
+    /// pointer chase), so the transactions expose memory latency.
+    pub fn load_global(&mut self, bytes: u64) {
+        self.stats.global_bytes += bytes;
+        self.stats.global_transactions += bytes.div_ceil(self.transaction_bytes).max(1);
+    }
+
+    /// Streaming global read: the address continues a sequential scan that the
+    /// memory system can prefetch (sibling-leaf hops, brute-force tiles), so
+    /// the transactions cost bandwidth but expose no dependent-fetch latency.
+    pub fn load_global_stream(&mut self, bytes: u64) {
+        let t = bytes.div_ceil(self.transaction_bytes).max(1);
+        self.stats.global_bytes += bytes;
+        self.stats.global_transactions += t;
+        self.stats.stream_transactions += t;
+    }
+
+    /// Strided / AoS global read: `count` elements of `elem_bytes` each land in
+    /// separate transactions (the memory system still moves a whole transaction
+    /// per element, but only `elem_bytes` of it are useful). `global_bytes`
+    /// counts useful bytes — the paper's "accessed bytes" metric — while the
+    /// transaction count carries the cost penalty. Used by the SoA-vs-AoS
+    /// ablation and the task-parallel kd-tree.
+    pub fn load_global_strided(&mut self, count: u64, elem_bytes: u64) {
+        if count == 0 {
+            return;
+        }
+        let per_elem = elem_bytes.div_ceil(self.transaction_bytes).max(1);
+        self.stats.global_bytes += count * elem_bytes;
+        self.stats.global_transactions += count * per_elem;
+    }
+
+    /// Reserve `bytes` of shared memory for the lifetime of the kernel (the PSB
+    /// kernels allocate everything up front: node staging + the k-NN list).
+    /// Returns `Err` with the overflowing size when the block can never fit on an
+    /// SM — the caller decides whether to spill to global memory instead (the
+    /// paper's §V-E hybrid policy) or fail the launch.
+    pub fn reserve_shared(&mut self, bytes: u64, smem_per_sm: u64) -> Result<(), u64> {
+        let new_total = self.smem_in_use + bytes;
+        if new_total > smem_per_sm {
+            return Err(new_total);
+        }
+        self.smem_in_use = new_total;
+        self.stats.smem_peak_bytes = self.stats.smem_peak_bytes.max(self.smem_in_use);
+        Ok(())
+    }
+
+    /// Record one visited index node (paper-facing counter).
+    pub fn visit_node(&mut self) {
+        self.stats.nodes_visited += 1;
+    }
+
+    /// Finish the kernel and return the counters.
+    pub fn finish(self) -> KernelStats {
+        self.stats
+    }
+
+    /// Peek at the counters mid-kernel (tests / debugging).
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(threads: u32) -> Block {
+        Block::new(threads, &DeviceConfig::k40())
+    }
+
+    #[test]
+    fn rounds_threads_to_warps() {
+        assert_eq!(block(1).threads(), 32);
+        assert_eq!(block(33).threads(), 64);
+        assert_eq!(block(128).warps(), 4);
+    }
+
+    #[test]
+    fn par_for_full_warps_is_fully_efficient() {
+        let mut b = block(128);
+        let mut seen = 0;
+        b.par_for(128, 1, |_| seen += 1);
+        assert_eq!(seen, 128);
+        let s = b.finish();
+        assert_eq!(s.lane_slots, 128);
+        assert_eq!(s.active_lanes, 128);
+        assert_eq!(s.compute_issues, 4);
+        assert_eq!(s.warp_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn par_for_partial_tail_loses_efficiency() {
+        let mut b = block(128);
+        b.par_for(130, 1, |_| {});
+        let s = b.finish();
+        // Round 1: 4 warps full (128 active); round 2: 1 warp, 2 active.
+        assert_eq!(s.compute_issues, 5);
+        assert_eq!(s.lane_slots, 5 * 32);
+        assert_eq!(s.active_lanes, 130);
+    }
+
+    #[test]
+    fn par_for_skips_idle_warps() {
+        let mut b = block(256);
+        b.par_for(32, 1, |_| {});
+        let s = b.finish();
+        // Only 1 of the 8 warps has work; the other 7 are never issued.
+        assert_eq!(s.compute_issues, 1);
+        assert_eq!(s.warp_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn cost_multiplies_issues() {
+        let mut b = block(32);
+        b.par_for(32, 16, |_| {});
+        let s = b.finish();
+        assert_eq!(s.compute_issues, 16);
+        assert_eq!(s.active_lanes, 32 * 16);
+    }
+
+    #[test]
+    fn reduction_halves_lanes() {
+        let mut b = block(128);
+        b.par_reduce(128, 1);
+        let s = b.finish();
+        // Steps of 64, 32, 16, 8, 4, 2, 1 active lanes.
+        assert_eq!(s.active_lanes, 127);
+        // Warps: 2 + 1 + 1 + 1 + 1 + 1 + 1 = 8.
+        assert_eq!(s.compute_issues, 8);
+        assert!(s.warp_efficiency() < 0.5);
+    }
+
+    #[test]
+    fn reduce_of_one_is_free() {
+        let mut b = block(32);
+        b.par_reduce(1, 1);
+        assert_eq!(b.finish().compute_issues, 0);
+    }
+
+    #[test]
+    fn scalar_is_one_lane_in_32() {
+        let mut b = block(128);
+        b.scalar(10);
+        let s = b.finish();
+        assert_eq!(s.lane_slots, 320);
+        assert_eq!(s.active_lanes, 10);
+        assert!((s.warp_efficiency() - 1.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalesced_load_rounds_to_transactions() {
+        let mut b = block(32);
+        b.load_global(1); // 1 byte still moves one 128 B transaction
+        b.load_global(129);
+        let s = b.finish();
+        assert_eq!(s.global_bytes, 130);
+        assert_eq!(s.global_transactions, 1 + 2);
+    }
+
+    #[test]
+    fn stream_load_marks_transactions_prefetchable() {
+        let mut b = block(32);
+        b.load_global(256);
+        b.load_global_stream(256);
+        let s = b.finish();
+        assert_eq!(s.global_transactions, 4);
+        assert_eq!(s.stream_transactions, 2);
+        assert_eq!(s.global_bytes, 512);
+    }
+
+    #[test]
+    fn strided_load_is_one_transaction_per_element() {
+        let mut b = block(32);
+        b.load_global_strided(32, 4);
+        let s = b.finish();
+        assert_eq!(s.global_transactions, 32);
+        assert_eq!(s.global_bytes, 32 * 4);
+    }
+
+    #[test]
+    fn shared_memory_ledger() {
+        let cfg = DeviceConfig::k40();
+        let mut b = block(128);
+        assert!(b.reserve_shared(16 * 1024, cfg.smem_per_sm).is_ok());
+        assert!(b.reserve_shared(16 * 1024, cfg.smem_per_sm).is_ok());
+        assert_eq!(b.stats().smem_peak_bytes, 32 * 1024);
+        let err = b.reserve_shared(32 * 1024, cfg.smem_per_sm);
+        assert_eq!(err, Err(64 * 1024));
+        // Failed reservation must not change the ledger.
+        assert_eq!(b.stats().smem_peak_bytes, 32 * 1024);
+    }
+
+    #[test]
+    fn sync_issues_every_warp() {
+        let mut b = block(128);
+        b.sync();
+        let s = b.finish();
+        assert_eq!(s.compute_issues, 4);
+        assert_eq!(s.active_lanes, 128);
+    }
+
+    #[test]
+    fn kth_select_costs_more_than_min_reduce() {
+        let mut b1 = block(128);
+        b1.par_kth_select(128, 1);
+        let min_cost = b1.finish().compute_issues;
+        let mut b2 = block(128);
+        b2.par_kth_select(128, 32);
+        let kth_cost = b2.finish().compute_issues;
+        assert!(kth_cost > min_cost, "{kth_cost} <= {min_cost}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Batch launch accounting: turns per-block counters into the paper's metrics.
+//!
+//! The experiments submit a batch of queries (240 in the paper), one thread block
+//! per query. This module aggregates the per-block [`KernelStats`] into:
+//!
+//! * **average query response time** — the mean of per-block wall times under the
+//!   cost model (the metric of Figs. 3a, 5–9);
+//! * **batch makespan** — a throughput-oriented bound: blocks are spread over
+//!   `SMs × occupancy` concurrent slots, so the makespan is
+//!   `max(Σ cycles / slots, max block cycles)`;
+//! * **warp efficiency** and **accessed bytes**, merged across the batch.
+
+use crate::config::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// Aggregated result of launching a batch of blocks.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    /// All counters merged across blocks.
+    pub merged: KernelStats,
+    /// Mean per-block response time in ms.
+    pub avg_response_ms: f64,
+    /// Slowest block's response time in ms.
+    pub max_response_ms: f64,
+    /// Batch makespan in ms (throughput view).
+    pub makespan_ms: f64,
+    /// Merged warp execution efficiency in `[0, 1]`.
+    pub warp_efficiency: f64,
+    /// Mean accessed megabytes per block (per query).
+    pub avg_accessed_mb: f64,
+    /// Resident blocks per SM under the batch's worst shared-memory footprint.
+    pub occupancy: u32,
+}
+
+/// Aggregates a batch of per-block stats under the device cost model.
+///
+/// `warps_per_block` is the launch configuration (threads per block / 32);
+/// it feeds both occupancy and latency hiding.
+pub fn launch_blocks(
+    cfg: &DeviceConfig,
+    warps_per_block: u32,
+    per_block: &[KernelStats],
+) -> LaunchReport {
+    assert!(!per_block.is_empty(), "launch of zero blocks");
+
+    let mut merged = KernelStats::default();
+    let mut sum_cycles = 0f64;
+    let mut max_cycles = 0f64;
+    for b in per_block {
+        merged.merge(b);
+        let c = b.block_cycles(cfg, warps_per_block);
+        sum_cycles += c;
+        max_cycles = max_cycles.max(c);
+    }
+
+    let occupancy = cfg.occupancy_blocks(merged.smem_peak_bytes, warps_per_block);
+    assert!(occupancy > 0, "batch contains an unlaunchable block");
+    let slots = (cfg.sms as f64) * occupancy as f64;
+    let makespan_cycles = (sum_cycles / slots).max(max_cycles);
+
+    let n = per_block.len() as f64;
+    LaunchReport {
+        avg_response_ms: cfg.cycles_to_ms(sum_cycles / n),
+        max_response_ms: cfg.cycles_to_ms(max_cycles),
+        makespan_ms: cfg.cycles_to_ms(makespan_cycles),
+        warp_efficiency: merged.warp_efficiency(),
+        avg_accessed_mb: merged.accessed_mb() / n,
+        occupancy,
+        merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_stats(transactions: u64, smem: u64) -> KernelStats {
+        KernelStats {
+            lane_slots: 3200,
+            active_lanes: 1600,
+            compute_issues: 100,
+            global_bytes: transactions * 128,
+            global_transactions: transactions,
+            stream_transactions: 0,
+            smem_peak_bytes: smem,
+            nodes_visited: 1,
+            blocks: 1,
+        }
+    }
+
+    #[test]
+    fn single_block_response_equals_makespan() {
+        let cfg = DeviceConfig::k40();
+        let r = launch_blocks(&cfg, 4, &[block_stats(100, 1024)]);
+        assert!((r.avg_response_ms - r.makespan_ms).abs() < 1e-12);
+        assert_eq!(r.merged.blocks, 1);
+        assert!((r.warp_efficiency - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_small_blocks_pipeline() {
+        let cfg = DeviceConfig::k40();
+        let blocks: Vec<KernelStats> = (0..240).map(|_| block_stats(100, 1024)).collect();
+        let r = launch_blocks(&cfg, 4, &blocks);
+        // 240 identical blocks over 15 SMs × 16 resident = 240 slots: the batch
+        // finishes in a single wave, so makespan equals one block's time.
+        assert_eq!(r.occupancy, 16);
+        assert!((r.makespan_ms - r.max_response_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smem_pressure_reduces_occupancy_and_extends_makespan() {
+        let cfg = DeviceConfig::k40();
+        let light: Vec<KernelStats> = (0..240).map(|_| block_stats(1000, 1024)).collect();
+        let heavy: Vec<KernelStats> =
+            (0..240).map(|_| block_stats(1000, 24 * 1024)).collect();
+        let rl = launch_blocks(&cfg, 4, &light);
+        let rh = launch_blocks(&cfg, 4, &heavy);
+        assert!(rh.occupancy < rl.occupancy);
+        assert!(rh.makespan_ms > rl.makespan_ms);
+        assert!(rh.avg_response_ms > rl.avg_response_ms, "less hiding = slower blocks");
+    }
+
+    #[test]
+    fn avg_accessed_mb_is_per_block() {
+        let cfg = DeviceConfig::k40();
+        let blocks: Vec<KernelStats> = (0..10).map(|_| block_stats(8192, 1024)).collect();
+        let r = launch_blocks(&cfg, 4, &blocks);
+        assert!((r.avg_accessed_mb - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn empty_batch_panics() {
+        launch_blocks(&DeviceConfig::k40(), 4, &[]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Lockstep scheduler for *task-parallel* kernels (one query per lane).
+//!
+//! This models the execution style the paper argues against (§II-B, Fig. 1b):
+//! each GPU thread runs its own query and follows its own search path. Under
+//! SIMT, a warp can only issue one instruction at a time, so lanes that are at
+//! different operations serialize — the scheduler here issues **one warp
+//! instruction group per distinct operation tag per step**, with only the lanes
+//! at that operation active. Low warp efficiency for irregular tree traversals
+//! is therefore an output of the model, not an input.
+
+use crate::config::DeviceConfig;
+use crate::stats::KernelStats;
+
+/// What a lane does in one lockstep step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaneStep {
+    /// Operation tag. Lanes in the same warp with equal tags execute together;
+    /// distinct tags serialize. Use stable small integers per logical operation
+    /// (e.g. 0 = descend, 1 = leaf scan, 2 = backtrack).
+    pub op: u32,
+    /// Instructions this lane executes for this step.
+    pub cost: u64,
+    /// Bytes this lane reads from global memory this step (per-lane pointer
+    /// chasing: never coalesced across lanes).
+    pub global_bytes: u64,
+}
+
+/// Runs one block's worth of lanes (one query each) to completion in lockstep.
+///
+/// `step(lane)` advances one lane by one step and returns what it did, or `None`
+/// once the lane's query is finished. `smem_block_bytes` is the block's shared-
+/// memory footprint (per-lane result lists live in registers/local memory for
+/// task-parallel kernels, so this is usually small).
+///
+/// Returns the block's counters; feed them to [`crate::launch_blocks`] together
+/// with the other blocks of the batch.
+pub fn run_task_parallel<L>(
+    cfg: &DeviceConfig,
+    lanes: &mut [L],
+    smem_block_bytes: u64,
+    mut step: impl FnMut(&mut L) -> Option<LaneStep>,
+) -> KernelStats {
+    let warp = cfg.warp_size as usize;
+    let mut stats = KernelStats { blocks: 1, smem_peak_bytes: smem_block_bytes, ..Default::default() };
+    let mut done = vec![false; lanes.len()];
+    let mut remaining = lanes.len();
+
+    // Scratch reused across steps: (op, cost) per live lane in the warp.
+    let mut steps: Vec<(u32, u64)> = Vec::with_capacity(warp);
+
+    while remaining > 0 {
+        for (w, warp_lanes) in lanes.chunks_mut(warp).enumerate() {
+            let base = w * warp;
+            steps.clear();
+            let mut warp_bytes = 0u64;
+            let mut warp_transactions = 0u64;
+            for (i, lane) in warp_lanes.iter_mut().enumerate() {
+                if done[base + i] {
+                    continue;
+                }
+                match step(lane) {
+                    None => {
+                        done[base + i] = true;
+                        remaining -= 1;
+                    }
+                    Some(s) => {
+                        steps.push((s.op, s.cost.max(1)));
+                        if s.global_bytes > 0 {
+                            warp_bytes += s.global_bytes;
+                            warp_transactions +=
+                                s.global_bytes.div_ceil(cfg.transaction_bytes).max(1);
+                        }
+                    }
+                }
+            }
+            if steps.is_empty() {
+                continue;
+            }
+            // Serialize distinct ops: one issue group per tag, in first-appearance
+            // order; the group runs for the longest lane's cost, shorter lanes
+            // idle within it (SIMT re-convergence).
+            let mut g = 0;
+            while g < steps.len() {
+                let tag = steps[g].0;
+                let mut max_cost = 0u64;
+                let mut active_instr = 0u64;
+                let mut members = 0u64;
+                for &(op, cost) in steps.iter() {
+                    if op == tag {
+                        max_cost = max_cost.max(cost);
+                        active_instr += cost;
+                        members += 1;
+                    }
+                }
+                stats.compute_issues += max_cost;
+                stats.lane_slots += max_cost * cfg.warp_size as u64;
+                stats.active_lanes += active_instr;
+                let _ = members;
+                // Advance to the next yet-unprocessed tag.
+                g += 1;
+                while g < steps.len() && steps[..g].iter().any(|&(op, _)| op == steps[g].0)
+                {
+                    g += 1;
+                }
+            }
+            stats.global_bytes += warp_bytes;
+            stats.global_transactions += warp_transactions;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::k40()
+    }
+
+    /// A lane that performs `n` identical steps.
+    struct Uniform {
+        left: u32,
+    }
+
+    fn drive_uniform(lane: &mut Uniform) -> Option<LaneStep> {
+        if lane.left == 0 {
+            return None;
+        }
+        lane.left -= 1;
+        Some(LaneStep { op: 0, cost: 1, global_bytes: 0 })
+    }
+
+    #[test]
+    fn uniform_lanes_are_fully_efficient() {
+        let mut lanes: Vec<Uniform> = (0..32).map(|_| Uniform { left: 10 }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, drive_uniform);
+        assert_eq!(s.compute_issues, 10);
+        assert_eq!(s.warp_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn uneven_lengths_strand_lanes() {
+        // One lane runs 10 steps, the rest finish after 1: the warp stays
+        // resident for 10 steps with mostly idle lanes.
+        let mut lanes: Vec<Uniform> =
+            (0..32).map(|i| Uniform { left: if i == 0 { 10 } else { 1 } }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, drive_uniform);
+        assert_eq!(s.compute_issues, 10);
+        assert_eq!(s.active_lanes, 32 + 9);
+        assert!(s.warp_efficiency() < 0.15);
+    }
+
+    /// A lane alternating between two ops based on its index parity.
+    struct Diverging {
+        id: u32,
+        left: u32,
+    }
+
+    #[test]
+    fn divergent_ops_serialize() {
+        let mut lanes: Vec<Diverging> =
+            (0..32).map(|id| Diverging { id, left: 5 }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
+            if lane.left == 0 {
+                return None;
+            }
+            lane.left -= 1;
+            Some(LaneStep { op: lane.id % 2, cost: 1, global_bytes: 0 })
+        });
+        // Each step issues two groups (op 0 and op 1) of 16 lanes each.
+        assert_eq!(s.compute_issues, 10);
+        assert!((s.warp_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_lane_loads_are_uncoalesced() {
+        let mut lanes: Vec<Uniform> = (0..32).map(|_| Uniform { left: 1 }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
+            if lane.left == 0 {
+                return None;
+            }
+            lane.left -= 1;
+            Some(LaneStep { op: 0, cost: 1, global_bytes: 16 })
+        });
+        // 32 lanes × 16 B each: 512 useful bytes but 32 transactions.
+        assert_eq!(s.global_bytes, 512);
+        assert_eq!(s.global_transactions, 32);
+    }
+
+    #[test]
+    fn multiple_warps_do_not_serialize_against_each_other() {
+        // 64 lanes where warp 0 uses op 0 and warp 1 uses op 1: both warps stay
+        // fully efficient because divergence only exists within a warp.
+        let mut lanes: Vec<Diverging> =
+            (0..64).map(|id| Diverging { id, left: 3 }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
+            if lane.left == 0 {
+                return None;
+            }
+            lane.left -= 1;
+            Some(LaneStep { op: lane.id / 32, cost: 1, global_bytes: 0 })
+        });
+        assert_eq!(s.warp_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn variable_cost_groups_use_max_cost() {
+        let mut lanes: Vec<Diverging> =
+            (0..2).map(|id| Diverging { id, left: 1 }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
+            if lane.left == 0 {
+                return None;
+            }
+            lane.left -= 1;
+            Some(LaneStep { op: 0, cost: 1 + lane.id as u64 * 9, global_bytes: 0 })
+        });
+        // Group runs for max(1, 10) = 10 instructions; active = 1 + 10.
+        assert_eq!(s.compute_issues, 10);
+        assert_eq!(s.active_lanes, 11);
+    }
+
+    #[test]
+    fn empty_lane_set_returns_clean_stats() {
+        let mut lanes: Vec<Uniform> = Vec::new();
+        let s = run_task_parallel(&cfg(), &mut lanes, 64, drive_uniform);
+        assert_eq!(s.compute_issues, 0);
+        assert_eq!(s.smem_peak_bytes, 64);
+        assert_eq!(s.blocks, 1);
+    }
+}

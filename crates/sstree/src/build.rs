@@ -1,0 +1,429 @@
+//! Parallel bottom-up SS-tree construction (paper §IV).
+//!
+//! Both construction methods reduce to the same pipeline:
+//!
+//! 1. compute a **point ordering** (Hilbert-curve order, or k-means cluster order
+//!    with Hilbert-ordered clusters and members);
+//! 2. chunk the ordered stream into **full leaves** — the paper explicitly
+//!    enforces 100 % leaf utilization "even if we can significantly reduce the
+//!    volume by storing some points in a sibling tree node";
+//! 3. build internal levels bottom-up, enclosing child spheres with the parallel
+//!    Ritter algorithm. For the k-means method the paper re-clusters each
+//!    internal level with `k` reduced by 100×; that re-clustering *reorders* the
+//!    level before it is chunked into parents, and leaf ids are assigned only
+//!    after the full shape is known so the left-to-right numbering PSB depends on
+//!    stays consistent.
+//!
+//! Everything is deterministic (seeded k-means, tie-broken sorts) and the heavy
+//! phases (key computation, per-leaf Ritter spheres) run on the rayon pool.
+
+use psb_geom::hilbert::hilbert_key;
+use psb_geom::{
+    kmeans, ritter_points, ritter_spheres, HilbertKey, KMeansParams, PointSet, Rect,
+    RitterMode, Sphere,
+};
+use rayon::prelude::*;
+
+use crate::tree::{SsTree, NOT_A_LEAF, NO_PARENT};
+
+/// Bottom-up construction method.
+#[derive(Clone, Debug)]
+pub enum BuildMethod {
+    /// Sort by Hilbert key and pack (paper §IV-A).
+    Hilbert,
+    /// k-means cluster order at the leaf level, re-clustered with `k/100` per
+    /// internal level (paper §IV-B). `k_leaf = 0` selects the paper's default
+    /// `sqrt(n/2)`.
+    KMeans { k_leaf: usize, seed: u64 },
+}
+
+impl BuildMethod {
+    /// The k-means method with the paper's default `k = sqrt(n/2)`.
+    pub fn kmeans_default(seed: u64) -> Self {
+        BuildMethod::KMeans { k_leaf: 0, seed }
+    }
+}
+
+/// One under-construction level: per node, its sphere and its children
+/// (indices into the *final order* of the level below; for leaves, point ids).
+/// Shared with the top-down builder, which flattens its pointer tree into the
+/// same representation before materializing.
+pub(crate) struct Level {
+    pub(crate) spheres: Vec<Sphere>,
+    pub(crate) groups: Vec<Vec<u32>>,
+}
+
+/// Builds an SS-tree over `points` with the given node degree (= leaf capacity).
+pub fn build(points: &PointSet, degree: usize, method: &BuildMethod) -> SsTree {
+    assert!(degree >= 2, "degree must be at least 2");
+    assert!(!points.is_empty(), "cannot build an index over zero points");
+    let n = points.len();
+    let bounds = Rect::of_point_set(points);
+
+    // Hilbert keys are needed by both methods (ordering, or cluster ordering).
+    let keys: Vec<HilbertKey> = (0..n)
+        .into_par_iter()
+        .map(|i| hilbert_key(points.point(i), &bounds))
+        .collect();
+
+    // Step 1: the point ordering.
+    let order: Vec<u32> = match method {
+        BuildMethod::Hilbert => {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.par_sort_unstable_by_key(|&i| (keys[i as usize], i));
+            idx
+        }
+        BuildMethod::KMeans { k_leaf, seed } => {
+            let k = if *k_leaf == 0 { psb_geom::kmeans::suggested_k(n) } else { *k_leaf };
+            let all: Vec<u32> = (0..n as u32).collect();
+            let result = kmeans(
+                points,
+                &all,
+                &KMeansParams { k, max_iters: 16, seed: *seed },
+            );
+            order_by_clusters(&result.assignment, &result.centroids, &keys, &bounds)
+        }
+    };
+
+    // Step 2: full leaves from the ordered stream.
+    let leaf_groups: Vec<Vec<u32>> =
+        order.chunks(degree).map(|c| c.to_vec()).collect();
+    let leaf_spheres: Vec<Sphere> = leaf_groups
+        .par_iter()
+        .map(|g| ritter_points(points, g, RitterMode::Sequential))
+        .collect();
+    let mut levels: Vec<Level> =
+        vec![Level { spheres: leaf_spheres, groups: leaf_groups }];
+
+    // Step 3: internal levels.
+    let mut k_level = match method {
+        BuildMethod::Hilbert => 0usize,
+        BuildMethod::KMeans { k_leaf, .. } => {
+            let base =
+                if *k_leaf == 0 { psb_geom::kmeans::suggested_k(n) } else { *k_leaf };
+            base / 100
+        }
+    };
+    let kmeans_seed = match method {
+        BuildMethod::KMeans { seed, .. } => *seed,
+        BuildMethod::Hilbert => 0,
+    };
+    while levels.last().unwrap().spheres.len() > 1 {
+        let below = levels.last_mut().unwrap();
+        let m = below.spheres.len();
+
+        // Reorder the level below (k-means method only, while k is meaningful).
+        if k_level >= 2 && m > degree {
+            let centers = PointSet::from_flat(
+                points.dims(),
+                below.spheres.iter().flat_map(|s| s.center.iter().copied()).collect(),
+            );
+            let all: Vec<u32> = (0..m as u32).collect();
+            let result = kmeans(
+                &centers,
+                &all,
+                &KMeansParams { k: k_level.min(m), max_iters: 16, seed: kmeans_seed ^ 0x5eed },
+            );
+            let ckeys: Vec<HilbertKey> = (0..m)
+                .map(|i| hilbert_key(centers.point(i), &bounds))
+                .collect();
+            let perm = order_by_clusters(&result.assignment, &result.centroids, &ckeys, &bounds);
+            apply_permutation(below, &perm);
+        }
+
+        // Chunk into parents and enclose.
+        let below_spheres = &levels.last().unwrap().spheres;
+        let parent_groups: Vec<Vec<u32>> = (0..m as u32)
+            .collect::<Vec<u32>>()
+            .chunks(degree)
+            .map(|c| c.to_vec())
+            .collect();
+        let parent_spheres: Vec<Sphere> = parent_groups
+            .par_iter()
+            .map(|g| {
+                let kids: Vec<Sphere> =
+                    g.iter().map(|&c| below_spheres[c as usize].clone()).collect();
+                ritter_spheres(&kids, RitterMode::Sequential)
+            })
+            .collect();
+        levels.push(Level { spheres: parent_spheres, groups: parent_groups });
+        k_level /= 100;
+    }
+
+    materialize(points, degree, levels)
+}
+
+/// Orders items by (Hilbert key of their cluster centroid, then Hilbert key of
+/// the item itself, then index). This is the "cluster order" both k-means levels
+/// use: clusters laid along the curve, members sorted along the curve inside.
+fn order_by_clusters(
+    assignment: &[u32],
+    centroids: &PointSet,
+    item_keys: &[HilbertKey],
+    bounds: &Rect,
+) -> Vec<u32> {
+    let cluster_keys: Vec<HilbertKey> = (0..centroids.len())
+        .map(|c| hilbert_key(centroids.point(c), bounds))
+        .collect();
+    let mut idx: Vec<u32> = (0..assignment.len() as u32).collect();
+    idx.par_sort_unstable_by_key(|&i| {
+        let c = assignment[i as usize] as usize;
+        (cluster_keys[c], c as u32, item_keys[i as usize], i)
+    });
+    idx
+}
+
+/// Permutes a level in place: node `i` of the new order is old node `perm[i]`.
+fn apply_permutation(level: &mut Level, perm: &[u32]) {
+    level.spheres = perm.iter().map(|&p| level.spheres[p as usize].clone()).collect();
+    level.groups =
+        perm.iter().map(|&p| std::mem::take(&mut level.groups[p as usize])).collect();
+}
+
+/// Flattens the per-level plan into the arena representation.
+pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) -> SsTree {
+    let dims = points.dims();
+    let num_levels = levels.len();
+    let total_nodes: usize = levels.iter().map(|l| l.spheres.len()).sum();
+
+    // Arena order: root level first, leaves last; nodes of a level keep their
+    // final within-level order, which makes every parent's children contiguous.
+    let mut base = vec![0u32; num_levels]; // arena offset of each level (top = 0)
+    {
+        let mut acc = 0u32;
+        for (slot, level) in base.iter_mut().zip(levels.iter().rev()) {
+            *slot = acc;
+            acc += level.spheres.len() as u32;
+        }
+        // `base[i]` currently indexes reversed levels; base[0] = root level.
+        debug_assert_eq!(acc as usize, total_nodes);
+    }
+    // Map: levels index (0 = leaves) -> arena base.
+    let arena_base = |level_idx: usize| base[num_levels - 1 - level_idx];
+
+    let mut centers = vec![0f32; total_nodes * dims];
+    let mut radii = vec![0f32; total_nodes];
+    let mut parent = vec![NO_PARENT; total_nodes];
+    let mut level_arr = vec![0u8; total_nodes];
+    let mut first_child = vec![0u32; total_nodes];
+    let mut child_count = vec![0u32; total_nodes];
+    let mut leaf_id = vec![NOT_A_LEAF; total_nodes];
+    let mut subtree_min = vec![0u32; total_nodes];
+    let mut subtree_max = vec![0u32; total_nodes];
+
+    // Fill per level, top to bottom. Children ranges come from cumulative counts.
+    for (li, level) in levels.iter().enumerate() {
+        let b = arena_base(li);
+        for (j, sphere) in level.spheres.iter().enumerate() {
+            let node = (b + j as u32) as usize;
+            centers[node * dims..(node + 1) * dims].copy_from_slice(&sphere.center);
+            radii[node] = sphere.radius;
+            level_arr[node] = li as u8;
+        }
+        if li > 0 {
+            let child_base = arena_base(li - 1);
+            let mut cursor = 0u32;
+            for (j, group) in level.groups.iter().enumerate() {
+                let node = b + j as u32;
+                first_child[node as usize] = child_base + cursor;
+                child_count[node as usize] = group.len() as u32;
+                for offset in 0..group.len() as u32 {
+                    parent[(child_base + cursor + offset) as usize] = node;
+                }
+                cursor += group.len() as u32;
+            }
+        }
+    }
+
+    // Leaves: reorder points into final leaf order, assign ids and point runs.
+    let leaf_level = &levels[0];
+    let num_leaves = leaf_level.groups.len();
+    let leaf_base = arena_base(0);
+    let mut point_order: Vec<u32> = Vec::with_capacity(points.len());
+    let mut leaf_node_of = vec![0u32; num_leaves];
+    for (l, group) in leaf_level.groups.iter().enumerate() {
+        let node = leaf_base + l as u32;
+        leaf_node_of[l] = node;
+        leaf_id[node as usize] = l as u32;
+        first_child[node as usize] = point_order.len() as u32;
+        child_count[node as usize] = group.len() as u32;
+        subtree_min[node as usize] = l as u32;
+        subtree_max[node as usize] = l as u32;
+        point_order.extend_from_slice(group);
+    }
+
+    // Subtree leaf ranges bottom-up.
+    for li in 1..num_levels {
+        let b = arena_base(li);
+        for (j, _) in levels[li].groups.iter().enumerate() {
+            let node = (b + j as u32) as usize;
+            let fc = first_child[node];
+            let cc = child_count[node];
+            subtree_min[node] = (fc..fc + cc).map(|c| subtree_min[c as usize]).min().unwrap();
+            subtree_max[node] = (fc..fc + cc).map(|c| subtree_max[c as usize]).max().unwrap();
+        }
+    }
+
+    SsTree {
+        dims,
+        degree,
+        points: points.gather(&point_order),
+        point_ids: point_order,
+        centers,
+        radii,
+        parent,
+        level: level_arr,
+        first_child,
+        child_count,
+        leaf_id,
+        subtree_min_leaf: subtree_min,
+        subtree_max_leaf: subtree_max,
+        leaf_node_of,
+        root: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::ClusteredSpec;
+
+    fn dataset(n_clusters: usize, per: usize, dims: usize, sigma: f32) -> PointSet {
+        ClusteredSpec {
+            clusters: n_clusters,
+            points_per_cluster: per,
+            dims,
+            sigma,
+            seed: 99,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn hilbert_build_validates() {
+        let ps = dataset(5, 300, 3, 100.0);
+        let t = build(&ps, 16, &BuildMethod::Hilbert);
+        t.validate().expect("hilbert tree invalid");
+        assert_eq!(t.points.len(), 1500);
+        assert_eq!(t.num_leaves(), 1500usize.div_ceil(16));
+    }
+
+    #[test]
+    fn kmeans_build_validates() {
+        let ps = dataset(5, 300, 3, 100.0);
+        let t = build(&ps, 16, &BuildMethod::KMeans { k_leaf: 20, seed: 5 });
+        t.validate().expect("kmeans tree invalid");
+    }
+
+    #[test]
+    fn kmeans_default_k_validates() {
+        let ps = dataset(3, 200, 2, 50.0);
+        let t = build(&ps, 8, &BuildMethod::kmeans_default(1));
+        t.validate().expect("kmeans default-k tree invalid");
+    }
+
+    #[test]
+    fn full_leaf_utilization() {
+        let ps = dataset(4, 256, 2, 10.0); // 1024 points, degree 16 -> 64 full leaves
+        for method in [BuildMethod::Hilbert, BuildMethod::KMeans { k_leaf: 10, seed: 2 }] {
+            let t = build(&ps, 16, &method);
+            assert_eq!(t.leaf_utilization(), 1.0, "method {method:?}");
+        }
+    }
+
+    #[test]
+    fn partial_final_leaf_only() {
+        let ps = dataset(1, 1000, 2, 10.0); // 1000 points, degree 128
+        let t = build(&ps, 128, &BuildMethod::Hilbert);
+        assert_eq!(t.num_leaves(), 8);
+        let counts: Vec<u32> =
+            t.leaf_node_of.iter().map(|&n| t.child_count[n as usize]).collect();
+        assert!(counts[..7].iter().all(|&c| c == 128));
+        assert_eq!(counts[7], 1000 - 7 * 128);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let ps = dataset(1, 50, 2, 5.0);
+        let t = build(&ps, 128, &BuildMethod::Hilbert);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.height(), 1);
+        assert!(t.is_leaf(t.root));
+        t.validate().expect("single leaf tree invalid");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let ps = dataset(3, 400, 4, 80.0);
+        let m = BuildMethod::KMeans { k_leaf: 12, seed: 77 };
+        let a = build(&ps, 16, &m);
+        let b = build(&ps, 16, &m);
+        assert_eq!(a.point_ids, b.point_ids);
+        assert_eq!(a.radii, b.radii);
+        assert_eq!(a.centers, b.centers);
+    }
+
+    #[test]
+    fn hilbert_leaves_are_spatially_tight() {
+        // On strongly clustered data, Hilbert-packed leaf radii must be far
+        // smaller than the space: locality is the entire point of the curve.
+        let ps = dataset(10, 200, 2, 20.0);
+        let t = build(&ps, 16, &BuildMethod::Hilbert);
+        let avg_leaf_radius: f32 = t
+            .leaf_node_of
+            .iter()
+            .map(|&n| t.radius(n))
+            .sum::<f32>()
+            / t.num_leaves() as f32;
+        assert!(
+            avg_leaf_radius < 500.0,
+            "avg leaf radius {avg_leaf_radius} suggests broken locality"
+        );
+    }
+
+    #[test]
+    fn kmeans_produces_tighter_or_similar_leaves_than_hilbert_high_dim() {
+        // The paper's Fig. 3 motivation: in higher dimensions the Hilbert key
+        // collapses (few bits per dimension) while k-means still finds the
+        // clusters. Compare mean leaf radius at d = 16.
+        let ps = dataset(8, 250, 16, 50.0);
+        let th = build(&ps, 16, &BuildMethod::Hilbert);
+        let tk = build(&ps, 16, &BuildMethod::KMeans { k_leaf: 8, seed: 3 });
+        let mean_r = |t: &SsTree| {
+            t.leaf_node_of.iter().map(|&n| t.radius(n)).sum::<f32>()
+                / t.num_leaves() as f32
+        };
+        assert!(
+            mean_r(&tk) <= mean_r(&th) * 1.05,
+            "kmeans {} vs hilbert {}",
+            mean_r(&tk),
+            mean_r(&th)
+        );
+    }
+
+    #[test]
+    fn point_ids_are_a_permutation() {
+        let ps = dataset(2, 500, 3, 30.0);
+        let t = build(&ps, 32, &BuildMethod::KMeans { k_leaf: 6, seed: 8 });
+        let mut ids = t.point_ids.clone();
+        ids.sort_unstable();
+        let expect: Vec<u32> = (0..1000).collect();
+        assert_eq!(ids, expect);
+        // Reordered points match originals.
+        for (pos, &orig) in t.point_ids.iter().enumerate() {
+            assert_eq!(t.points.point(pos), ps.point(orig as usize));
+        }
+    }
+
+    #[test]
+    fn degree_bounds_respected() {
+        let ps = dataset(6, 333, 2, 60.0);
+        for degree in [4usize, 16, 100] {
+            let t = build(&ps, degree, &BuildMethod::Hilbert);
+            t.validate().unwrap();
+            for n in 0..t.num_nodes() as u32 {
+                assert!(t.child_count[n as usize] as usize <= degree);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The flattened SS-tree arena.
+//!
+//! Layout decisions mirror the paper's GPU implementation (§V-A: "we store the
+//! bounding spheres of child nodes as the structure of array (SOA) ... so that
+//! memory coalescing can be naturally employed"):
+//!
+//! * node metadata and spheres live in parallel arrays indexed by node id;
+//! * the children of every internal node are **contiguous**, so fetching a node's
+//!   child spheres is one coalesced streak of global memory;
+//! * leaves own **contiguous runs of the (reordered) point array** and are
+//!   numbered densely left-to-right — `leaf id + 1` *is* the right sibling,
+//!   giving PSB its linear leaf scan;
+//! * every node records the min/max leaf id of its subtree, which PSB uses to
+//!   skip already-visited subtrees without a stack.
+
+use psb_geom::{PointSet, Sphere};
+
+/// Sentinel for "no parent" (the root).
+pub const NO_PARENT: u32 = u32::MAX;
+/// Sentinel leaf id for internal nodes.
+pub const NOT_A_LEAF: u32 = u32::MAX;
+
+/// A flattened SS-tree. Construct via [`crate::build`] or [`crate::topdown`].
+#[derive(Clone, Debug)]
+pub struct SsTree {
+    /// Dimensionality of the indexed space.
+    pub dims: usize,
+    /// Maximum children per internal node and points per leaf.
+    pub degree: usize,
+    /// Points, reordered so each leaf's points are contiguous.
+    pub points: PointSet,
+    /// Original dataset index of each (reordered) point position.
+    pub point_ids: Vec<u32>,
+    /// Node bounding-sphere centers, node-major (`node * dims ..`).
+    pub centers: Vec<f32>,
+    /// Node bounding-sphere radii.
+    pub radii: Vec<f32>,
+    /// Parent node id ([`NO_PARENT`] for the root).
+    pub parent: Vec<u32>,
+    /// Node level: 0 = leaf, increasing toward the root.
+    pub level: Vec<u8>,
+    /// Internal: first child node id. Leaf: first point position.
+    pub first_child: Vec<u32>,
+    /// Internal: number of children. Leaf: number of points.
+    pub child_count: Vec<u32>,
+    /// Dense left-to-right leaf number; [`NOT_A_LEAF`] for internal nodes.
+    pub leaf_id: Vec<u32>,
+    /// Smallest leaf id under this subtree.
+    pub subtree_min_leaf: Vec<u32>,
+    /// Largest leaf id under this subtree.
+    pub subtree_max_leaf: Vec<u32>,
+    /// Leaf id → node id (the sibling chain: leaf `l`'s right sibling is
+    /// `leaf_node_of[l + 1]`).
+    pub leaf_node_of: Vec<u32>,
+    /// Root node id.
+    pub root: u32,
+}
+
+impl SsTree {
+    /// Number of nodes in the arena.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.radii.len()
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.leaf_node_of.len()
+    }
+
+    /// Tree height (root level + 1); a single-leaf tree has height 1.
+    pub fn height(&self) -> usize {
+        self.level[self.root as usize] as usize + 1
+    }
+
+    /// Whether node `n` is a leaf.
+    #[inline]
+    pub fn is_leaf(&self, n: u32) -> bool {
+        self.level[n as usize] == 0
+    }
+
+    /// The bounding-sphere center of node `n`.
+    #[inline]
+    pub fn center(&self, n: u32) -> &[f32] {
+        let d = self.dims;
+        &self.centers[n as usize * d..(n as usize + 1) * d]
+    }
+
+    /// The bounding-sphere radius of node `n`.
+    #[inline]
+    pub fn radius(&self, n: u32) -> f32 {
+        self.radii[n as usize]
+    }
+
+    /// The bounding sphere of node `n` as an owned [`Sphere`].
+    pub fn sphere(&self, n: u32) -> Sphere {
+        Sphere::new(self.center(n).to_vec(), self.radius(n))
+    }
+
+    /// Children of internal node `n` as a node-id range.
+    #[inline]
+    pub fn children(&self, n: u32) -> std::ops::Range<u32> {
+        debug_assert!(!self.is_leaf(n));
+        let fc = self.first_child[n as usize];
+        fc..fc + self.child_count[n as usize]
+    }
+
+    /// Point positions (into `self.points`) of leaf node `n`.
+    #[inline]
+    pub fn leaf_points(&self, n: u32) -> std::ops::Range<usize> {
+        debug_assert!(self.is_leaf(n));
+        let fp = self.first_child[n as usize] as usize;
+        fp..fp + self.child_count[n as usize] as usize
+    }
+
+    /// Bytes a GPU kernel reads when it fetches internal node `n`: the SoA
+    /// child-sphere block (centers + radii) plus per-child ids (child pointer,
+    /// subtree leaf range) and a fixed header.
+    pub fn internal_node_bytes(&self, n: u32) -> u64 {
+        let c = self.child_count[n as usize] as u64;
+        let d = self.dims as u64;
+        c * (d * 4 + 4 + 12) + 32
+    }
+
+    /// Bytes read when fetching leaf node `n`: coordinates plus point ids plus a
+    /// fixed header.
+    pub fn leaf_node_bytes(&self, n: u32) -> u64 {
+        let c = self.child_count[n as usize] as u64;
+        let d = self.dims as u64;
+        c * (d * 4 + 4) + 32
+    }
+
+    /// Bytes for whichever kind node `n` is.
+    pub fn node_bytes(&self, n: u32) -> u64 {
+        if self.is_leaf(n) {
+            self.leaf_node_bytes(n)
+        } else {
+            self.internal_node_bytes(n)
+        }
+    }
+
+    /// Total index size in bytes (sum over nodes; the paper's index-memory figure).
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.num_nodes() as u32).map(|n| self.node_bytes(n)).sum()
+    }
+
+    /// Average leaf utilization in `[0, 1]` (bottom-up construction yields 1.0
+    /// except in the final partial leaf; top-down substantially less).
+    pub fn leaf_utilization(&self) -> f64 {
+        let filled: u64 = self
+            .leaf_node_of
+            .iter()
+            .map(|&n| self.child_count[n as usize] as u64)
+            .sum();
+        filled as f64 / (self.num_leaves() as u64 * self.degree as u64) as f64
+    }
+
+    /// Exhaustive structural check; returns a description of the first violated
+    /// invariant. Used by tests and property tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let nn = self.num_nodes();
+        for v in [
+            self.parent.len(),
+            self.level.len(),
+            self.first_child.len(),
+            self.child_count.len(),
+            self.leaf_id.len(),
+            self.subtree_min_leaf.len(),
+            self.subtree_max_leaf.len(),
+        ] {
+            if v != nn {
+                return Err(format!("array length {v} != node count {nn}"));
+            }
+        }
+        if self.root as usize >= nn {
+            return Err("root out of range".into());
+        }
+        if self.parent[self.root as usize] != NO_PARENT {
+            return Err("root has a parent".into());
+        }
+
+        let mut seen_points = vec![false; self.points.len()];
+        let mut leaf_cursor = 0u32;
+        // Depth-first from the root, checking every structural invariant.
+        let mut stack = vec![self.root];
+        let mut visited_nodes = 0usize;
+        while let Some(n) = stack.pop() {
+            visited_nodes += 1;
+            let ni = n as usize;
+            if self.subtree_min_leaf[ni] > self.subtree_max_leaf[ni] {
+                return Err(format!("node {n}: empty subtree leaf range"));
+            }
+            if self.is_leaf(n) {
+                if self.leaf_id[ni] == NOT_A_LEAF {
+                    return Err(format!("leaf {n} lacks a leaf id"));
+                }
+                if self.subtree_min_leaf[ni] != self.leaf_id[ni]
+                    || self.subtree_max_leaf[ni] != self.leaf_id[ni]
+                {
+                    return Err(format!("leaf {n}: subtree range != own leaf id"));
+                }
+                if self.leaf_node_of[self.leaf_id[ni] as usize] != n {
+                    return Err(format!("leaf_node_of mismatch for leaf {n}"));
+                }
+                if self.child_count[ni] == 0 {
+                    return Err(format!("leaf {n} is empty"));
+                }
+                if self.child_count[ni] as usize > self.degree {
+                    return Err(format!("leaf {n} overflows the degree"));
+                }
+                for p in self.leaf_points(n) {
+                    if seen_points[p] {
+                        return Err(format!("point {p} appears in two leaves"));
+                    }
+                    seen_points[p] = true;
+                    let pd = psb_geom::dist(self.points.point(p), self.center(n));
+                    if pd > self.radius(n) * (1.0 + 1e-4) + 1e-4 {
+                        return Err(format!(
+                            "leaf {n}: point {p} at {pd} outside radius {}",
+                            self.radius(n)
+                        ));
+                    }
+                }
+            } else {
+                let kids = self.children(n);
+                if kids.is_empty() {
+                    return Err(format!("internal node {n} has no children"));
+                }
+                if kids.len() > self.degree {
+                    return Err(format!("internal node {n} overflows the degree"));
+                }
+                let mut min_l = u32::MAX;
+                let mut max_l = 0u32;
+                for c in kids.clone() {
+                    let ci = c as usize;
+                    if self.parent[ci] != n {
+                        return Err(format!("child {c} does not point back to {n}"));
+                    }
+                    if self.level[ci] + 1 != self.level[ni] {
+                        return Err(format!("child {c} level mismatch under {n}"));
+                    }
+                    min_l = min_l.min(self.subtree_min_leaf[ci]);
+                    max_l = max_l.max(self.subtree_max_leaf[ci]);
+                    // Parent sphere must contain child sphere.
+                    let gap = psb_geom::dist(self.center(c), self.center(n))
+                        + self.radius(c);
+                    if gap > self.radius(n) * (1.0 + 1e-4) + 1e-4 {
+                        return Err(format!(
+                            "node {n}: child {c} sphere pokes out ({gap} > {})",
+                            self.radius(n)
+                        ));
+                    }
+                }
+                if min_l != self.subtree_min_leaf[ni] || max_l != self.subtree_max_leaf[ni]
+                {
+                    return Err(format!("node {n}: subtree leaf range wrong"));
+                }
+                // Push children right-to-left so leaves pop left-to-right.
+                for c in kids.rev() {
+                    stack.push(c);
+                }
+            }
+            if self.is_leaf(n) {
+                if self.leaf_id[ni] != leaf_cursor {
+                    return Err(format!(
+                        "leaf ids not left-to-right: leaf {n} has id {} expected {leaf_cursor}",
+                        self.leaf_id[ni]
+                    ));
+                }
+                leaf_cursor += 1;
+            }
+        }
+        if visited_nodes != nn {
+            return Err(format!(
+                "arena holds {nn} nodes but only {visited_nodes} reachable from root"
+            ));
+        }
+        if leaf_cursor as usize != self.num_leaves() {
+            return Err("leaf count mismatch".into());
+        }
+        if let Some(p) = seen_points.iter().position(|&s| !s) {
+            return Err(format!("point {p} is in no leaf"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,78 @@
+//! Batch execution and occupancy: how the simulated device schedules a
+//! 240-query batch, and how the node degree and k trade off (paper Figs. 6/8).
+//!
+//! ```text
+//! cargo run --release --example batch_throughput
+//! ```
+
+use psb::prelude::*;
+
+fn main() {
+    let data = ClusteredSpec {
+        clusters: 100,
+        points_per_cluster: 1_000,
+        dims: 64,
+        sigma: 160.0,
+        seed: 3,
+    }
+    .generate();
+    let queries = sample_queries(&data, 240, 0.01, 4);
+    let cfg = DeviceConfig::k40();
+    println!(
+        "batch: {} queries over {} points (64-d) on {} ({} SMs)",
+        queries.len(),
+        data.len(),
+        cfg.name,
+        cfg.sms
+    );
+
+    // Degree sweep (Fig. 6): the sweet spot sits where fewer levels balance
+    // larger node fetches.
+    println!("\n-- node degree sweep (PSB, k=32) --");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "degree", "warp eff", "MB/query", "resp ms", "makespan ms"
+    );
+    for degree in [32usize, 64, 128, 256, 512] {
+        let tree = build(&data, degree, &BuildMethod::Hilbert);
+        let r = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default());
+        println!(
+            "{:<8} {:>11.1}% {:>12.3} {:>12.4} {:>12.3}",
+            degree,
+            r.report.warp_efficiency * 100.0,
+            r.report.avg_accessed_mb,
+            r.report.avg_response_ms,
+            r.report.makespan_ms
+        );
+    }
+
+    // k sweep (Fig. 8): the shared-memory k-best list erodes occupancy.
+    let tree = build(&data, 128, &BuildMethod::Hilbert);
+    println!("\n-- k sweep (PSB, degree=128) --");
+    println!(
+        "{:<8} {:>10} {:>12} {:>12} {:>14}",
+        "k", "occupancy", "smem bytes", "resp ms", "hybrid resp ms"
+    );
+    for k in [1usize, 32, 256, 1024, 1920] {
+        let all = psb_batch(&tree, &queries, k, &cfg, &KernelOptions::default());
+        let hybrid = psb_batch(
+            &tree,
+            &queries,
+            k,
+            &cfg,
+            &KernelOptions {
+                smem_policy: SharedMemPolicy::Hybrid { shared_slots: 64 },
+                ..Default::default()
+            },
+        );
+        println!(
+            "{:<8} {:>10} {:>12} {:>12.4} {:>14.4}",
+            k,
+            all.report.occupancy,
+            all.report.merged.smem_peak_bytes,
+            all.report.avg_response_ms,
+            hybrid.report.avg_response_ms
+        );
+    }
+    println!("\n(the hybrid column is the paper's §V-E future-work optimization)");
+}

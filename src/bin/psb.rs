@@ -1,0 +1,261 @@
+//! `psb` — command-line front end for the library.
+//!
+//! ```text
+//! psb gen   --out data.csv --points 100000 --dims 8 --clusters 50 --sigma 120
+//! psb knn   --data data.csv --query 1.0,2.0,...  --k 8  [--engine psb|bnb|restart|brute|cpu]
+//! psb range --data data.csv --query 1.0,2.0,...  --radius 50
+//! psb stats --data data.csv [--degree 128] [--k 32] [--queries 24]
+//! psb build --data data.csv --out index.psbt [--degree 128] [--method hilbert|kmeans]
+//! ```
+//!
+//! `knn`, `range` and `stats` accept `--index index.psbt` to reuse a saved
+//! index instead of rebuilding one.
+//!
+//! Data files are CSV (optional header) or the `PSB1` binary format
+//! (`.bin` extension), as written by `psb gen` / `psb_data::io`.
+
+use std::path::{Path, PathBuf};
+
+use psb::data::io as dio;
+use psb::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  psb gen   --out FILE [--points N] [--dims D] [--clusters C] [--sigma S] [--seed X]\n  \
+         psb knn   --data FILE --query x,y,... --k K [--engine psb|bnb|restart|brute|cpu] [--degree D]\n  \
+         psb range --data FILE --query x,y,... --radius R [--degree D]\n  \
+         psb stats --data FILE [--degree D] [--k K] [--queries N]\n  \
+         psb build --data FILE --out INDEX [--degree D] [--method hilbert|kmeans]"
+    );
+    std::process::exit(2);
+}
+
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<String> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1).cloned())
+    }
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {name}: {v}");
+                std::process::exit(2);
+            }),
+        }
+    }
+    fn require(&self, name: &str) -> String {
+        self.get(name).unwrap_or_else(|| {
+            eprintln!("missing required flag {name}");
+            usage()
+        })
+    }
+}
+
+fn load(path: &str) -> PointSet {
+    let p = Path::new(path);
+    let result = if p.extension().is_some_and(|e| e == "bin") {
+        dio::read_binary(p)
+    } else {
+        dio::read_csv(p)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn parse_query(s: &str, dims: usize) -> Vec<f32> {
+    let q: Vec<f32> = s
+        .split(',')
+        .map(|x| {
+            x.trim().parse().unwrap_or_else(|_| {
+                eprintln!("bad query coordinate: {x}");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    if q.len() != dims {
+        eprintln!("query has {} coordinates, data has {dims} dimensions", q.len());
+        std::process::exit(2);
+    }
+    q
+}
+
+fn tree_for(flags: &Flags, data: &PointSet, degree: usize) -> SsTree {
+    match flags.get("--index") {
+        Some(path) => psb::sstree::load_index(Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("cannot load index {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => build(data, degree, &BuildMethod::Hilbert),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args.remove(0);
+    let flags = Flags(args);
+
+    match cmd.as_str() {
+        "gen" => {
+            let out = PathBuf::from(flags.require("--out"));
+            let points: usize = flags.num("--points", 100_000);
+            let dims: usize = flags.num("--dims", 8);
+            let clusters: usize = flags.num("--clusters", 50);
+            let sigma: f32 = flags.num("--sigma", 120.0);
+            let seed: u64 = flags.num("--seed", 42);
+            let ps = ClusteredSpec {
+                clusters,
+                points_per_cluster: (points / clusters).max(1),
+                dims,
+                sigma,
+                seed,
+            }
+            .generate();
+            let res = if out.extension().is_some_and(|e| e == "bin") {
+                dio::write_binary(&ps, &out)
+            } else {
+                dio::write_csv(&ps, &out)
+            };
+            res.unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", out.display());
+                std::process::exit(1);
+            });
+            println!("wrote {} points x {dims} dims to {}", ps.len(), out.display());
+        }
+
+        "knn" => {
+            let data = load(&flags.require("--data"));
+            let q = parse_query(&flags.require("--query"), data.dims());
+            let k: usize = flags.num("--k", 8);
+            let degree: usize = flags.num("--degree", 128);
+            let engine = flags.get("--engine").unwrap_or_else(|| "psb".into());
+            let cfg = DeviceConfig::k40();
+            let opts = KernelOptions::default();
+
+            let (results, stats) = match engine.as_str() {
+                "brute" => {
+                    let (r, s) = brute_query(&data, &q, k, &cfg, &opts);
+                    (r, Some(s))
+                }
+                "cpu" => {
+                    let tree = tree_for(&flags, &data, degree);
+                    (knn_best_first(&tree, &q, k), None)
+                }
+                e @ ("psb" | "bnb" | "restart") => {
+                    let tree = tree_for(&flags, &data, degree);
+                    let (r, s) = match e {
+                        "psb" => psb_query(&tree, &q, k, &cfg, &opts),
+                        "bnb" => bnb_query(&tree, &q, k, &cfg, &opts),
+                        _ => restart_query(&tree, &q, k, &cfg, &opts),
+                    };
+                    (r, Some(s))
+                }
+                other => {
+                    eprintln!("unknown engine {other}");
+                    usage()
+                }
+            };
+            for n in &results {
+                println!("{}\t{}", n.id, n.dist);
+            }
+            if let Some(s) = stats {
+                eprintln!(
+                    "# engine={engine} nodes={} read={}B warp_eff={:.1}% sim_time={:.4}ms",
+                    s.nodes_visited,
+                    s.global_bytes,
+                    s.warp_efficiency() * 100.0,
+                    s.response_ms(&cfg, 1)
+                );
+            }
+        }
+
+        "range" => {
+            let data = load(&flags.require("--data"));
+            let q = parse_query(&flags.require("--query"), data.dims());
+            let radius: f32 = flags.num("--radius", 1.0);
+            let degree: usize = flags.num("--degree", 128);
+            let cfg = DeviceConfig::k40();
+            let opts = KernelOptions::default();
+            let tree = tree_for(&flags, &data, degree);
+            let (hits, stats) = range_query_gpu(&tree, &q, radius, &cfg, &opts);
+            for n in &hits {
+                println!("{}\t{}", n.id, n.dist);
+            }
+            eprintln!(
+                "# {} hits, nodes={} read={}B",
+                hits.len(),
+                stats.nodes_visited,
+                stats.global_bytes
+            );
+        }
+
+        "stats" => {
+            let data = load(&flags.require("--data"));
+            let degree: usize = flags.num("--degree", 128);
+            let k: usize = flags.num("--k", 32);
+            let nq: usize = flags.num("--queries", 24);
+            let cfg = DeviceConfig::k40();
+            let opts = KernelOptions::default();
+            let tree = tree_for(&flags, &data, degree);
+            let queries = sample_queries(&data, nq, 0.01, 7);
+            println!(
+                "tree: {} nodes, {} leaves, height {}, fill {:.0}%",
+                tree.num_nodes(),
+                tree.num_leaves(),
+                tree.height(),
+                tree.leaf_utilization() * 100.0
+            );
+            for (name, r) in [
+                ("psb", psb_batch(&tree, &queries, k, &cfg, &opts)),
+                ("bnb", bnb_batch(&tree, &queries, k, &cfg, &opts)),
+                ("brute", brute_batch(&data, &queries, k, &cfg, &opts)),
+            ] {
+                println!(
+                    "{name:>6}: {:.4} ms/query, {:.3} MB/query, warp eff {:.1}%",
+                    r.report.avg_response_ms,
+                    r.report.avg_accessed_mb,
+                    r.report.warp_efficiency * 100.0
+                );
+            }
+        }
+
+        "build" => {
+            let data = load(&flags.require("--data"));
+            let out = PathBuf::from(flags.require("--out"));
+            let degree: usize = flags.num("--degree", 128);
+            let method = match flags.get("--method").as_deref() {
+                None | Some("hilbert") => BuildMethod::Hilbert,
+                Some("kmeans") => BuildMethod::kmeans_default(7),
+                Some(other) => {
+                    eprintln!("unknown method {other}");
+                    usage()
+                }
+            };
+            let t0 = std::time::Instant::now();
+            let tree = build(&data, degree, &method);
+            psb::sstree::save_index(&tree, &out).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", out.display());
+                std::process::exit(1);
+            });
+            println!(
+                "built in {:.0} ms: {} nodes, {} leaves, height {} -> {}",
+                t0.elapsed().as_secs_f64() * 1e3,
+                tree.num_nodes(),
+                tree.num_leaves(),
+                tree.height(),
+                out.display()
+            );
+        }
+
+        _ => usage(),
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests on the index structures and geometric primitives.
+
+use proptest::prelude::*;
+use psb::prelude::*;
+
+/// Strategy: a small random point set with controlled dims.
+fn point_set(dims: usize, max_n: usize) -> impl Strategy<Value = PointSet> {
+    prop::collection::vec(
+        prop::collection::vec(-1000.0f32..1000.0, dims),
+        2..max_n,
+    )
+    .prop_map(move |rows| {
+        let mut ps = PointSet::new(dims);
+        for r in &rows {
+            ps.push(r);
+        }
+        ps
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ritter_contains_all_points(ps in point_set(3, 60)) {
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        for mode in [RitterMode::Sequential, RitterMode::Parallel] {
+            let s = ritter_points(&ps, &idx, mode);
+            for p in ps.iter() {
+                prop_assert!(s.contains_point(p, 1e-4), "{p:?} outside {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ritter_parallel_equals_sequential(ps in point_set(4, 50)) {
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        let a = ritter_points(&ps, &idx, RitterMode::Sequential);
+        let b = ritter_points(&ps, &idx, RitterMode::Parallel);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ritter_is_never_smaller_than_welzl(ps in point_set(3, 40)) {
+        // Welzl is optimal; Ritter must be >= it and, per the paper's quoted
+        // slack, within ~20% (we allow 30% for f32 noise on tiny inputs).
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        let r = ritter_points(&ps, &idx, RitterMode::Sequential);
+        let w = welzl(&ps, &idx);
+        prop_assert!(r.radius >= w.radius * 0.999,
+            "ritter {} below optimal {}", r.radius, w.radius);
+        prop_assert!(r.radius <= w.radius * 1.30 + 1e-3,
+            "ritter {} exceeds the 5-20% slack over {}", r.radius, w.radius);
+    }
+
+    #[test]
+    fn sphere_bounds_bracket_true_distances(
+        ps in point_set(3, 40),
+        q in prop::collection::vec(-1500.0f32..1500.0, 3),
+    ) {
+        let idx: Vec<u32> = (0..ps.len() as u32).collect();
+        let s = ritter_points(&ps, &idx, RitterMode::Sequential);
+        let (lo, hi) = s.min_max_dist(&q);
+        for p in ps.iter() {
+            let d = dist(&q, p);
+            prop_assert!(d >= lo - 1e-2, "point at {d} below MINDIST {lo}");
+            prop_assert!(d <= hi + hi.abs() * 1e-4 + 1e-2, "point at {d} above MAXDIST {hi}");
+        }
+    }
+
+    #[test]
+    fn trees_validate_and_search_exactly(
+        ps in point_set(4, 120),
+        degree in 2usize..20,
+        k in 1usize..12,
+    ) {
+        for method in [BuildMethod::Hilbert, BuildMethod::KMeans { k_leaf: 5, seed: 2 }] {
+            let tree = build(&ps, degree, &method);
+            prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+            let q = ps.point(0);
+            let got = knn_best_first(&tree, q, k);
+            let want = linear_knn(&ps, q, k);
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn topdown_tree_validates(ps in point_set(3, 150), degree in 2usize..12) {
+        let tree = build_topdown(&ps, degree);
+        prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+    }
+
+    #[test]
+    fn psb_equals_oracle_on_random_input(
+        ps in point_set(3, 120),
+        k in 1usize..10,
+    ) {
+        let tree = build(&ps, 8, &BuildMethod::Hilbert);
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let q = ps.point(ps.len() / 2);
+        let (got, _) = psb_query(&tree, q, k, &cfg, &opts);
+        let want = linear_knn(&ps, q, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4,
+                "psb {} vs oracle {}", g.dist, w.dist);
+        }
+    }
+
+    #[test]
+    fn kdtree_validates_and_searches(ps in point_set(2, 150), leaf in 1usize..10) {
+        let t = KdTree::build(&ps, leaf);
+        prop_assert!(t.validate().is_ok(), "{:?}", t.validate());
+        let q = ps.point(0);
+        let got = knn_cpu(&t, q, 3.min(ps.len()));
+        let want = linear_knn(&ps, q, 3);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g.dist - w.dist).abs() <= w.dist.max(1.0) * 1e-4);
+        }
+    }
+
+    #[test]
+    fn hilbert_keys_are_deterministic_and_bounded(
+        p in prop::collection::vec(-5000.0f32..5000.0, 5),
+    ) {
+        let bounds = Rect::new(vec![-5000.0; 5], vec![5000.0; 5]);
+        let a = hilbert_key(&p, &bounds);
+        let b = hilbert_key(&p, &bounds);
+        prop_assert_eq!(a, b);
+    }
+}
