@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, full test suite.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh fmt        # just one stage (fmt | clippy | test)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+stage="${1:-all}"
+
+run_fmt()    { cargo fmt --all -- --check; }
+run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
+run_test()   { cargo test --workspace -q; }
+
+case "$stage" in
+    fmt)    run_fmt ;;
+    clippy) run_clippy ;;
+    test)   run_test ;;
+    all)
+        echo "== cargo fmt --check ==" && run_fmt
+        echo "== cargo clippy -D warnings ==" && run_clippy
+        echo "== cargo test ==" && run_test
+        echo "CI green."
+        ;;
+    *)
+        echo "usage: $0 [fmt|clippy|test|all]" >&2
+        exit 2
+        ;;
+esac

@@ -11,14 +11,8 @@ use psb_srtree::SrTree;
 use psb_sstree::{build, build_topdown, BuildMethod};
 
 fn dataset(n: usize, dims: usize) -> psb_geom::PointSet {
-    ClusteredSpec {
-        clusters: 20,
-        points_per_cluster: n / 20,
-        dims,
-        sigma: 120.0,
-        seed: 7,
-    }
-    .generate()
+    ClusteredSpec { clusters: 20, points_per_cluster: n / 20, dims, sigma: 120.0, seed: 7 }
+        .generate()
 }
 
 fn bench_construction(c: &mut Criterion) {

@@ -10,14 +10,9 @@ use psb_srtree::SrTree;
 use psb_sstree::{build, knn_best_first, knn_branch_and_bound, linear_knn, BuildMethod};
 
 fn bench_cpu_search(c: &mut Criterion) {
-    let ps = ClusteredSpec {
-        clusters: 20,
-        points_per_cluster: 2_500,
-        dims: 8,
-        sigma: 100.0,
-        seed: 15,
-    }
-    .generate();
+    let ps =
+        ClusteredSpec { clusters: 20, points_per_cluster: 2_500, dims: 8, sigma: 100.0, seed: 15 }
+            .generate();
     let tree = build(&ps, 128, &BuildMethod::Hilbert);
     let srtree = SrTree::build(&ps, 8192);
     let kdtree = KdTree::build(&ps, 16);

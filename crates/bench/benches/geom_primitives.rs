@@ -2,9 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psb_data::ClusteredSpec;
-use psb_geom::{
-    hilbert_key, ritter_points, sq_dist, welzl, Rect, RitterMode,
-};
+use psb_geom::{hilbert_key, ritter_points, sq_dist, welzl, Rect, RitterMode};
 
 fn bench_geom(c: &mut Criterion) {
     let mut g = c.benchmark_group("geom");
@@ -22,14 +20,8 @@ fn bench_geom(c: &mut Criterion) {
     }
 
     // Enclosing spheres: Ritter (both modes) vs exact Welzl.
-    let ps = ClusteredSpec {
-        clusters: 1,
-        points_per_cluster: 512,
-        dims: 8,
-        sigma: 50.0,
-        seed: 23,
-    }
-    .generate();
+    let ps = ClusteredSpec { clusters: 1, points_per_cluster: 512, dims: 8, sigma: 50.0, seed: 23 }
+        .generate();
     let idx: Vec<u32> = (0..ps.len() as u32).collect();
     g.bench_function("ritter_sequential_512", |b| {
         b.iter(|| ritter_points(&ps, &idx, RitterMode::Sequential))

@@ -12,14 +12,9 @@ use psb_gpu::DeviceConfig;
 use psb_sstree::{build, BuildMethod};
 
 fn bench_kernels(c: &mut Criterion) {
-    let ps = ClusteredSpec {
-        clusters: 20,
-        points_per_cluster: 1_000,
-        dims: 16,
-        sigma: 120.0,
-        seed: 9,
-    }
-    .generate();
+    let ps =
+        ClusteredSpec { clusters: 20, points_per_cluster: 1_000, dims: 16, sigma: 120.0, seed: 9 }
+            .generate();
     let tree = build(&ps, 128, &BuildMethod::Hilbert);
     let queries = sample_queries(&ps, 8, 0.01, 10);
     let cfg = DeviceConfig::k40();

@@ -11,7 +11,9 @@
 
 use std::path::PathBuf;
 
-use psb_bench::{ablation, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sensitivity, throughput, Scale, Table};
+use psb_bench::{
+    ablation, fig3, fig4, fig5, fig6, fig7, fig8, fig9, sensitivity, throughput, Scale, Table,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -43,7 +45,12 @@ fn main() {
                 i += 1;
                 out_dir = Some(PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage())));
             }
-            f if f.starts_with("fig") || f == "ablation" || f == "sensitivity" || f == "throughput" || f == "all" => {
+            f if f.starts_with("fig")
+                || f == "ablation"
+                || f == "sensitivity"
+                || f == "throughput"
+                || f == "all" =>
+            {
                 figs.push(f.to_string());
             }
             _ => usage(),
@@ -54,10 +61,21 @@ fn main() {
         usage();
     }
     if figs.iter().any(|f| f == "all") {
-        figs = ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ablation", "sensitivity", "throughput"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        figs = [
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ablation",
+            "sensitivity",
+            "throughput",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     let scale = Scale::new(factor, seed);
@@ -92,7 +110,10 @@ fn main() {
                             eprintln!("# wrote {}", path.display());
                         }
                         None => {
-                            println!("# {name}: {} rows (pass --out to save)", csv.lines().count() - 1)
+                            println!(
+                                "# {name}: {} rows (pass --out to save)",
+                                csv.lines().count() - 1
+                            )
                         }
                     }
                 }

@@ -9,13 +9,27 @@
 //! Prints, for every engine in the workspace, the raw simulator counters that
 //! feed the cost model: node visits, bytes, transactions (and how many were
 //! streaming), issue counts, warp efficiency, shared-memory peak, and the
-//! modeled response time.
+//! modeled response time — followed by the per-phase breakdown (descend /
+//! leaf-scan / backtrack / result-merge) for PSB vs branch-and-bound.
+//!
+//! Tracing:
+//!
+//! * `--record trace.jsonl` additionally re-runs the PSB and branch-and-bound
+//!   engines with a recording [`psb_gpu::JsonlSink`] and writes every metering
+//!   event to the file (labels `psb` / `bnb`).
+//! * `--trace trace.jsonl` skips the simulation entirely and prints the
+//!   offline [`psb_bench::trace_report`] for a previously recorded file.
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use psb_bench::{load_trace, render_trace_report};
 use psb_core::{
-    bnb_batch, brute_batch, psb_batch, restart_batch, tpss_batch, KernelOptions,
+    bnb_batch, bnb_batch_traced, brute_batch, psb_batch, psb_batch_traced, restart_batch,
+    tpss_batch, KernelOptions,
 };
 use psb_data::{sample_queries, ClusteredSpec};
-use psb_gpu::{launch_blocks, DeviceConfig};
+use psb_gpu::{launch_blocks, DeviceConfig, JsonlSink, LaunchReport, Phase};
 use psb_kdtree::{gpu::knn_task_parallel, KdTree};
 use psb_srtree::SrTree;
 use psb_sstree::{build, BuildMethod};
@@ -29,6 +43,8 @@ struct Args {
     k: usize,
     queries: usize,
     seed: u64,
+    record: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse() -> Args {
@@ -41,6 +57,8 @@ fn parse() -> Args {
         k: 32,
         queries: 24,
         seed: 0x2016,
+        record: None,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -55,6 +73,8 @@ fn parse() -> Args {
             "--k" => a.k = val.parse().expect("--k"),
             "--queries" => a.queries = val.parse().expect("--queries"),
             "--seed" => a.seed = val.parse().expect("--seed"),
+            "--record" => a.record = Some(val),
+            "--trace" => a.trace = Some(val),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -65,10 +85,51 @@ fn parse() -> Args {
     a
 }
 
+/// Per-phase breakdown table for one engine's launch report.
+fn show_phases(name: &str, report: &LaunchReport) {
+    println!("  {name}:");
+    for row in report.phase_breakdown() {
+        if row.byte_share == 0.0 && row.warp_efficiency == 0.0 {
+            continue;
+        }
+        println!(
+            "    {:<13} eff {:>5.1}%   {:>8.3} MB/query ({:>5.1}% of bytes, {:>5.1}% streamed)",
+            row.phase.name(),
+            row.warp_efficiency * 100.0,
+            row.avg_accessed_mb,
+            row.byte_share * 100.0,
+            row.stream_fraction * 100.0,
+        );
+    }
+    let m = &report.merged;
+    println!(
+        "    {:<13} {} backtracks, occupancy {}..{} blocks/SM{}",
+        "",
+        m.backtracks,
+        report.occupancy_min,
+        report.occupancy_max,
+        if m.phase_totals_consistent() { "" } else { "  [phase counters INCONSISTENT]" },
+    );
+}
+
 fn main() {
     let a = parse();
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
+
+    if let Some(path) = &a.trace {
+        let file = File::open(path).unwrap_or_else(|e| {
+            eprintln!("--trace {path}: {e}");
+            std::process::exit(1);
+        });
+        let summaries = load_trace(BufReader::new(file));
+        if summaries.is_empty() {
+            eprintln!("no trace events in {path}");
+            std::process::exit(1);
+        }
+        print!("{}", render_trace_report(&summaries, a.degree));
+        return;
+    }
 
     let data = ClusteredSpec {
         clusters: a.clusters,
@@ -120,8 +181,10 @@ fn main() {
         );
     };
 
-    show("psb", &psb_batch(&tree, &queries, a.k, &cfg, &opts).report);
-    show("branch-and-bound", &bnb_batch(&tree, &queries, a.k, &cfg, &opts).report);
+    let psb = psb_batch(&tree, &queries, a.k, &cfg, &opts);
+    let bnb = bnb_batch(&tree, &queries, a.k, &cfg, &opts);
+    show("psb", &psb.report);
+    show("branch-and-bound", &bnb.report);
     show("restart", &restart_batch(&tree, &queries, a.k, &cfg, &opts).report);
     show("brute-force", &brute_batch(&data, &queries, a.k, &cfg, &opts).report);
 
@@ -131,6 +194,27 @@ fn main() {
     let kd = KdTree::build(&data, 1); // minimal kd-tree (single-point leaves)
     let (_, kd_blocks) = knn_task_parallel(&kd, &queries, a.k, &cfg, 32);
     show("task-parallel kdtree", &launch_blocks(&cfg, 1, &kd_blocks));
+
+    // Per-phase view of the paper's central comparison: where each traversal
+    // spends its bytes and loses its lanes.
+    println!("\nper-phase breakdown ({}):", Phase::ALL.map(|p| p.name()).join(" / "));
+    show_phases("psb", &psb.report);
+    show_phases("branch-and-bound", &bnb.report);
+
+    if let Some(path) = &a.record {
+        let file = File::create(path).unwrap_or_else(|e| {
+            eprintln!("--record {path}: {e}");
+            std::process::exit(1);
+        });
+        let writer = BufWriter::new(file);
+        let mut sink = JsonlSink::new("psb", writer);
+        let traced = psb_batch_traced(&tree, &queries, a.k, &cfg, &opts, &mut sink);
+        assert_eq!(traced.report.merged, psb.report.merged, "tracing must not change counters");
+        let mut sink = JsonlSink::new("bnb", sink.into_inner().expect("flush trace"));
+        let traced = bnb_batch_traced(&tree, &queries, a.k, &cfg, &opts, &mut sink);
+        assert_eq!(traced.report.merged, bnb.report.merged, "tracing must not change counters");
+        println!("\nrecorded psb+bnb trace to {path} (inspect with --trace {path})");
+    }
 
     // CPU baseline: real wall time.
     let sr = SrTree::build(&data, 8192);

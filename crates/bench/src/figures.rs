@@ -64,10 +64,8 @@ pub fn fig3(scale: &Scale) -> Table {
         );
 
         // Bottom-up SS-trees on the GPU, all searched with branch-and-bound.
-        let mut variants: Vec<(String, SsTree)> = vec![(
-            "SS-tree (Hilbert)".into(),
-            build(&ps, PAPER_DEGREE, &BuildMethod::Hilbert),
-        )];
+        let mut variants: Vec<(String, SsTree)> =
+            vec![("SS-tree (Hilbert)".into(), build(&ps, PAPER_DEGREE, &BuildMethod::Hilbert))];
         for paper_k in [200usize, 400, 2000, 10000] {
             let k_leaf = scale.kmeans_k(paper_k);
             variants.push((
@@ -132,7 +130,11 @@ pub fn fig5(scale: &Scale) -> Table {
         let tree = build(&ps, PAPER_DEGREE, &BuildMethod::Hilbert);
         let psb = psb_batch(&tree, &queries, PAPER_K, &cfg, &opts);
         let bnb = bnb_batch(&tree, &queries, PAPER_K, &cfg, &opts);
-        t.push("SS-tree (PSB)", sigma, vec![psb.report.avg_response_ms, psb.report.avg_accessed_mb]);
+        t.push(
+            "SS-tree (PSB)",
+            sigma,
+            vec![psb.report.avg_response_ms, psb.report.avg_accessed_mb],
+        );
         t.push(
             "SS-tree (Branch&Bound)",
             sigma,
@@ -181,11 +183,7 @@ pub fn fig6(scale: &Scale) -> Table {
         t.push(
             "KD-tree (task parallel)",
             degree,
-            vec![
-                kd_report.warp_efficiency * 100.0,
-                kd_mb_per_query,
-                kd_report.avg_response_ms,
-            ],
+            vec![kd_report.warp_efficiency * 100.0, kd_mb_per_query, kd_report.avg_response_ms],
         );
     }
     t
@@ -207,7 +205,11 @@ pub fn fig7(scale: &Scale) -> Table {
         let brute = brute_batch(&ps, &queries, PAPER_K, &cfg, &opts);
         let psb = psb_batch(&tree, &queries, PAPER_K, &cfg, &opts);
         let bnb = bnb_batch(&tree, &queries, PAPER_K, &cfg, &opts);
-        t.push("Bruteforce", dims, vec![brute.report.avg_response_ms, brute.report.avg_accessed_mb]);
+        t.push(
+            "Bruteforce",
+            dims,
+            vec![brute.report.avg_response_ms, brute.report.avg_accessed_mb],
+        );
         t.push("SS-tree (PSB)", dims, vec![psb.report.avg_response_ms, psb.report.avg_accessed_mb]);
         t.push(
             "SS-tree (Branch&Bound)",
@@ -222,11 +224,8 @@ pub fn fig7(scale: &Scale) -> Table {
 pub fn fig8(scale: &Scale) -> Table {
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
-    let mut t = Table::new(
-        "Fig. 8 — k sweep (64-d, sigma=160)",
-        "k",
-        &["response_ms", "accessed_mb"],
-    );
+    let mut t =
+        Table::new("Fig. 8 — k sweep (64-d, sigma=160)", "k", &["response_ms", "accessed_mb"]);
     let ps = clustered(scale, 64, 160.0);
     let tree = build(&ps, PAPER_DEGREE, &BuildMethod::Hilbert);
     let queries = sample_queries(&ps, scale.queries(), 0.01, scale.seed ^ 8);
@@ -249,11 +248,8 @@ pub fn fig8(scale: &Scale) -> Table {
 pub fn fig9(scale: &Scale) -> Table {
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
-    let mut t = Table::new(
-        "Fig. 9 — NOAA station reports",
-        "method",
-        &["response_ms", "accessed_mb"],
-    );
+    let mut t =
+        Table::new("Fig. 9 — NOAA station reports", "method", &["response_ms", "accessed_mb"]);
     let ps = NoaaSpec {
         stations: 20_000,
         reports: scale.points(PAPER_POINTS),
@@ -305,20 +301,12 @@ pub fn ablation(scale: &Scale) -> Table {
 
     let run = |o: &KernelOptions, tr: &SsTree| {
         let r = psb_batch(tr, &queries, PAPER_K, &cfg, o);
-        vec![
-            r.report.avg_response_ms,
-            r.report.avg_accessed_mb,
-            r.report.warp_efficiency * 100.0,
-        ]
+        vec![r.report.avg_response_ms, r.report.avg_accessed_mb, r.report.warp_efficiency * 100.0]
     };
 
     let base = KernelOptions::default();
     t.push("PSB (paper defaults)", "-", run(&base, &tree));
-    t.push(
-        "no leaf scan",
-        "-",
-        run(&KernelOptions { leaf_scan: false, ..base.clone() }, &tree),
-    );
+    t.push("no leaf scan", "-", run(&KernelOptions { leaf_scan: false, ..base.clone() }, &tree));
     t.push(
         "no MINMAXDIST prune",
         "-",
@@ -466,18 +454,15 @@ pub fn sensitivity(scale: &Scale) -> Table {
     let queries = sample_queries(&ps, scale.queries(), 0.01, scale.seed ^ 11);
     let tree = build(&ps, PAPER_DEGREE, &BuildMethod::Hilbert);
     let opts = KernelOptions::default();
-    for cfg in [
-        DeviceConfig::k40(),
-        DeviceConfig::k80(),
-        DeviceConfig::titan_x(),
-        DeviceConfig::low_end(),
-    ] {
+    for cfg in
+        [DeviceConfig::k40(), DeviceConfig::k80(), DeviceConfig::titan_x(), DeviceConfig::low_end()]
+    {
         let psb = psb_batch(&tree, &queries, PAPER_K, &cfg, &opts);
         let bnb = bnb_batch(&tree, &queries, PAPER_K, &cfg, &opts);
         let brute = brute_batch(&ps, &queries, PAPER_K, &cfg, &opts);
         let wins = (psb.report.avg_response_ms <= bnb.report.avg_response_ms
-            && psb.report.avg_response_ms <= brute.report.avg_response_ms)
-            as u32 as f64;
+            && psb.report.avg_response_ms <= brute.report.avg_response_ms) as u32
+            as f64;
         t.push(
             cfg.name,
             "-",

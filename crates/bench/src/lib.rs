@@ -13,9 +13,11 @@
 
 pub mod figures;
 pub mod table;
+pub mod trace_report;
 
 pub use figures::*;
 pub use table::Table;
+pub use trace_report::{load_trace, render_trace_report, TraceSummary};
 
 use psb_geom::PointSet;
 

@@ -23,11 +23,7 @@ impl Table {
 
     /// Appends one row.
     pub fn push(&mut self, series: &str, x: impl ToString, metrics: Vec<f64>) {
-        assert_eq!(
-            metrics.len() + 2,
-            self.headers.len(),
-            "row width must match headers"
-        );
+        assert_eq!(metrics.len() + 2, self.headers.len(), "row width must match headers");
         self.rows.push((series.to_string(), x.to_string(), metrics));
     }
 
@@ -38,11 +34,7 @@ impl Table {
             .iter()
             .position(|h| h == metric)
             .unwrap_or_else(|| panic!("no metric column named {metric}"));
-        self.rows
-            .iter()
-            .filter(|(s, _, _)| s == series)
-            .map(|(_, _, m)| m[col - 2])
-            .collect()
+        self.rows.iter().filter(|(s, _, _)| s == series).map(|(_, _, m)| m[col - 2]).collect()
     }
 
     /// Aligned, human-readable rendering.

@@ -47,9 +47,8 @@ impl DynamicSsTree {
     /// `0..points.len()`.
     pub fn new(points: &PointSet, degree: usize, method: BuildMethod) -> Self {
         let base = build(points, degree, &method);
-        let live: Vec<(u32, Vec<f32>)> = (0..points.len())
-            .map(|i| (i as u32, points.point(i).to_vec()))
-            .collect();
+        let live: Vec<(u32, Vec<f32>)> =
+            (0..points.len()).map(|i| (i as u32, points.point(i).to_vec())).collect();
         let base_snapshot_ids: Vec<u32> = live.iter().map(|(id, _)| *id).collect();
         Self {
             base,
@@ -195,10 +194,11 @@ impl DynamicSsTree {
                 crate::kernels::brute::brute_query(&self.delta, q, k, cfg, opts);
             stats.merge(&delta_stats);
             stats.blocks = 1; // one logical query
-            merged.extend(delta_hits.into_iter().map(|n| Neighbor {
-                dist: n.dist,
-                id: self.delta_ids[n.id as usize],
-            }));
+            merged.extend(
+                delta_hits
+                    .into_iter()
+                    .map(|n| Neighbor { dist: n.dist, id: self.delta_ids[n.id as usize] }),
+            );
         }
         merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         merged.truncate(k.min(self.live.len()));
@@ -213,23 +213,14 @@ mod tests {
     use psb_sstree::linear_knn;
 
     fn dataset() -> PointSet {
-        ClusteredSpec {
-            clusters: 4,
-            points_per_cluster: 250,
-            dims: 3,
-            sigma: 80.0,
-            seed: 151,
-        }
-        .generate()
+        ClusteredSpec { clusters: 4, points_per_cluster: 250, dims: 3, sigma: 80.0, seed: 151 }
+            .generate()
     }
 
     /// Reference: linear scan over the live set with external ids.
     fn oracle(t: &DynamicSsTree, q: &[f32], k: usize) -> Vec<Neighbor> {
-        let mut v: Vec<Neighbor> = t
-            .live
-            .iter()
-            .map(|(id, p)| Neighbor { dist: dist(q, p), id: *id })
-            .collect();
+        let mut v: Vec<Neighbor> =
+            t.live.iter().map(|(id, p)| Neighbor { dist: dist(q, p), id: *id }).collect();
         v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         v.truncate(k.min(v.len()));
         v

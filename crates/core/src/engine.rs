@@ -6,15 +6,17 @@
 //! aggregated by the device cost model into the figures' metrics.
 
 use psb_geom::PointSet;
-use psb_gpu::{launch_blocks, DeviceConfig, KernelStats, LaunchReport};
+use psb_gpu::{
+    launch_blocks, DeviceConfig, KernelStats, LaunchReport, Phase, PhaseBreakdown, TraceSink,
+};
 use psb_sstree::Neighbor;
 
 use crate::index::GpuIndex;
 use rayon::prelude::*;
 
 use crate::kernels::{
-    bnb::bnb_query, brute::brute_query, psb::psb_query, range::range_query_gpu,
-    restart::restart_query,
+    bnb::bnb_query, bnb::bnb_query_traced, brute::brute_query, psb::psb_query,
+    psb::psb_query_traced, range::range_query_gpu, restart::restart_query,
 };
 use crate::options::KernelOptions;
 
@@ -38,6 +40,19 @@ pub struct QueryBatchResult {
     pub report: LaunchReport,
 }
 
+impl QueryBatchResult {
+    /// Per-phase warp-efficiency / accessed-MB breakdown of the batch, one row
+    /// per [`Phase`] in [`Phase::ALL`] order.
+    pub fn phase_breakdown(&self) -> [PhaseBreakdown; Phase::COUNT] {
+        self.report.phase_breakdown()
+    }
+
+    /// The batch's merged counters for one traversal phase.
+    pub fn phase(&self, phase: Phase) -> &psb_gpu::PhaseStats {
+        self.report.merged.phase(phase)
+    }
+}
+
 fn run_batch(
     queries: &PointSet,
     warps_per_block: u32,
@@ -45,11 +60,30 @@ fn run_batch(
     f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
 ) -> QueryBatchResult {
     assert!(!queries.is_empty(), "empty query batch");
-    let results: Vec<(Vec<Neighbor>, KernelStats)> = (0..queries.len())
-        .into_par_iter()
-        .map(|i| f(queries.point(i)))
-        .collect();
+    let results: Vec<(Vec<Neighbor>, KernelStats)> =
+        (0..queries.len()).into_par_iter().map(|i| f(queries.point(i))).collect();
     let (neighbors, per_block): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    let report = launch_blocks(cfg, warps_per_block, &per_block);
+    QueryBatchResult { neighbors, per_block, report }
+}
+
+/// Sequential batch runner for recording runs: queries execute in order so the
+/// event stream is deterministic and grouped per query.
+fn run_batch_traced(
+    queries: &PointSet,
+    warps_per_block: u32,
+    cfg: &DeviceConfig,
+    sink: &mut dyn TraceSink,
+    mut f: impl FnMut(&[f32], &mut dyn TraceSink) -> (Vec<Neighbor>, KernelStats),
+) -> QueryBatchResult {
+    assert!(!queries.is_empty(), "empty query batch");
+    let mut neighbors = Vec::with_capacity(queries.len());
+    let mut per_block = Vec::with_capacity(queries.len());
+    for i in 0..queries.len() {
+        let (n, s) = f(queries.point(i), sink);
+        neighbors.push(n);
+        per_block.push(s);
+    }
     let report = launch_blocks(cfg, warps_per_block, &per_block);
     QueryBatchResult { neighbors, per_block, report }
 }
@@ -66,6 +100,21 @@ pub fn psb_batch<T: GpuIndex>(
     run_batch(queries, warps, cfg, |q| psb_query(tree, q, k, cfg, opts))
 }
 
+/// [`psb_batch`] with every metering call mirrored into `sink`; runs
+/// sequentially so the event stream is in query order. Results and counters
+/// are bit-identical to [`psb_batch`].
+pub fn psb_batch_traced<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    sink: &mut dyn TraceSink,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch_traced(queries, warps, cfg, sink, |q, s| psb_query_traced(tree, q, k, cfg, opts, s))
+}
+
 /// Branch-and-bound over a batch of queries.
 pub fn bnb_batch<T: GpuIndex>(
     tree: &T,
@@ -76,6 +125,21 @@ pub fn bnb_batch<T: GpuIndex>(
 ) -> QueryBatchResult {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch(queries, warps, cfg, |q| bnb_query(tree, q, k, cfg, opts))
+}
+
+/// [`bnb_batch`] with every metering call mirrored into `sink`; runs
+/// sequentially so the event stream is in query order. Results and counters
+/// are bit-identical to [`bnb_batch`].
+pub fn bnb_batch_traced<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    sink: &mut dyn TraceSink,
+) -> QueryBatchResult {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch_traced(queries, warps, cfg, sink, |q, s| bnb_query_traced(tree, q, k, cfg, opts, s))
 }
 
 /// Fixed-radius range queries over a batch (PSB-style sweep, fixed bound).
@@ -121,14 +185,9 @@ mod tests {
     use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
 
     fn setup() -> (PointSet, SsTree, PointSet) {
-        let ps = ClusteredSpec {
-            clusters: 5,
-            points_per_cluster: 400,
-            dims: 8,
-            sigma: 150.0,
-            seed: 41,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 5, points_per_cluster: 400, dims: 8, sigma: 150.0, seed: 41 }
+                .generate();
         let tree = build(&ps, 32, &BuildMethod::Hilbert);
         let queries = sample_queries(&ps, 24, 0.01, 42);
         (ps, tree, queries)
@@ -178,14 +237,9 @@ mod tests {
 
     #[test]
     fn index_beats_brute_force_on_bytes_for_tight_clusters() {
-        let ps = ClusteredSpec {
-            clusters: 8,
-            points_per_cluster: 500,
-            dims: 8,
-            sigma: 30.0,
-            seed: 43,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 8, points_per_cluster: 500, dims: 8, sigma: 30.0, seed: 43 }
+                .generate();
         let tree = build(&ps, 32, &BuildMethod::Hilbert);
         let queries = sample_queries(&ps, 8, 0.005, 44);
         let cfg = DeviceConfig::k40();

@@ -150,14 +150,9 @@ mod tests {
 
     #[test]
     fn sstree_implements_the_contract() {
-        let ps = ClusteredSpec {
-            clusters: 4,
-            points_per_cluster: 200,
-            dims: 3,
-            sigma: 50.0,
-            seed: 71,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 4, points_per_cluster: 200, dims: 3, sigma: 50.0, seed: 71 }
+                .generate();
         let tree = build(&ps, 16, &BuildMethod::Hilbert);
         let t: &dyn Fn(&SsTree) = &|tree| {
             assert_eq!(GpuIndex::dims(tree), 3);
@@ -181,14 +176,9 @@ mod tests {
 
     #[test]
     fn sphere_min_max_from_one_distance() {
-        let ps = ClusteredSpec {
-            clusters: 2,
-            points_per_cluster: 100,
-            dims: 2,
-            sigma: 20.0,
-            seed: 72,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 2, points_per_cluster: 100, dims: 2, sigma: 20.0, seed: 72 }
+                .generate();
         let tree = build(&ps, 8, &BuildMethod::Hilbert);
         let c = GpuIndex::children(&tree, tree.root).start;
         let q = vec![0.0f32, 0.0];
@@ -200,18 +190,10 @@ mod tests {
 
     #[test]
     fn maxdist_costs_nothing_extra_for_spheres() {
-        let ps = ClusteredSpec {
-            clusters: 2,
-            points_per_cluster: 50,
-            dims: 8,
-            sigma: 20.0,
-            seed: 73,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 8, sigma: 20.0, seed: 73 }
+                .generate();
         let tree = build(&ps, 8, &BuildMethod::Hilbert);
-        assert_eq!(
-            GpuIndex::child_eval_cost(&tree, false),
-            GpuIndex::child_eval_cost(&tree, true)
-        );
+        assert_eq!(GpuIndex::child_eval_cost(&tree, false), GpuIndex::child_eval_cost(&tree, true));
     }
 }

@@ -9,7 +9,7 @@
 //! child. That repeated work is metered here: an internal node whose `m`
 //! children get visited is fetched `m + 1` times.
 
-use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::index::GpuIndex;
@@ -26,9 +26,22 @@ pub fn bnb_query<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> (Vec<Neighbor>, KernelStats) {
+    bnb_query_traced(tree, q, k, cfg, opts, &mut NoopSink)
+}
+
+/// [`bnb_query`] with every metering call mirrored into `sink`; results and
+/// counters are bit-identical to the untraced run.
+pub fn bnb_query_traced<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    sink: &mut dyn TraceSink,
+) -> (Vec<Neighbor>, KernelStats) {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
-    let mut block = Block::new(opts.threads_per_block, cfg);
+    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
@@ -37,7 +50,7 @@ pub fn bnb_query<T: GpuIndex>(
     let mut scratch = Scratch::default();
     let mut pruning = f32::INFINITY;
 
-    visit(tree, tree.root(), q, k, opts, &mut block, &mut list, &mut scratch, &mut pruning);
+    visit(tree, tree.root(), 0, q, k, opts, &mut block, &mut list, &mut scratch, &mut pruning);
     (list.into_sorted(), block.finish())
 }
 
@@ -45,6 +58,7 @@ pub fn bnb_query<T: GpuIndex>(
 fn visit<T: GpuIndex>(
     tree: &T,
     n: u32,
+    level: u32,
     q: &[f32],
     k: usize,
     opts: &KernelOptions,
@@ -54,7 +68,7 @@ fn visit<T: GpuIndex>(
     pruning: &mut f32,
 ) {
     if tree.is_leaf(n) {
-        process_leaf(block, tree, n, q, list, scratch, opts, false);
+        process_leaf(block, tree, n, q, list, scratch, opts, false, level);
         *pruning = pruning.min(list.bound());
         return;
     }
@@ -62,10 +76,20 @@ fn visit<T: GpuIndex>(
     let kids = tree.children(n);
     let cnt = kids.len();
     let mut visited = vec![false; cnt];
+    let mut first = true;
     loop {
         // (Re-)fetch the node and recompute child distances: with no stack
-        // there is nowhere to keep them across the recursive descent.
-        fetch_internal(block, tree, n, opts.layout);
+        // there is nowhere to keep them across the recursive descent. The
+        // first fetch is part of the descent; every later one is the cost of
+        // parent-link backtracking and is attributed (and counted) as such.
+        if first {
+            block.set_phase(Phase::Descend);
+            first = false;
+        } else {
+            block.set_phase(Phase::Backtrack);
+            block.backtrack(level + 1);
+        }
+        fetch_internal(block, tree, n, opts.layout, level);
         child_distances(block, tree, n, q, opts.use_minmax_prune, scratch);
         if opts.use_minmax_prune && scratch.max_d.len() >= k {
             let bound = kth_maxdist(block, &scratch.max_d, k);
@@ -78,7 +102,7 @@ fn visit<T: GpuIndex>(
             if visited[i] || d >= *pruning {
                 continue;
             }
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 best = Some((i, d));
             }
         }
@@ -86,7 +110,18 @@ fn visit<T: GpuIndex>(
             None => return,
             Some((i, _)) => {
                 visited[i] = true;
-                visit(tree, kids.start + i as u32, q, k, opts, block, list, scratch, pruning);
+                visit(
+                    tree,
+                    kids.start + i as u32,
+                    level + 1,
+                    q,
+                    k,
+                    opts,
+                    block,
+                    list,
+                    scratch,
+                    pruning,
+                );
             }
         }
     }
@@ -101,14 +136,8 @@ mod tests {
     use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
 
     fn setup(dims: usize, sigma: f32) -> (PointSet, SsTree) {
-        let ps = ClusteredSpec {
-            clusters: 5,
-            points_per_cluster: 300,
-            dims,
-            sigma,
-            seed: 13,
-        }
-        .generate();
+        let ps = ClusteredSpec { clusters: 5, points_per_cluster: 300, dims, sigma, seed: 13 }
+            .generate();
         let tree = build(&ps, 16, &BuildMethod::Hilbert);
         (ps, tree)
     }

@@ -7,7 +7,7 @@
 //! perfect memory behaviour, zero pruning.
 
 use psb_geom::{dist, PointSet};
-use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::dist_cost;
@@ -22,22 +22,35 @@ pub fn brute_query(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> (Vec<Neighbor>, KernelStats) {
+    brute_query_traced(points, q, k, cfg, opts, &mut NoopSink)
+}
+
+/// [`brute_query`] with every metering call mirrored into `sink`; results and
+/// counters are bit-identical to the untraced run.
+pub fn brute_query_traced(
+    points: &PointSet,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    sink: &mut dyn TraceSink,
+) -> (Vec<Neighbor>, KernelStats) {
     assert_eq!(q.len(), points.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     assert!(!points.is_empty(), "brute-force scan over zero points");
-    let mut block = Block::new(opts.threads_per_block, cfg);
+    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     let tile = block.threads() as usize;
     // Shared memory: the staged tile plus the k-best list.
     let tile_bytes = (tile * points.dims() * 4) as u64;
-    block
-        .reserve_shared(tile_bytes, cfg.smem_per_sm)
-        .expect("tile must fit in shared memory");
+    block.reserve_shared(tile_bytes, cfg.smem_per_sm).expect("tile must fit in shared memory");
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
 
     let dc = dist_cost(points.dims());
     let mut dists: Vec<(f32, u32)> = Vec::with_capacity(tile);
     let mut start = 0usize;
     while start < points.len() {
+        // Tile load + distance sweep are the scan; the k-best updates merge.
+        block.set_phase(Phase::LeafScan);
         let len = tile.min(points.len() - start);
         block.load_global_stream((len * points.dims() * 4) as u64);
         dists.clear();
@@ -45,6 +58,7 @@ pub fn brute_query(
             let p = start + i;
             dists.push((dist(q, points.point(p)), p as u32));
         });
+        block.set_phase(Phase::ResultMerge);
         for &(d, id) in &dists {
             list.offer(&mut block, d, id);
         }
@@ -86,8 +100,7 @@ mod tests {
     fn reads_the_whole_dataset() {
         let ps = dataset();
         let cfg = DeviceConfig::k40();
-        let (_, stats) =
-            brute_query(&ps, ps.point(0), 4, &cfg, &KernelOptions::default());
+        let (_, stats) = brute_query(&ps, ps.point(0), 4, &cfg, &KernelOptions::default());
         assert_eq!(stats.global_bytes, ps.bytes());
     }
 
@@ -97,8 +110,7 @@ mod tests {
         // list updates; efficiency stays high but below 1.0 (serial updates).
         let ps = dataset();
         let cfg = DeviceConfig::k40();
-        let (_, stats) =
-            brute_query(&ps, ps.point(5), 4, &cfg, &KernelOptions::default());
+        let (_, stats) = brute_query(&ps, ps.point(5), 4, &cfg, &KernelOptions::default());
         let eff = stats.warp_efficiency();
         assert!(eff > 0.8, "brute force should be near-coherent, got {eff}");
     }
@@ -110,8 +122,7 @@ mod tests {
             ps.push(&[i as f32, 1.0]);
         }
         let cfg = DeviceConfig::k40();
-        let (got, _) =
-            brute_query(&ps, &[0.0, 0.0], 100, &cfg, &KernelOptions::default());
+        let (got, _) = brute_query(&ps, &[0.0, 0.0], 100, &cfg, &KernelOptions::default());
         assert_eq!(got.len(), 7);
     }
 }

@@ -17,51 +17,50 @@ pub mod restart;
 pub mod tpss;
 
 use psb_geom::dist;
-use psb_gpu::Block;
+use psb_gpu::{Block, NodeKind, Phase};
 
 use crate::dist_cost;
 use crate::index::GpuIndex;
 use crate::knnlist::GpuKnnList;
 use crate::options::{KernelOptions, NodeLayout};
 
-/// Meter fetching an internal node's child-volume block.
+/// Meter fetching an internal node's child-volume block. `level` is the node's
+/// tree depth (root = 0), feeding the per-level visit histogram; the load is
+/// attributed to whatever [`Phase`] the block is currently in.
 pub(crate) fn fetch_internal<T: GpuIndex>(
     block: &mut Block,
     tree: &T,
     n: u32,
     layout: NodeLayout,
+    level: u32,
 ) {
-    block.visit_node();
+    block.visit_node(level, NodeKind::Internal);
     match layout {
         NodeLayout::Soa => block.load_global(tree.internal_node_bytes(n)),
         NodeLayout::Aos => {
-            block.load_global_strided(
-                tree.children(n).len() as u64,
-                tree.child_entry_bytes(),
-            );
+            block.load_global_strided(tree.children(n).len() as u64, tree.child_entry_bytes());
         }
     }
 }
 
 /// Meter fetching a leaf node's point block. `sequential` marks arrivals via
 /// the right-sibling link: leaves are laid out contiguously, so the scan is a
-/// prefetchable stream (the paper's "fast linear scanning").
+/// prefetchable stream (the paper's "fast linear scanning"). `level` is the
+/// leaf's tree depth for the visit histogram.
 pub(crate) fn fetch_leaf<T: GpuIndex>(
     block: &mut Block,
     tree: &T,
     n: u32,
     layout: NodeLayout,
     sequential: bool,
+    level: u32,
 ) {
-    block.visit_node();
+    block.visit_node(level, NodeKind::Leaf);
     match layout {
         NodeLayout::Soa if sequential => block.load_global_stream(tree.leaf_node_bytes(n)),
         NodeLayout::Soa => block.load_global(tree.leaf_node_bytes(n)),
         NodeLayout::Aos => {
-            block.load_global_strided(
-                tree.leaf_points(n).len() as u64,
-                tree.point_entry_bytes(),
-            );
+            block.load_global_strided(tree.leaf_points(n).len() as u64, tree.point_entry_bytes());
         }
     }
 }
@@ -78,6 +77,11 @@ pub(crate) struct Scratch {
 /// Fetch a leaf, compute all point distances in parallel, and push improvements
 /// into the k-best list. Returns true when the list changed (PSB's
 /// continue-scanning test). `sequential` marks sibling-scan arrivals.
+///
+/// Phase choreography: the fetch and the distance sweep run under
+/// [`Phase::LeafScan`]; offering into the k-best list runs under
+/// [`Phase::ResultMerge`], which is left set on return — callers re-set their
+/// phase at the next branch they take.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn process_leaf<T: GpuIndex>(
     block: &mut Block,
@@ -88,8 +92,10 @@ pub(crate) fn process_leaf<T: GpuIndex>(
     scratch: &mut Scratch,
     opts: &KernelOptions,
     sequential: bool,
+    level: u32,
 ) -> bool {
-    fetch_leaf(block, tree, n, opts.layout, sequential);
+    block.set_phase(Phase::LeafScan);
+    fetch_leaf(block, tree, n, opts.layout, sequential, level);
     let range = tree.leaf_points(n);
     let start = range.start;
     let len = range.len();
@@ -100,6 +106,7 @@ pub(crate) fn process_leaf<T: GpuIndex>(
         let d = dist(q, tree.point(p));
         scratch.leaf.push((d, tree.point_id(p)));
     });
+    block.set_phase(Phase::ResultMerge);
     let mut changed = false;
     for &(d, id) in &scratch.leaf {
         changed |= list.offer(block, d, id);

@@ -13,7 +13,7 @@
 //! way a real kernel would append via an atomic cursor into an output buffer).
 
 use psb_geom::dist;
-use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::index::GpuIndex;
@@ -31,9 +31,22 @@ pub fn range_query_gpu<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> (Vec<Neighbor>, KernelStats) {
+    range_query_gpu_traced(tree, q, radius, cfg, opts, &mut NoopSink)
+}
+
+/// [`range_query_gpu`] with every metering call mirrored into `sink`; results
+/// and counters are bit-identical to the untraced run.
+pub fn range_query_gpu_traced<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    sink: &mut dyn TraceSink,
+) -> (Vec<Neighbor>, KernelStats) {
     assert!(radius >= 0.0, "radius must be non-negative");
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
-    let mut block = Block::new(opts.threads_per_block, cfg);
+    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     let static_smem = tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
@@ -45,9 +58,11 @@ pub fn range_query_gpu<T: GpuIndex>(
     let last_leaf = (tree.num_leaves() - 1) as u32;
     let mut visited: i64 = -1;
     let mut n = tree.root();
+    let mut level = 0u32;
     'sweep: loop {
         while !tree.is_leaf(n) {
-            fetch_internal(&mut block, tree, n, opts.layout);
+            block.set_phase(Phase::Descend);
+            fetch_internal(&mut block, tree, n, opts.layout, level);
             child_distances(&mut block, tree, n, q, false, &mut scratch);
             let kids = tree.children(n);
             block.par_for(kids.len(), 1, |_| {});
@@ -55,22 +70,26 @@ pub fn range_query_gpu<T: GpuIndex>(
             block.scalar(2);
             let mut chosen = None;
             for (i, c) in kids.enumerate() {
-                if scratch.min_d[i] <= radius
-                    && tree.subtree_max_leaf(c) as i64 > visited
-                {
+                if scratch.min_d[i] <= radius && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
                 }
             }
             match chosen {
-                Some(c) => n = c,
+                Some(c) => {
+                    n = c;
+                    level += 1;
+                }
                 None => {
                     visited = visited.max(tree.subtree_max_leaf(n) as i64);
                     if n == tree.root() {
                         break 'sweep;
                     }
+                    block.set_phase(Phase::Backtrack);
+                    block.backtrack(level);
                     block.scalar(1);
                     n = tree.parent(n);
+                    level -= 1;
                 }
             }
         }
@@ -79,7 +98,8 @@ pub fn range_query_gpu<T: GpuIndex>(
         // producing hits (in-range leaves cluster together on the curve).
         let mut via_sibling = false;
         loop {
-            fetch_leaf(&mut block, tree, n, opts.layout, via_sibling);
+            block.set_phase(Phase::LeafScan);
+            fetch_leaf(&mut block, tree, n, opts.layout, via_sibling, level);
             let range = tree.leaf_points(n);
             let start = range.start;
             let len = range.len();
@@ -89,6 +109,7 @@ pub fn range_query_gpu<T: GpuIndex>(
                 let d = dist(q, tree.point(p));
                 scratch.leaf.push((d, tree.point_id(p)));
             });
+            block.set_phase(Phase::ResultMerge);
             let mut hits = 0u64;
             for &(d, id) in &scratch.leaf {
                 if d <= radius {
@@ -104,14 +125,18 @@ pub fn range_query_gpu<T: GpuIndex>(
             let lid = tree.leaf_id(n);
             visited = lid as i64;
             if opts.leaf_scan && hits > 0 && lid < last_leaf {
+                block.set_phase(Phase::LeafScan);
                 block.scalar(1);
                 n = tree.leaf_node_of(lid + 1);
                 via_sibling = true;
             } else if n == tree.root() {
                 break 'sweep;
             } else {
+                block.set_phase(Phase::Backtrack);
+                block.backtrack(level);
                 block.scalar(1);
                 n = tree.parent(n);
+                level -= 1;
                 break;
             }
         }

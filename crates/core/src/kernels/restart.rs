@@ -12,7 +12,7 @@
 //! Exactness argument is identical to PSB's: the cursor only advances past
 //! leaves that are visited or provably outside the pruning distance.
 
-use psb_gpu::{Block, DeviceConfig, KernelStats};
+use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::index::GpuIndex;
@@ -29,9 +29,22 @@ pub fn restart_query<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> (Vec<Neighbor>, KernelStats) {
+    restart_query_traced(tree, q, k, cfg, opts, &mut NoopSink)
+}
+
+/// [`restart_query`] with every metering call mirrored into `sink`; results
+/// and counters are bit-identical to the untraced run.
+pub fn restart_query_traced<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    sink: &mut dyn TraceSink,
+) -> (Vec<Neighbor>, KernelStats) {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
-    let mut block = Block::new(opts.threads_per_block, cfg);
+    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
@@ -41,9 +54,11 @@ pub fn restart_query<T: GpuIndex>(
     let mut pruning = f32::INFINITY;
 
     // Initial greedy descent primes the pruning distance (same as PSB).
+    block.set_phase(Phase::Descend);
     let mut n = tree.root();
+    let mut level = 0u32;
     while !tree.is_leaf(n) {
-        fetch_internal(&mut block, tree, n, opts.layout);
+        fetch_internal(&mut block, tree, n, opts.layout, level);
         child_distances(&mut block, tree, n, q, false, &mut scratch);
         block.par_reduce(scratch.min_d.len(), 2);
         // Pick the child nearest the query. MINDIST alone ties at 0 whenever
@@ -63,8 +78,9 @@ pub fn restart_query<T: GpuIndex>(
             }
         }
         n = best_c;
+        level += 1;
     }
-    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false);
+    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false, level);
     pruning = pruning.min(list.bound());
 
     let last_leaf = (tree.num_leaves() - 1) as u32;
@@ -72,8 +88,10 @@ pub fn restart_query<T: GpuIndex>(
     'restart: loop {
         // Full descent from the root toward the leftmost qualifying leaf.
         n = tree.root();
+        level = 0;
         while !tree.is_leaf(n) {
-            fetch_internal(&mut block, tree, n, opts.layout);
+            block.set_phase(Phase::Descend);
+            fetch_internal(&mut block, tree, n, opts.layout, level);
             child_distances(&mut block, tree, n, q, opts.use_minmax_prune, &mut scratch);
             if opts.use_minmax_prune && scratch.max_d.len() >= k {
                 let bound = kth_maxdist(&mut block, &scratch.max_d, k);
@@ -86,21 +104,23 @@ pub fn restart_query<T: GpuIndex>(
             block.scalar(2);
             let mut chosen = None;
             for (i, c) in kids.enumerate() {
-                if scratch.min_d[i] < pruning
-                    && tree.subtree_max_leaf(c) as i64 > visited
-                {
+                if scratch.min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
                 }
             }
             match chosen {
-                Some(c) => n = c,
+                Some(c) => {
+                    n = c;
+                    level += 1;
+                }
                 None => {
                     // Everything under `n` is visited or justifiably pruned.
                     visited = visited.max(tree.subtree_max_leaf(n) as i64);
                     if n == tree.root() {
                         break 'restart;
                     }
+                    block.backtrack(level); // restart = backtrack all the way up
                     continue 'restart; // no parent link: go back to the root
                 }
             }
@@ -109,18 +129,28 @@ pub fn restart_query<T: GpuIndex>(
         let mut via_sibling = false;
         loop {
             let changed = process_leaf(
-                &mut block, tree, n, q, &mut list, &mut scratch, opts, via_sibling,
+                &mut block,
+                tree,
+                n,
+                q,
+                &mut list,
+                &mut scratch,
+                opts,
+                via_sibling,
+                level,
             );
             pruning = pruning.min(list.bound());
             let lid = tree.leaf_id(n);
             visited = lid as i64;
             if opts.leaf_scan && changed && lid < last_leaf {
+                block.set_phase(Phase::LeafScan);
                 block.scalar(1);
                 n = tree.leaf_node_of(lid + 1);
                 via_sibling = true;
             } else if n == tree.root() {
                 break 'restart; // single-leaf tree
             } else {
+                block.backtrack(level);
                 continue 'restart;
             }
         }
@@ -138,14 +168,9 @@ mod tests {
     use psb_sstree::{build, linear_knn, BuildMethod, SsTree};
 
     fn setup() -> (PointSet, SsTree) {
-        let ps = ClusteredSpec {
-            clusters: 6,
-            points_per_cluster: 300,
-            dims: 6,
-            sigma: 140.0,
-            seed: 91,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 6, points_per_cluster: 300, dims: 6, sigma: 140.0, seed: 91 }
+                .generate();
         let tree = build(&ps, 16, &BuildMethod::Hilbert);
         (ps, tree)
     }
@@ -202,10 +227,7 @@ mod tests {
             restart_nodes += restart_query(&tree, q, 8, &cfg, &opts).1.nodes_visited;
             psb_nodes += psb_query(&tree, q, 8, &cfg, &opts).1.nodes_visited;
         }
-        assert!(
-            restart_nodes >= psb_nodes,
-            "restart visited {restart_nodes} < psb {psb_nodes}"
-        );
+        assert!(restart_nodes >= psb_nodes, "restart visited {restart_nodes} < psb {psb_nodes}");
     }
 
     #[test]
@@ -216,8 +238,7 @@ mod tests {
         }
         let tree = build(&ps, 64, &BuildMethod::Hilbert);
         let cfg = DeviceConfig::k40();
-        let (got, _) =
-            restart_query(&tree, &[4.2, 0.0], 2, &cfg, &KernelOptions::default());
+        let (got, _) = restart_query(&tree, &[4.2, 0.0], 2, &cfg, &KernelOptions::default());
         assert_eq!(got.len(), 2);
         assert_eq!(got[0].id, 4);
     }

@@ -14,12 +14,14 @@
 use psb_geom::{dist, PointSet};
 
 use crate::index::GpuIndex;
-use psb_gpu::{run_task_parallel, DeviceConfig, KernelStats, LaneStep};
+use psb_gpu::{run_task_parallel_traced, DeviceConfig, KernelStats, LaneStep, NoopSink, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::dist_cost;
 
-/// Operation tags (distinct tags in one warp serialize).
+/// Operation tags (distinct tags in one warp serialize). The values follow
+/// the [`psb_gpu::op_phase`] convention, so the scheduler attributes each
+/// tag's issues and loads to the matching traversal phase.
 const OP_INTERNAL: u32 = 0;
 const OP_LEAF: u32 = 1;
 const OP_POP: u32 = 2;
@@ -122,6 +124,20 @@ pub fn tpss_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     threads_per_block: u32,
 ) -> (Vec<Vec<Neighbor>>, Vec<KernelStats>) {
+    tpss_batch_traced(tree, queries, k, cfg, threads_per_block, &mut NoopSink)
+}
+
+/// [`tpss_batch`] with every block's issue groups and loads mirrored into
+/// `sink` (blocks run sequentially, so events arrive in block order). Results
+/// and counters are bit-identical to the untraced run.
+pub fn tpss_batch_traced<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    threads_per_block: u32,
+    sink: &mut dyn TraceSink,
+) -> (Vec<Vec<Neighbor>>, Vec<KernelStats>) {
     assert!(k >= 1);
     assert!(!queries.is_empty(), "empty query batch");
     assert_eq!(queries.dims(), tree.dims());
@@ -144,7 +160,7 @@ pub fn tpss_batch<T: GpuIndex>(
                 done: false,
             })
             .collect();
-        let stats = run_task_parallel(cfg, &mut lanes, 0, Lane::step);
+        let stats = run_task_parallel_traced(cfg, &mut lanes, 0, Lane::step, sink);
         per_block.push(stats);
         results.extend(lanes.into_iter().map(|l| l.best));
         qi += block_n;

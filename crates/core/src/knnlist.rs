@@ -12,7 +12,7 @@
 //! Results are exact: the list is a plain sorted array on the host; only the
 //! *cost* of maintaining it is modeled.
 
-use psb_gpu::Block;
+use psb_gpu::{Block, TraceEvent};
 use psb_sstree::Neighbor;
 
 /// Placement policy for the k-best list (paper §V-E).
@@ -46,12 +46,7 @@ impl GpuKnnList {
     /// memory; if it cannot (huge k), the constructor degrades to a hybrid
     /// split at the largest size that fits, which is what a real implementation
     /// would be forced to do.
-    pub fn new(
-        k: usize,
-        policy: SharedMemPolicy,
-        block: &mut Block,
-        smem_per_sm: u64,
-    ) -> Self {
+    pub fn new(k: usize, policy: SharedMemPolicy, block: &mut Block, smem_per_sm: u64) -> Self {
         assert!(k >= 1, "k must be at least 1");
         let want_shared = match policy {
             SharedMemPolicy::AllShared => k,
@@ -99,15 +94,16 @@ impl GpuKnnList {
     /// (`log2 k` instructions on one lane); one landing in the global region of
     /// a hybrid list additionally pays a global write.
     pub fn offer(&mut self, block: &mut Block, dist: f32, id: u32) -> bool {
+        let phase = block.phase();
         if self.entries.len() >= self.k && dist >= self.bound() {
+            block.emit(|| TraceEvent::KnnUpdate { pruned: true, phase });
             return false;
         }
-        let pos = self
-            .entries
-            .partition_point(|n| (n.dist, n.id) < (dist, id));
+        let pos = self.entries.partition_point(|n| (n.dist, n.id) < (dist, id));
         // PSB's sweep can re-scan the leaf already processed during the initial
         // greedy descent; the same (point, distance) pair must not enter twice.
         if self.entries.get(pos).is_some_and(|n| n.id == id && n.dist == dist) {
+            block.emit(|| TraceEvent::KnnUpdate { pruned: true, phase });
             return false;
         }
         self.entries.insert(pos, Neighbor { dist, id });
@@ -118,6 +114,7 @@ impl GpuKnnList {
         if pos < self.global_region {
             block.load_global(ENTRY_BYTES);
         }
+        block.emit(|| TraceEvent::KnnUpdate { pruned: false, phase });
         true
     }
 
@@ -132,7 +129,7 @@ mod tests {
     use super::*;
     use psb_gpu::DeviceConfig;
 
-    fn block() -> (Block, u64) {
+    fn block() -> (Block<'static>, u64) {
         let cfg = DeviceConfig::k40();
         (Block::new(32, &cfg), cfg.smem_per_sm)
     }

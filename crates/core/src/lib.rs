@@ -28,13 +28,13 @@ pub mod kernels;
 pub mod knnlist;
 pub mod options;
 
-pub use engine::{
-    bnb_batch, brute_batch, merge_stats, psb_batch, range_batch, restart_batch,
-    QueryBatchResult,
-};
 pub use dynamic::DynamicSsTree;
+pub use engine::{
+    bnb_batch, bnb_batch_traced, brute_batch, merge_stats, psb_batch, psb_batch_traced,
+    range_batch, restart_batch, QueryBatchResult,
+};
 pub use index::GpuIndex;
-pub use kernels::tpss::tpss_batch;
+pub use kernels::tpss::{tpss_batch, tpss_batch_traced};
 pub use knnlist::SharedMemPolicy;
 pub use options::{KernelOptions, NodeLayout};
 

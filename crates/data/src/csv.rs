@@ -31,11 +31,7 @@ pub fn to_csv(header: &[&str], rows: &[Vec<f64>]) -> String {
 
 /// Writes the first-two-dimension projection of (a sample of) a point set,
 /// suitable for reproducing the Fig. 4 scatter plots.
-pub fn write_projection(
-    ps: &PointSet,
-    sample_every: usize,
-    path: &Path,
-) -> io::Result<()> {
+pub fn write_projection(ps: &PointSet, sample_every: usize, path: &Path) -> io::Result<()> {
     let step = sample_every.max(1);
     let rows: Vec<Vec<f64>> = (0..ps.len())
         .step_by(step)

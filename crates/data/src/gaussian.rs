@@ -51,8 +51,7 @@ impl ClusteredSpec {
         let mut ps = PointSet::with_capacity(self.dims, self.len());
         let mut buf = vec![0f32; self.dims];
         for _ in 0..self.clusters {
-            let center: Vec<f32> =
-                (0..self.dims).map(|_| rng.gen_range(0.0..SPACE)).collect();
+            let center: Vec<f32> = (0..self.dims).map(|_| rng.gen_range(0.0..SPACE)).collect();
             for _ in 0..self.points_per_cluster {
                 for (slot, &c) in buf.iter_mut().zip(&center) {
                     let mut sample = [0f32];

@@ -50,19 +50,12 @@ pub fn read_csv(path: &Path) -> io::Result<PointSet> {
                 if dims == 0 {
                     dims = row.len();
                     if dims == 0 {
-                        return Err(io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            "empty data row",
-                        ));
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, "empty data row"));
                     }
                 } else if row.len() != dims {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
-                        format!(
-                            "line {}: {} columns, expected {dims}",
-                            lineno + 1,
-                            row.len()
-                        ),
+                        format!("line {}: {} columns, expected {dims}", lineno + 1, row.len()),
                     ));
                 }
                 data.extend_from_slice(&row);

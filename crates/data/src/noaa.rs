@@ -25,14 +25,14 @@ use crate::normal::standard_normal;
 /// spread, weight). Weights skew station density the way real ISD coverage does
 /// (dense North America / Europe / East Asia, sparse elsewhere).
 const CONTINENTS: &[(f32, f32, f32, f32, f32)] = &[
-    (-98.0, 39.0, 18.0, 8.0, 0.28),  // North America
-    (10.0, 50.0, 12.0, 6.0, 0.24),   // Europe
-    (115.0, 33.0, 14.0, 9.0, 0.18),  // East Asia
-    (78.0, 22.0, 8.0, 6.0, 0.08),    // South Asia
+    (-98.0, 39.0, 18.0, 8.0, 0.28),   // North America
+    (10.0, 50.0, 12.0, 6.0, 0.24),    // Europe
+    (115.0, 33.0, 14.0, 9.0, 0.18),   // East Asia
+    (78.0, 22.0, 8.0, 6.0, 0.08),     // South Asia
     (-58.0, -15.0, 10.0, 10.0, 0.07), // South America
-    (22.0, 2.0, 12.0, 10.0, 0.07),   // Africa
-    (134.0, -24.0, 10.0, 7.0, 0.05), // Australia
-    (-18.0, 65.0, 3.0, 2.0, 0.03),   // North Atlantic islands
+    (22.0, 2.0, 12.0, 10.0, 0.07),    // Africa
+    (134.0, -24.0, 10.0, 7.0, 0.05),  // Australia
+    (-18.0, 65.0, 3.0, 2.0, 0.03),    // North Atlantic islands
 ];
 
 /// Specification of the synthetic NOAA-like dataset.
@@ -97,10 +97,10 @@ impl NoaaSpec {
             let ci = cumulative.iter().position(|&c| r < c).unwrap_or(0);
             let (lon_c, lat_c, sx, sy, _) = CONTINENTS[ci];
             let &(dx, dy) = &sub_clusters[ci][rng.gen_range(0..sub_clusters[ci].len())];
-            let lon = (lon_c + dx + sx * 0.25 * standard_normal(&mut rng) as f32)
-                .clamp(-180.0, 180.0);
-            let lat = (lat_c + dy + sy * 0.25 * standard_normal(&mut rng) as f32)
-                .clamp(-90.0, 90.0);
+            let lon =
+                (lon_c + dx + sx * 0.25 * standard_normal(&mut rng) as f32).clamp(-180.0, 180.0);
+            let lat =
+                (lat_c + dy + sy * 0.25 * standard_normal(&mut rng) as f32).clamp(-90.0, 90.0);
             stations.push((lon, lat));
         }
 

@@ -43,10 +43,7 @@ mod tests {
         let mut buf = vec![0f32; 10_000];
         fill_normal(&mut rng, 100.0, 5.0, &mut buf);
         let mean = buf.iter().map(|&x| x as f64).sum::<f64>() / buf.len() as f64;
-        let var = buf
-            .iter()
-            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
-            .sum::<f64>()
+        let var = buf.iter().map(|&x| (x as f64 - mean) * (x as f64 - mean)).sum::<f64>()
             / buf.len() as f64;
         assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
         assert!((var.sqrt() - 5.0).abs() < 0.3, "sigma {}", var.sqrt());

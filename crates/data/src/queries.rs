@@ -42,8 +42,9 @@ mod tests {
 
     #[test]
     fn count_and_dims() {
-        let ps = ClusteredSpec { clusters: 3, points_per_cluster: 100, dims: 4, sigma: 10.0, seed: 1 }
-            .generate();
+        let ps =
+            ClusteredSpec { clusters: 3, points_per_cluster: 100, dims: 4, sigma: 10.0, seed: 1 }
+                .generate();
         let q = sample_queries(&ps, 24, 0.01, 7);
         assert_eq!(q.len(), 24);
         assert_eq!(q.dims(), 4);
@@ -51,8 +52,9 @@ mod tests {
 
     #[test]
     fn zero_jitter_lands_on_data_points() {
-        let ps = ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 2, sigma: 5.0, seed: 2 }
-            .generate();
+        let ps =
+            ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 2, sigma: 5.0, seed: 2 }
+                .generate();
         let q = sample_queries(&ps, 10, 0.0, 3);
         for qp in q.iter() {
             let on_data = ps.iter().any(|p| p == qp);
@@ -62,8 +64,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let ps = ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 2, sigma: 5.0, seed: 2 }
-            .generate();
+        let ps =
+            ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 2, sigma: 5.0, seed: 2 }
+                .generate();
         let a = sample_queries(&ps, 16, 0.01, 9);
         let b = sample_queries(&ps, 16, 0.01, 9);
         assert_eq!(a, b);
@@ -71,15 +74,16 @@ mod tests {
 
     #[test]
     fn queries_stay_near_the_data() {
-        let ps = ClusteredSpec { clusters: 5, points_per_cluster: 200, dims: 2, sigma: 50.0, seed: 4 }
-            .generate();
+        let ps =
+            ClusteredSpec { clusters: 5, points_per_cluster: 200, dims: 2, sigma: 50.0, seed: 4 }
+                .generate();
         let bounds = psb_geom::Rect::of_point_set(&ps);
         let q = sample_queries(&ps, 50, 0.01, 5);
         for qp in q.iter() {
             // Within 10% of the data bounding box on each side.
-            for d in 0..2 {
+            for (d, &x) in qp.iter().enumerate().take(2) {
                 let slack = bounds.extent(d) * 0.1;
-                assert!(qp[d] > bounds.min[d] - slack && qp[d] < bounds.max[d] + slack);
+                assert!(x > bounds.min[d] - slack && x < bounds.max[d] + slack);
             }
         }
     }

@@ -154,12 +154,7 @@ fn run(items: &dyn Items, mode: RitterMode) -> Sphere {
     // Initial sphere spanning items p and q (diameter = far side of p to far side
     // of q). With radii it is: radius = (|pq| + rp + rq) / 2, center on the p->q
     // segment offset so each sphere's far side touches the boundary.
-    let center_gap: f64 = cp
-        .iter()
-        .zip(&cq)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let center_gap: f64 = cp.iter().zip(&cq).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     let mut radius = 0.5 * (center_gap + rp + rq);
     let mut center = vec![0f64; dims];
     if center_gap > 0.0 {
@@ -249,13 +244,7 @@ mod tests {
     #[test]
     fn contains_all_inputs() {
         // A cross pattern that forces at least one growth step.
-        let ps = points(&[
-            &[0.0, 0.0],
-            &[10.0, 0.0],
-            &[5.0, 7.0],
-            &[5.0, -7.0],
-            &[5.0, 0.0],
-        ]);
+        let ps = points(&[&[0.0, 0.0], &[10.0, 0.0], &[5.0, 7.0], &[5.0, -7.0], &[5.0, 0.0]]);
         for mode in [RitterMode::Sequential, RitterMode::Parallel] {
             let s = ritter_points(&ps, &all_idx(5), mode);
             for p in ps.iter() {
@@ -294,10 +283,7 @@ mod tests {
 
     #[test]
     fn concentric_spheres() {
-        let children = vec![
-            Sphere::new(vec![1.0, 1.0], 0.5),
-            Sphere::new(vec![1.0, 1.0], 2.0),
-        ];
+        let children = vec![Sphere::new(vec![1.0, 1.0], 0.5), Sphere::new(vec![1.0, 1.0], 2.0)];
         let s = ritter_spheres(&children, RitterMode::Sequential);
         assert!(s.contains_sphere(&children[1], 1e-5));
         assert!(s.radius <= 2.0 * 1.01);

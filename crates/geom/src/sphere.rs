@@ -63,8 +63,7 @@ impl Sphere {
 
     /// Whether the `other` sphere lies entirely inside `self`, with tolerance `eps`.
     pub fn contains_sphere(&self, other: &Sphere, eps: f32) -> bool {
-        dist(&other.center, &self.center) + other.radius
-            <= self.radius * (1.0 + eps) + eps
+        dist(&other.center, &self.center) + other.radius <= self.radius * (1.0 + eps) + eps
     }
 }
 

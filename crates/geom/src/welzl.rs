@@ -46,8 +46,7 @@ fn ball_from_support(support: &[Vec<f64>], dims: usize) -> Ball {
             let mut g = vec![0f64; m * m];
             let mut b = vec![0f64; m];
             for i in 0..m {
-                let vi: Vec<f64> =
-                    support[i + 1].iter().zip(p0).map(|(a, b)| a - b).collect();
+                let vi: Vec<f64> = support[i + 1].iter().zip(p0).map(|(a, b)| a - b).collect();
                 b[i] = vi.iter().map(|x| x * x).sum::<f64>();
                 for j in 0..m {
                     let dot: f64 = support[j + 1]
@@ -65,18 +64,12 @@ fn ball_from_support(support: &[Vec<f64>], dims: usize) -> Ball {
                 Some(lambda) => {
                     let mut center = p0.clone();
                     for (i, &l) in lambda.iter().enumerate() {
-                        for (c, (a, b0)) in
-                            center.iter_mut().zip(support[i + 1].iter().zip(p0))
-                        {
+                        for (c, (a, b0)) in center.iter_mut().zip(support[i + 1].iter().zip(p0)) {
                             *c += l * (a - b0);
                         }
                     }
-                    let radius = center
-                        .iter()
-                        .zip(p0)
-                        .map(|(a, b)| (a - b) * (a - b))
-                        .sum::<f64>()
-                        .sqrt();
+                    let radius =
+                        center.iter().zip(p0).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
                     Ball { center, radius }
                 }
             }
@@ -115,10 +108,8 @@ fn welzl_rec(
 pub fn welzl(ps: &PointSet, idx: &[u32]) -> Sphere {
     assert!(!idx.is_empty(), "welzl over an empty point set");
     let dims = ps.dims();
-    let pts: Vec<Vec<f64>> = idx
-        .iter()
-        .map(|&i| ps.point(i as usize).iter().map(|&x| x as f64).collect())
-        .collect();
+    let pts: Vec<Vec<f64>> =
+        idx.iter().map(|&i| ps.point(i as usize).iter().map(|&x| x as f64).collect()).collect();
 
     // Deterministic pseudo-shuffle (64-bit LCG) for expected-linear behaviour.
     let mut order: Vec<usize> = (0..pts.len()).collect();
@@ -188,12 +179,8 @@ mod tests {
 
     #[test]
     fn three_dims_tetrahedron() {
-        let ps = points(&[
-            &[1.0, 1.0, 1.0],
-            &[1.0, -1.0, -1.0],
-            &[-1.0, 1.0, -1.0],
-            &[-1.0, -1.0, 1.0],
-        ]);
+        let ps =
+            points(&[&[1.0, 1.0, 1.0], &[1.0, -1.0, -1.0], &[-1.0, 1.0, -1.0], &[-1.0, -1.0, 1.0]]);
         let s = welzl(&ps, &idx(4));
         // Regular tetrahedron inscribed in a sphere of radius sqrt(3).
         assert!((s.radius - 3f32.sqrt()).abs() < 1e-4, "radius {}", s.radius);

@@ -6,14 +6,15 @@ use psb_geom::hilbert::{axes_to_transpose, bits_for_dims, transpose_to_axes};
 use psb_geom::{kmeans, sq_dist, welzl, KMeansParams, PointSet};
 
 fn point_set(dims: usize, max_n: usize) -> impl Strategy<Value = PointSet> {
-    prop::collection::vec(prop::collection::vec(-500.0f32..500.0, dims), 2..max_n)
-        .prop_map(move |rows| {
+    prop::collection::vec(prop::collection::vec(-500.0f32..500.0, dims), 2..max_n).prop_map(
+        move |rows| {
             let mut ps = PointSet::new(dims);
             for r in &rows {
                 ps.push(r);
             }
             ps
-        })
+        },
+    )
 }
 
 proptest! {

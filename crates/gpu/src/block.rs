@@ -11,21 +11,42 @@
 //! items with `t` threads runs `ceil(n / t)` rounds; each round issues only the
 //! warps that have at least one active lane (idle whole warps are skipped by the
 //! hardware scheduler and cost nothing — same as CUDA).
+//!
+//! Every metering call is attributed to the block's current [`Phase`] (set by
+//! the kernel via [`Block::set_phase`]) so [`KernelStats`] carries a per-phase
+//! breakdown, and optionally mirrored as a [`TraceEvent`] into a
+//! [`TraceSink`] when the block was built with [`Block::with_sink`]. Sinks are
+//! write-only observers: the metered counters are identical with or without
+//! one.
 
 use crate::config::DeviceConfig;
-use crate::stats::KernelStats;
+use crate::stats::{KernelStats, MAX_TRACKED_LEVELS};
+use crate::trace::{NodeKind, Phase, TraceEvent, TraceSink};
 
 /// Metering context for one simulated thread block.
-#[derive(Clone, Debug)]
-pub struct Block {
+pub struct Block<'s> {
     threads: u32,
     warp_size: u32,
     transaction_bytes: u64,
     stats: KernelStats,
     smem_in_use: u64,
+    phase: Phase,
+    sink: Option<&'s mut dyn TraceSink>,
 }
 
-impl Block {
+impl std::fmt::Debug for Block<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Block")
+            .field("threads", &self.threads)
+            .field("warp_size", &self.warp_size)
+            .field("phase", &self.phase)
+            .field("traced", &self.sink.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'s> Block<'s> {
     /// A block of `threads` threads on the given device. `threads` is rounded up
     /// to a whole number of warps (CUDA launches always are).
     pub fn new(threads: u32, cfg: &DeviceConfig) -> Self {
@@ -37,7 +58,17 @@ impl Block {
             transaction_bytes: cfg.transaction_bytes,
             stats: KernelStats { blocks: 1, ..Default::default() },
             smem_in_use: 0,
+            phase: Phase::Other,
+            sink: None,
         }
+    }
+
+    /// Like [`Block::new`], but mirroring every metering call into `sink` as
+    /// [`TraceEvent`]s. The metered counters are unaffected by the sink.
+    pub fn with_sink(threads: u32, cfg: &DeviceConfig, sink: &'s mut dyn TraceSink) -> Self {
+        let mut block = Self::new(threads, cfg);
+        block.sink = Some(sink);
+        block
     }
 
     /// Threads in the block (multiple of the warp size).
@@ -52,13 +83,43 @@ impl Block {
         self.threads / self.warp_size
     }
 
+    /// Set the traversal phase subsequent metering is attributed to; returns
+    /// the previous phase so scoped helpers can restore it.
+    #[inline]
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// The phase currently being attributed.
+    #[inline]
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Emit an event to the sink, if one is attached. The closure only runs
+    /// when a sink is present, so untraced runs pay nothing.
+    #[inline]
+    pub fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(event());
+        }
+    }
+
     /// Issue `count` warp instructions with `active` lanes enabled out of a
     /// whole-warp `slots` capacity. The fundamental metering primitive.
     fn issue(&mut self, warps: u64, active: u64, cost: u64) {
         let slots = warps * self.warp_size as u64 * cost;
+        let active = active * cost;
+        let issues = warps * cost;
         self.stats.lane_slots += slots;
-        self.stats.active_lanes += active * cost;
-        self.stats.compute_issues += warps * cost;
+        self.stats.active_lanes += active;
+        self.stats.compute_issues += issues;
+        let p = &mut self.stats.phases[self.phase.index()];
+        p.lane_slots += slots;
+        p.active_lanes += active;
+        p.compute_issues += issues;
+        let phase = self.phase;
+        self.emit(|| TraceEvent::WarpIssue { lane_slots: slots, active_lanes: active, phase });
     }
 
     /// Data-parallel loop: `n` items distributed over the block's threads, each
@@ -131,12 +192,26 @@ impl Block {
         self.issue(w, self.threads as u64, 1);
     }
 
+    fn account_load(&mut self, bytes: u64, transactions: u64, streamed: bool) {
+        self.stats.global_bytes += bytes;
+        self.stats.global_transactions += transactions;
+        let p = &mut self.stats.phases[self.phase.index()];
+        p.global_bytes += bytes;
+        p.global_transactions += transactions;
+        if streamed {
+            self.stats.stream_transactions += transactions;
+            self.stats.phases[self.phase.index()].stream_transactions += transactions;
+        }
+        let phase = self.phase;
+        self.emit(|| TraceEvent::GlobalLoad { bytes, transactions, streamed, phase });
+    }
+
     /// Coalesced global-memory read of `bytes` bytes (SoA layouts): transactions
     /// are `ceil(bytes / 128)`. The address is treated as data-dependent (a
     /// pointer chase), so the transactions expose memory latency.
     pub fn load_global(&mut self, bytes: u64) {
-        self.stats.global_bytes += bytes;
-        self.stats.global_transactions += bytes.div_ceil(self.transaction_bytes).max(1);
+        let t = bytes.div_ceil(self.transaction_bytes).max(1);
+        self.account_load(bytes, t, false);
     }
 
     /// Streaming global read: the address continues a sequential scan that the
@@ -144,9 +219,7 @@ impl Block {
     /// the transactions cost bandwidth but expose no dependent-fetch latency.
     pub fn load_global_stream(&mut self, bytes: u64) {
         let t = bytes.div_ceil(self.transaction_bytes).max(1);
-        self.stats.global_bytes += bytes;
-        self.stats.global_transactions += t;
-        self.stats.stream_transactions += t;
+        self.account_load(bytes, t, true);
     }
 
     /// Strided / AoS global read: `count` elements of `elem_bytes` each land in
@@ -160,8 +233,7 @@ impl Block {
             return;
         }
         let per_elem = elem_bytes.div_ceil(self.transaction_bytes).max(1);
-        self.stats.global_bytes += count * elem_bytes;
-        self.stats.global_transactions += count * per_elem;
+        self.account_load(count * elem_bytes, count * per_elem, false);
     }
 
     /// Reserve `bytes` of shared memory for the lifetime of the kernel (the PSB
@@ -179,9 +251,22 @@ impl Block {
         Ok(())
     }
 
-    /// Record one visited index node (paper-facing counter).
-    pub fn visit_node(&mut self) {
+    /// Record one visited index node (paper-facing counter). `level` is the
+    /// node's depth from the root (clamped into the level histogram).
+    pub fn visit_node(&mut self, level: u32, kind: NodeKind) {
         self.stats.nodes_visited += 1;
+        self.stats.phases[self.phase.index()].nodes_visited += 1;
+        self.stats.level_visits[(level as usize).min(MAX_TRACKED_LEVELS - 1)] += 1;
+        let phase = self.phase;
+        self.emit(|| TraceEvent::NodeVisit { level, kind, phase });
+    }
+
+    /// Record one upward move in the tree from depth `level` (parent-link hop,
+    /// branch-and-bound return, restart). Pure observability: callers meter
+    /// the instruction cost of the move separately (usually one `scalar`).
+    pub fn backtrack(&mut self, level: u32) {
+        self.stats.backtracks += 1;
+        self.emit(|| TraceEvent::Backtrack { level });
     }
 
     /// Finish the kernel and return the counters.
@@ -198,8 +283,9 @@ impl Block {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::VecSink;
 
-    fn block(threads: u32) -> Block {
+    fn block(threads: u32) -> Block<'static> {
         Block::new(threads, &DeviceConfig::k40())
     }
 
@@ -343,5 +429,87 @@ mod tests {
         b2.par_kth_select(128, 32);
         let kth_cost = b2.finish().compute_issues;
         assert!(kth_cost > min_cost, "{kth_cost} <= {min_cost}");
+    }
+
+    #[test]
+    fn metering_is_attributed_to_the_current_phase() {
+        let mut b = block(64);
+        b.set_phase(Phase::Descend);
+        b.par_for(64, 1, |_| {});
+        b.load_global(256);
+        b.set_phase(Phase::LeafScan);
+        b.load_global_stream(512);
+        b.visit_node(2, NodeKind::Leaf);
+        let s = b.finish();
+        assert_eq!(s.phase(Phase::Descend).compute_issues, 2);
+        assert_eq!(s.phase(Phase::Descend).global_bytes, 256);
+        assert_eq!(s.phase(Phase::LeafScan).global_bytes, 512);
+        assert_eq!(s.phase(Phase::LeafScan).stream_transactions, 4);
+        assert_eq!(s.phase(Phase::LeafScan).nodes_visited, 1);
+        assert_eq!(s.level_visits[2], 1);
+        assert!(s.phase_totals_consistent());
+    }
+
+    #[test]
+    fn set_phase_returns_previous_for_scoping() {
+        let mut b = block(32);
+        assert_eq!(b.phase(), Phase::Other);
+        let prev = b.set_phase(Phase::ResultMerge);
+        assert_eq!(prev, Phase::Other);
+        assert_eq!(b.set_phase(prev), Phase::ResultMerge);
+        assert_eq!(b.phase(), Phase::Other);
+    }
+
+    #[test]
+    fn deep_levels_clamp_into_last_bucket() {
+        let mut b = block(32);
+        b.visit_node(500, NodeKind::Internal);
+        let s = b.finish();
+        assert_eq!(s.level_visits[MAX_TRACKED_LEVELS - 1], 1);
+        assert_eq!(s.nodes_visited, 1);
+    }
+
+    #[test]
+    fn sink_mirrors_metering_without_changing_it() {
+        let run = |sink: Option<&mut VecSink>| {
+            let cfg = DeviceConfig::k40();
+            let mut b = match sink {
+                Some(s) => Block::with_sink(64, &cfg, s),
+                None => Block::new(64, &cfg),
+            };
+            b.set_phase(Phase::Descend);
+            b.par_for(100, 2, |_| {});
+            b.load_global(300);
+            b.set_phase(Phase::LeafScan);
+            b.load_global_stream(700);
+            b.visit_node(1, NodeKind::Leaf);
+            b.backtrack(1);
+            b.finish()
+        };
+        let silent = run(None);
+        let mut sink = VecSink::new();
+        let traced = run(Some(&mut sink));
+        assert_eq!(silent, traced, "recording must not perturb the counters");
+        // 2 par_for issues + 2 loads + 1 visit + 1 backtrack.
+        assert_eq!(sink.events.len(), 6);
+        assert!(matches!(
+            sink.events[2],
+            TraceEvent::GlobalLoad { bytes: 300, streamed: false, phase: Phase::Descend, .. }
+        ));
+        assert!(matches!(
+            sink.events[4],
+            TraceEvent::NodeVisit { level: 1, kind: NodeKind::Leaf, phase: Phase::LeafScan }
+        ));
+        assert_eq!(sink.events[5], TraceEvent::Backtrack { level: 1 });
+    }
+
+    #[test]
+    fn backtrack_counts_without_metering() {
+        let mut b = block(32);
+        b.backtrack(3);
+        b.backtrack(2);
+        let s = b.finish();
+        assert_eq!(s.backtracks, 2);
+        assert_eq!(s.compute_issues, 0, "backtrack is observability, not cost");
     }
 }

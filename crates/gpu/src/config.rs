@@ -107,11 +107,8 @@ impl DeviceConfig {
         if smem_block > self.smem_per_sm {
             return 0;
         }
-        let by_smem = if smem_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            (self.smem_per_sm / smem_block) as u32
-        };
+        let by_smem =
+            self.smem_per_sm.checked_div(smem_block).map_or(self.max_blocks_per_sm, |b| b as u32);
         let by_warps = if warps_per_block == 0 {
             self.max_blocks_per_sm
         } else {

@@ -12,6 +12,23 @@
 
 use crate::config::DeviceConfig;
 use crate::stats::KernelStats;
+use crate::trace::Phase;
+
+/// One traversal phase's share of a batch, derived from the merged per-phase
+/// counters — the rows of the inspect tool's per-phase table.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseBreakdown {
+    /// The phase this row describes.
+    pub phase: Phase,
+    /// Warp execution efficiency within the phase, `[0, 1]`.
+    pub warp_efficiency: f64,
+    /// Mean accessed megabytes per block (per query) in the phase.
+    pub avg_accessed_mb: f64,
+    /// This phase's fraction of the batch's global bytes, `[0, 1]`.
+    pub byte_share: f64,
+    /// Fraction of the phase's transactions that stream (prefetchable).
+    pub stream_fraction: f64,
+}
 
 /// Aggregated result of launching a batch of blocks.
 #[derive(Clone, Debug)]
@@ -29,7 +46,37 @@ pub struct LaunchReport {
     /// Mean accessed megabytes per block (per query).
     pub avg_accessed_mb: f64,
     /// Resident blocks per SM under the batch's worst shared-memory footprint.
+    /// Conservative: the whole batch is scheduled at the occupancy of its
+    /// hungriest block (see `occupancy_min`/`occupancy_max` for the spread).
     pub occupancy: u32,
+    /// Smallest per-block occupancy in the batch (equals `occupancy`).
+    pub occupancy_min: u32,
+    /// Largest per-block occupancy in the batch. A gap between min and max
+    /// means the makespan estimate over-penalizes the light blocks.
+    pub occupancy_max: u32,
+}
+
+impl LaunchReport {
+    /// Per-phase breakdown of the batch (one row per [`Phase`], in
+    /// [`Phase::ALL`] order), derived from the merged counters.
+    pub fn phase_breakdown(&self) -> [PhaseBreakdown; Phase::COUNT] {
+        let n = self.merged.blocks.max(1) as f64;
+        let total_bytes = self.merged.global_bytes;
+        Phase::ALL.map(|phase| {
+            let p = self.merged.phase(phase);
+            PhaseBreakdown {
+                phase,
+                warp_efficiency: p.warp_efficiency(),
+                avg_accessed_mb: p.accessed_mb() / n,
+                byte_share: if total_bytes == 0 {
+                    0.0
+                } else {
+                    p.global_bytes as f64 / total_bytes as f64
+                },
+                stream_fraction: p.stream_fraction(),
+            }
+        })
+    }
 }
 
 /// Aggregates a batch of per-block stats under the device cost model.
@@ -46,15 +93,23 @@ pub fn launch_blocks(
     let mut merged = KernelStats::default();
     let mut sum_cycles = 0f64;
     let mut max_cycles = 0f64;
+    let mut occupancy_min = u32::MAX;
+    let mut occupancy_max = 0u32;
     for b in per_block {
         merged.merge(b);
         let c = b.block_cycles(cfg, warps_per_block);
         sum_cycles += c;
         max_cycles = max_cycles.max(c);
+        let occ = cfg.occupancy_blocks(b.smem_peak_bytes, warps_per_block);
+        occupancy_min = occupancy_min.min(occ);
+        occupancy_max = occupancy_max.max(occ);
     }
 
+    // The merged smem peak is the batch max, so this equals occupancy_min; the
+    // batch is scheduled at its hungriest block's occupancy.
     let occupancy = cfg.occupancy_blocks(merged.smem_peak_bytes, warps_per_block);
     assert!(occupancy > 0, "batch contains an unlaunchable block");
+    debug_assert_eq!(occupancy, occupancy_min);
     let slots = (cfg.sms as f64) * occupancy as f64;
     let makespan_cycles = (sum_cycles / slots).max(max_cycles);
 
@@ -66,6 +121,8 @@ pub fn launch_blocks(
         warp_efficiency: merged.warp_efficiency(),
         avg_accessed_mb: merged.accessed_mb() / n,
         occupancy,
+        occupancy_min,
+        occupancy_max,
         merged,
     }
 }
@@ -75,7 +132,7 @@ mod tests {
     use super::*;
 
     fn block_stats(transactions: u64, smem: u64) -> KernelStats {
-        KernelStats {
+        let mut s = KernelStats {
             lane_slots: 3200,
             active_lanes: 1600,
             compute_issues: 100,
@@ -85,7 +142,18 @@ mod tests {
             smem_peak_bytes: smem,
             nodes_visited: 1,
             blocks: 1,
-        }
+            ..Default::default()
+        };
+        // Attribute everything to a single phase so the synthetic block keeps
+        // the per-phase invariant real blocks have.
+        let p = &mut s.phases[Phase::Descend.index()];
+        p.lane_slots = s.lane_slots;
+        p.active_lanes = s.active_lanes;
+        p.compute_issues = s.compute_issues;
+        p.global_bytes = s.global_bytes;
+        p.global_transactions = s.global_transactions;
+        p.nodes_visited = s.nodes_visited;
+        s
     }
 
     #[test]
@@ -112,8 +180,7 @@ mod tests {
     fn smem_pressure_reduces_occupancy_and_extends_makespan() {
         let cfg = DeviceConfig::k40();
         let light: Vec<KernelStats> = (0..240).map(|_| block_stats(1000, 1024)).collect();
-        let heavy: Vec<KernelStats> =
-            (0..240).map(|_| block_stats(1000, 24 * 1024)).collect();
+        let heavy: Vec<KernelStats> = (0..240).map(|_| block_stats(1000, 24 * 1024)).collect();
         let rl = launch_blocks(&cfg, 4, &light);
         let rh = launch_blocks(&cfg, 4, &heavy);
         assert!(rh.occupancy < rl.occupancy);
@@ -133,5 +200,49 @@ mod tests {
     #[should_panic(expected = "zero blocks")]
     fn empty_batch_panics() {
         launch_blocks(&DeviceConfig::k40(), 4, &[]);
+    }
+
+    #[test]
+    fn occupancy_spread_reports_per_block_min_and_max() {
+        let cfg = DeviceConfig::k40();
+        // One shared-memory-hungry block among light ones: the batch schedules
+        // at the hungry block's occupancy, but the spread is visible.
+        let mut blocks: Vec<KernelStats> = (0..9).map(|_| block_stats(100, 1024)).collect();
+        blocks.push(block_stats(100, 24 * 1024));
+        let r = launch_blocks(&cfg, 4, &blocks);
+        assert_eq!(r.occupancy, r.occupancy_min);
+        assert!(r.occupancy_max > r.occupancy_min);
+        assert_eq!(r.occupancy_max, cfg.occupancy_blocks(1024, 4));
+
+        // A uniform batch has no spread.
+        let uniform: Vec<KernelStats> = (0..4).map(|_| block_stats(100, 1024)).collect();
+        let ru = launch_blocks(&cfg, 4, &uniform);
+        assert_eq!(ru.occupancy_min, ru.occupancy_max);
+    }
+
+    #[test]
+    fn phase_breakdown_rows_cover_all_phases_and_shares_sum_to_one() {
+        let cfg = DeviceConfig::k40();
+        let mut a = block_stats(100, 1024);
+        // Move some of block a's bytes into a second phase.
+        let moved = 64 * 128u64;
+        a.phases[Phase::Descend.index()].global_bytes -= moved;
+        a.phases[Phase::LeafScan.index()].global_bytes = moved;
+        a.phases[Phase::LeafScan.index()].stream_transactions = 10;
+        a.phases[Phase::Descend.index()].global_transactions -= 10;
+        a.phases[Phase::LeafScan.index()].global_transactions = 10;
+        a.stream_transactions = 10;
+        let r = launch_blocks(&cfg, 4, &[a, block_stats(100, 1024)]);
+
+        let rows = r.phase_breakdown();
+        assert_eq!(rows.len(), Phase::COUNT);
+        let share_sum: f64 = rows.iter().map(|row| row.byte_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-12);
+        let leaf = rows.iter().find(|row| row.phase == Phase::LeafScan).unwrap();
+        assert_eq!(leaf.stream_fraction, 1.0);
+        assert!(leaf.byte_share > 0.0 && leaf.byte_share < 1.0);
+        // avg_accessed_mb is per block: phase rows sum to the report's value.
+        let mb_sum: f64 = rows.iter().map(|row| row.avg_accessed_mb).sum();
+        assert!((mb_sum - r.avg_accessed_mb).abs() < 1e-12);
     }
 }

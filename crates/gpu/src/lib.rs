@@ -32,14 +32,25 @@
 //!   operation, which is precisely the warp-divergence mechanism the paper
 //!   describes in §II-B.
 
+//!
+//! Both styles attribute their counters to traversal [`trace::Phase`]s
+//! (descend / leaf scan / backtrack / result merge) as they meter, and can
+//! mirror every metering call into a [`trace::TraceSink`] for offline
+//! analysis — see the [`trace`] module.
+
 pub mod block;
 pub mod config;
 pub mod launch;
 pub mod stats;
 pub mod task;
+pub mod trace;
 
 pub use block::Block;
 pub use config::DeviceConfig;
-pub use launch::{launch_blocks, LaunchReport};
-pub use stats::KernelStats;
-pub use task::{run_task_parallel, LaneStep};
+pub use launch::{launch_blocks, LaunchReport, PhaseBreakdown};
+pub use stats::{KernelStats, PhaseStats, MAX_TRACKED_LEVELS};
+pub use task::{op_phase, run_task_parallel, run_task_parallel_traced, LaneStep};
+pub use trace::{
+    event_from_jsonl, event_to_jsonl, read_jsonl, JsonlSink, NodeKind, NoopSink, Phase, TraceEvent,
+    TraceSink, VecSink,
+};

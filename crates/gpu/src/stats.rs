@@ -1,6 +1,67 @@
 //! Per-kernel counters and the cycle cost model.
 
 use crate::config::DeviceConfig;
+use crate::trace::Phase;
+
+/// Deepest tree level with its own bucket in [`KernelStats::level_visits`];
+/// visits below it accumulate in the last bucket. The packed n-ary trees this
+/// simulator indexes stay far shallower (degree ≥ 2 ⇒ depth ≤ log2(n)).
+pub const MAX_TRACKED_LEVELS: usize = 24;
+
+/// Per-phase slice of a block's counters. Summing the per-phase values of a
+/// [`KernelStats`] reproduces its aggregate fields exactly (asserted by
+/// [`KernelStats::phase_totals_consistent`] and the workspace tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Lane slots issued in this phase.
+    pub lane_slots: u64,
+    /// Active lanes across this phase's issues.
+    pub active_lanes: u64,
+    /// Warp instructions issued in this phase.
+    pub compute_issues: u64,
+    /// Bytes read from global memory in this phase.
+    pub global_bytes: u64,
+    /// Global transactions in this phase.
+    pub global_transactions: u64,
+    /// Streaming (prefetchable) subset of this phase's transactions.
+    pub stream_transactions: u64,
+    /// Nodes visited in this phase.
+    pub nodes_visited: u64,
+}
+
+impl PhaseStats {
+    /// Merge another block's same-phase counters (all fields sum).
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.lane_slots += other.lane_slots;
+        self.active_lanes += other.active_lanes;
+        self.compute_issues += other.compute_issues;
+        self.global_bytes += other.global_bytes;
+        self.global_transactions += other.global_transactions;
+        self.stream_transactions += other.stream_transactions;
+        self.nodes_visited += other.nodes_visited;
+    }
+
+    /// Warp efficiency within this phase (0 when the phase never issued).
+    pub fn warp_efficiency(&self) -> f64 {
+        if self.lane_slots == 0 {
+            return 0.0;
+        }
+        self.active_lanes as f64 / self.lane_slots as f64
+    }
+
+    /// Megabytes read in this phase.
+    pub fn accessed_mb(&self) -> f64 {
+        self.global_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Fraction of this phase's transactions that stream (prefetchable).
+    pub fn stream_fraction(&self) -> f64 {
+        if self.global_transactions == 0 {
+            return 0.0;
+        }
+        self.stream_transactions as f64 / self.global_transactions as f64
+    }
+}
 
 /// Counters accumulated by one simulated thread block (or merged across blocks).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -26,6 +87,16 @@ pub struct KernelStats {
     pub nodes_visited: u64,
     /// Number of blocks merged into this value (1 for a single block).
     pub blocks: u64,
+    /// The aggregate counters above, attributed to the traversal phase that
+    /// produced them (indexed by [`Phase::index`]). Always populated; each
+    /// field sums across phases to its aggregate counterpart.
+    pub phases: [PhaseStats; Phase::COUNT],
+    /// Node visits per tree level (root = 0); levels at or beyond
+    /// [`MAX_TRACKED_LEVELS`] − 1 share the last bucket. Sums to
+    /// `nodes_visited` for block-structured kernels that report levels.
+    pub level_visits: [u64; MAX_TRACKED_LEVELS],
+    /// Upward moves in the tree (parent-link hops, BnB returns, restarts).
+    pub backtracks: u64,
 }
 
 impl KernelStats {
@@ -41,6 +112,43 @@ impl KernelStats {
         self.smem_peak_bytes = self.smem_peak_bytes.max(other.smem_peak_bytes);
         self.nodes_visited += other.nodes_visited;
         self.blocks += other.blocks;
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.level_visits.iter_mut().zip(&other.level_visits) {
+            *mine += theirs;
+        }
+        self.backtracks += other.backtracks;
+    }
+
+    /// The counters attributed to `phase`.
+    #[inline]
+    pub fn phase(&self, phase: Phase) -> &PhaseStats {
+        &self.phases[phase.index()]
+    }
+
+    /// Sum of the per-phase counters — equals the aggregates whenever every
+    /// producer attributes its metering (which [`crate::Block`] guarantees).
+    pub fn phase_total(&self) -> PhaseStats {
+        let mut total = PhaseStats::default();
+        for p in &self.phases {
+            total.merge(p);
+        }
+        total
+    }
+
+    /// Whether the per-phase counters sum exactly to the aggregates. True for
+    /// everything produced by this crate; a false return means counters were
+    /// mutated outside [`crate::Block`]/[`crate::run_task_parallel`].
+    pub fn phase_totals_consistent(&self) -> bool {
+        let t = self.phase_total();
+        t.lane_slots == self.lane_slots
+            && t.active_lanes == self.active_lanes
+            && t.compute_issues == self.compute_issues
+            && t.global_bytes == self.global_bytes
+            && t.global_transactions == self.global_transactions
+            && t.stream_transactions == self.stream_transactions
+            && t.nodes_visited == self.nodes_visited
     }
 
     /// Warp execution efficiency in `[0, 1]`: active lanes / issued lane slots.
@@ -82,12 +190,10 @@ impl KernelStats {
             self.smem_peak_bytes,
             cfg.smem_per_sm
         );
-        let hiding = (resident as u64 * warps_per_block as u64)
-            .clamp(1, cfg.max_warps_per_sm as u64) as f64;
+        let hiding =
+            (resident as u64 * warps_per_block as u64).clamp(1, cfg.max_warps_per_sm as u64) as f64;
         let compute = (self.compute_issues * cfg.issue_cycles) as f64;
-        let random = self
-            .global_transactions
-            .saturating_sub(self.stream_transactions) as f64;
+        let random = self.global_transactions.saturating_sub(self.stream_transactions) as f64;
         let latency_bound = random * cfg.mem_latency as f64 / hiding;
         let bandwidth_bound = self.global_bytes as f64 / cfg.bw_bytes_per_sm_cycle();
         compute + latency_bound.max(bandwidth_bound)
@@ -120,6 +226,8 @@ mod tests {
             smem_peak_bytes: 512,
             nodes_visited: 3,
             blocks: 1,
+            backtracks: 2,
+            ..Default::default()
         };
         let b = KernelStats {
             lane_slots: 32,
@@ -131,6 +239,8 @@ mod tests {
             smem_peak_bytes: 1024,
             nodes_visited: 1,
             blocks: 1,
+            backtracks: 1,
+            ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.lane_slots, 96);
@@ -138,6 +248,52 @@ mod tests {
         assert_eq!(a.smem_peak_bytes, 1024);
         assert_eq!(a.blocks, 2);
         assert_eq!(a.nodes_visited, 4);
+        assert_eq!(a.backtracks, 3);
+    }
+
+    #[test]
+    fn merge_sums_phases_and_levels() {
+        let mut a = KernelStats::default();
+        a.phases[Phase::Descend.index()].global_bytes = 100;
+        a.phases[Phase::LeafScan.index()].nodes_visited = 2;
+        a.level_visits[0] = 1;
+        a.level_visits[3] = 2;
+        let mut b = KernelStats::default();
+        b.phases[Phase::Descend.index()].global_bytes = 40;
+        b.level_visits[3] = 5;
+        a.merge(&b);
+        assert_eq!(a.phase(Phase::Descend).global_bytes, 140);
+        assert_eq!(a.phase(Phase::LeafScan).nodes_visited, 2);
+        assert_eq!(a.level_visits[3], 7);
+        assert_eq!(a.level_visits[0], 1);
+    }
+
+    #[test]
+    fn phase_consistency_detects_unattributed_counters() {
+        let mut s = KernelStats::default();
+        assert!(s.phase_totals_consistent());
+        s.phases[Phase::Descend.index()].compute_issues = 3;
+        s.compute_issues = 3;
+        assert!(s.phase_totals_consistent());
+        s.compute_issues = 4; // aggregate bumped without a phase
+        assert!(!s.phase_totals_consistent());
+    }
+
+    #[test]
+    fn phase_stats_derived_metrics() {
+        let p = PhaseStats {
+            lane_slots: 128,
+            active_lanes: 32,
+            global_bytes: 2 * 1024 * 1024,
+            global_transactions: 8,
+            stream_transactions: 6,
+            ..Default::default()
+        };
+        assert_eq!(p.warp_efficiency(), 0.25);
+        assert_eq!(p.accessed_mb(), 2.0);
+        assert_eq!(p.stream_fraction(), 0.75);
+        assert_eq!(PhaseStats::default().warp_efficiency(), 0.0);
+        assert_eq!(PhaseStats::default().stream_fraction(), 0.0);
     }
 
     #[test]
@@ -160,10 +316,7 @@ mod tests {
         };
         let fast = mk(1024).block_cycles(&cfg, 4);
         let slow = mk(24 * 1024).block_cycles(&cfg, 4);
-        assert!(
-            slow > fast,
-            "high smem pressure must reduce hiding: {slow} <= {fast}"
-        );
+        assert!(slow > fast, "high smem pressure must reduce hiding: {slow} <= {fast}");
     }
 
     #[test]

@@ -10,19 +10,35 @@
 
 use crate::config::DeviceConfig;
 use crate::stats::KernelStats;
+use crate::trace::{NoopSink, Phase, TraceEvent, TraceSink};
 
 /// What a lane does in one lockstep step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaneStep {
     /// Operation tag. Lanes in the same warp with equal tags execute together;
     /// distinct tags serialize. Use stable small integers per logical operation
-    /// (e.g. 0 = descend, 1 = leaf scan, 2 = backtrack).
+    /// (e.g. 0 = descend, 1 = leaf scan, 2 = backtrack) — [`op_phase`] maps
+    /// exactly these three tags onto the traversal [`Phase`]s for the
+    /// per-phase breakdown.
     pub op: u32,
     /// Instructions this lane executes for this step.
     pub cost: u64,
     /// Bytes this lane reads from global memory this step (per-lane pointer
     /// chasing: never coalesced across lanes).
     pub global_bytes: u64,
+}
+
+/// Phase attribution for task-parallel op tags: the conventional tags from
+/// the [`LaneStep::op`] docs map onto their traversal phases, anything else
+/// lands in [`Phase::Other`].
+#[inline]
+pub fn op_phase(op: u32) -> Phase {
+    match op {
+        0 => Phase::Descend,
+        1 => Phase::LeafScan,
+        2 => Phase::Backtrack,
+        _ => Phase::Other,
+    }
 }
 
 /// Runs one block's worth of lanes (one query each) to completion in lockstep.
@@ -38,10 +54,27 @@ pub fn run_task_parallel<L>(
     cfg: &DeviceConfig,
     lanes: &mut [L],
     smem_block_bytes: u64,
+    step: impl FnMut(&mut L) -> Option<LaneStep>,
+) -> KernelStats {
+    run_task_parallel_traced(cfg, lanes, smem_block_bytes, step, &mut NoopSink)
+}
+
+/// [`run_task_parallel`] with every issue group and per-lane load mirrored
+/// into `sink`. Counters are attributed to phases via [`op_phase`]; lane
+/// steps with the backtrack tag also bump [`KernelStats::backtracks`] (one
+/// per lane step — task-parallel lanes carry no tree-level information, so
+/// no [`TraceEvent::Backtrack`] is emitted and the level histogram stays
+/// empty).
+pub fn run_task_parallel_traced<L>(
+    cfg: &DeviceConfig,
+    lanes: &mut [L],
+    smem_block_bytes: u64,
     mut step: impl FnMut(&mut L) -> Option<LaneStep>,
+    sink: &mut dyn TraceSink,
 ) -> KernelStats {
     let warp = cfg.warp_size as usize;
-    let mut stats = KernelStats { blocks: 1, smem_peak_bytes: smem_block_bytes, ..Default::default() };
+    let mut stats =
+        KernelStats { blocks: 1, smem_peak_bytes: smem_block_bytes, ..Default::default() };
     let mut done = vec![false; lanes.len()];
     let mut remaining = lanes.len();
 
@@ -52,8 +85,6 @@ pub fn run_task_parallel<L>(
         for (w, warp_lanes) in lanes.chunks_mut(warp).enumerate() {
             let base = w * warp;
             steps.clear();
-            let mut warp_bytes = 0u64;
-            let mut warp_transactions = 0u64;
             for (i, lane) in warp_lanes.iter_mut().enumerate() {
                 if done[base + i] {
                     continue;
@@ -64,11 +95,25 @@ pub fn run_task_parallel<L>(
                         remaining -= 1;
                     }
                     Some(s) => {
+                        let phase = op_phase(s.op);
                         steps.push((s.op, s.cost.max(1)));
+                        if phase == Phase::Backtrack {
+                            stats.backtracks += 1;
+                        }
                         if s.global_bytes > 0 {
-                            warp_bytes += s.global_bytes;
-                            warp_transactions +=
+                            let transactions =
                                 s.global_bytes.div_ceil(cfg.transaction_bytes).max(1);
+                            stats.global_bytes += s.global_bytes;
+                            stats.global_transactions += transactions;
+                            let p = &mut stats.phases[phase.index()];
+                            p.global_bytes += s.global_bytes;
+                            p.global_transactions += transactions;
+                            sink.record(TraceEvent::GlobalLoad {
+                                bytes: s.global_bytes,
+                                transactions,
+                                streamed: false,
+                                phase,
+                            });
                         }
                     }
                 }
@@ -84,27 +129,32 @@ pub fn run_task_parallel<L>(
                 let tag = steps[g].0;
                 let mut max_cost = 0u64;
                 let mut active_instr = 0u64;
-                let mut members = 0u64;
                 for &(op, cost) in steps.iter() {
                     if op == tag {
                         max_cost = max_cost.max(cost);
                         active_instr += cost;
-                        members += 1;
                     }
                 }
+                let slots = max_cost * cfg.warp_size as u64;
                 stats.compute_issues += max_cost;
-                stats.lane_slots += max_cost * cfg.warp_size as u64;
+                stats.lane_slots += slots;
                 stats.active_lanes += active_instr;
-                let _ = members;
+                let phase = op_phase(tag);
+                let p = &mut stats.phases[phase.index()];
+                p.compute_issues += max_cost;
+                p.lane_slots += slots;
+                p.active_lanes += active_instr;
+                sink.record(TraceEvent::WarpIssue {
+                    lane_slots: slots,
+                    active_lanes: active_instr,
+                    phase,
+                });
                 // Advance to the next yet-unprocessed tag.
                 g += 1;
-                while g < steps.len() && steps[..g].iter().any(|&(op, _)| op == steps[g].0)
-                {
+                while g < steps.len() && steps[..g].iter().any(|&(op, _)| op == steps[g].0) {
                     g += 1;
                 }
             }
-            stats.global_bytes += warp_bytes;
-            stats.global_transactions += warp_transactions;
         }
     }
     stats
@@ -159,8 +209,7 @@ mod tests {
 
     #[test]
     fn divergent_ops_serialize() {
-        let mut lanes: Vec<Diverging> =
-            (0..32).map(|id| Diverging { id, left: 5 }).collect();
+        let mut lanes: Vec<Diverging> = (0..32).map(|id| Diverging { id, left: 5 }).collect();
         let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
             if lane.left == 0 {
                 return None;
@@ -192,8 +241,7 @@ mod tests {
     fn multiple_warps_do_not_serialize_against_each_other() {
         // 64 lanes where warp 0 uses op 0 and warp 1 uses op 1: both warps stay
         // fully efficient because divergence only exists within a warp.
-        let mut lanes: Vec<Diverging> =
-            (0..64).map(|id| Diverging { id, left: 3 }).collect();
+        let mut lanes: Vec<Diverging> = (0..64).map(|id| Diverging { id, left: 3 }).collect();
         let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
             if lane.left == 0 {
                 return None;
@@ -206,8 +254,7 @@ mod tests {
 
     #[test]
     fn variable_cost_groups_use_max_cost() {
-        let mut lanes: Vec<Diverging> =
-            (0..2).map(|id| Diverging { id, left: 1 }).collect();
+        let mut lanes: Vec<Diverging> = (0..2).map(|id| Diverging { id, left: 1 }).collect();
         let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
             if lane.left == 0 {
                 return None;
@@ -218,6 +265,73 @@ mod tests {
         // Group runs for max(1, 10) = 10 instructions; active = 1 + 10.
         assert_eq!(s.compute_issues, 10);
         assert_eq!(s.active_lanes, 11);
+    }
+
+    #[test]
+    fn op_tags_attribute_to_phases_and_sum_to_aggregates() {
+        let mut lanes: Vec<Diverging> = (0..32).map(|id| Diverging { id, left: 3 }).collect();
+        let s = run_task_parallel(&cfg(), &mut lanes, 0, |lane| {
+            if lane.left == 0 {
+                return None;
+            }
+            lane.left -= 1;
+            // Cycle each lane through descend / leaf scan / backtrack.
+            Some(LaneStep { op: lane.left % 3, cost: 1, global_bytes: 8 })
+        });
+        assert!(s.phase_totals_consistent());
+        assert_eq!(s.backtracks, 32);
+        assert!(s.phase(Phase::Descend).compute_issues > 0);
+        assert!(s.phase(Phase::LeafScan).global_bytes > 0);
+        assert!(s.phase(Phase::Backtrack).lane_slots > 0);
+        assert_eq!(s.phase(Phase::Other).lane_slots, 0);
+    }
+
+    #[test]
+    fn traced_run_mirrors_counters_into_events() {
+        use crate::trace::VecSink;
+        let mut silent: Vec<Uniform> = (0..32).map(|_| Uniform { left: 2 }).collect();
+        let baseline = run_task_parallel(&cfg(), &mut silent, 0, |lane| {
+            if lane.left == 0 {
+                return None;
+            }
+            lane.left -= 1;
+            Some(LaneStep { op: 0, cost: 1, global_bytes: 16 })
+        });
+
+        let mut sink = VecSink::default();
+        let mut lanes: Vec<Uniform> = (0..32).map(|_| Uniform { left: 2 }).collect();
+        let traced = run_task_parallel_traced(
+            &cfg(),
+            &mut lanes,
+            0,
+            |lane| {
+                if lane.left == 0 {
+                    return None;
+                }
+                lane.left -= 1;
+                Some(LaneStep { op: 0, cost: 1, global_bytes: 16 })
+            },
+            &mut sink,
+        );
+        assert_eq!(baseline, traced);
+        let issued: u64 = sink
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::WarpIssue { active_lanes, .. } => *active_lanes,
+                _ => 0,
+            })
+            .sum();
+        let loaded: u64 = sink
+            .events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::GlobalLoad { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(issued, traced.active_lanes);
+        assert_eq!(loaded, traced.global_bytes);
     }
 
     #[test]

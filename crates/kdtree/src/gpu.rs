@@ -161,14 +161,9 @@ mod tests {
     use psb_data::{sample_queries, ClusteredSpec};
 
     fn setup() -> (PointSet, KdTree, PointSet) {
-        let ps = ClusteredSpec {
-            clusters: 5,
-            points_per_cluster: 300,
-            dims: 4,
-            sigma: 120.0,
-            seed: 71,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 5, points_per_cluster: 300, dims: 4, sigma: 120.0, seed: 71 }
+                .generate();
         let tree = KdTree::build(&ps, 8);
         let queries = sample_queries(&ps, 64, 0.01, 72);
         (ps, tree, queries)

@@ -92,11 +92,7 @@ impl KdTree {
     /// ranges contiguous, split planes consistent with subtree contents.
     pub fn validate(&self) -> Result<(), String> {
         let mut covered = vec![false; self.points.len()];
-        fn walk(
-            t: &KdTree,
-            n: u32,
-            covered: &mut [bool],
-        ) -> Result<(u32, u32), String> {
+        fn walk(t: &KdTree, n: u32, covered: &mut [bool]) -> Result<(u32, u32), String> {
             let node = t.nodes[n as usize];
             if node.left == NIL {
                 if node.right != NIL {

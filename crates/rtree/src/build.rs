@@ -30,10 +30,8 @@ pub fn build_rtree(points: &PointSet, degree: usize, method: &RtreeBuildMethod) 
     let order: Vec<u32> = match method {
         RtreeBuildMethod::Hilbert => {
             let bounds = Rect::of_point_set(points);
-            let keys: Vec<HilbertKey> = (0..n)
-                .into_par_iter()
-                .map(|i| hilbert_key(points.point(i), &bounds))
-                .collect();
+            let keys: Vec<HilbertKey> =
+                (0..n).into_par_iter().map(|i| hilbert_key(points.point(i), &bounds)).collect();
             let mut idx: Vec<u32> = (0..n as u32).collect();
             idx.par_sort_unstable_by_key(|&i| (keys[i as usize], i));
             idx
@@ -57,9 +55,7 @@ fn str_order(points: &PointSet, idx: &mut [u32], dim: usize, leaf_cap: usize) {
         return;
     }
     idx.sort_unstable_by(|&a, &b| {
-        points.point(a as usize)[dim]
-            .total_cmp(&points.point(b as usize)[dim])
-            .then(a.cmp(&b))
+        points.point(a as usize)[dim].total_cmp(&points.point(b as usize)[dim]).then(a.cmp(&b))
     });
     // Number of leaves this span will produce, spread over the remaining dims.
     // Slab boundaries must fall on whole leaves, or the final chunking would
@@ -196,14 +192,8 @@ mod tests {
     use psb_geom::dist;
 
     fn dataset(dims: usize) -> PointSet {
-        ClusteredSpec {
-            clusters: 6,
-            points_per_cluster: 300,
-            dims,
-            sigma: 90.0,
-            seed: 83,
-        }
-        .generate()
+        ClusteredSpec { clusters: 6, points_per_cluster: 300, dims, sigma: 90.0, seed: 83 }
+            .generate()
     }
 
     fn linear(ps: &PointSet, q: &[f32], k: usize) -> Vec<(f32, u32)> {
@@ -250,10 +240,7 @@ mod tests {
         let ps = dataset(2); // 1800 points
         let t = build_rtree(&ps, 18, &RtreeBuildMethod::Hilbert);
         assert_eq!(t.leaf_node_of.len(), 100);
-        assert!(t
-            .leaf_node_of
-            .iter()
-            .all(|&n| t.child_count[n as usize] == 18));
+        assert!(t.leaf_node_of.iter().all(|&n| t.child_count[n as usize] == 18));
     }
 
     #[test]

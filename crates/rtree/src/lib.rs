@@ -127,28 +127,18 @@ mod tests {
 
     #[test]
     fn rect_maxdist_costs_more_than_mindist() {
-        let ps = ClusteredSpec {
-            clusters: 2,
-            points_per_cluster: 100,
-            dims: 16,
-            sigma: 30.0,
-            seed: 81,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 2, points_per_cluster: 100, dims: 16, sigma: 30.0, seed: 81 }
+                .generate();
         let t = build_rtree(&ps, 16, &RtreeBuildMethod::Hilbert);
         assert!(GpuIndex::child_eval_cost(&t, true) > GpuIndex::child_eval_cost(&t, false));
     }
 
     #[test]
     fn rect_bounds_bracket_points() {
-        let ps = ClusteredSpec {
-            clusters: 3,
-            points_per_cluster: 150,
-            dims: 4,
-            sigma: 60.0,
-            seed: 82,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 3, points_per_cluster: 150, dims: 4, sigma: 60.0, seed: 82 }
+                .generate();
         let t = build_rtree(&ps, 16, &RtreeBuildMethod::Str);
         let q = vec![100.0f32; 4];
         for c in RsTree::children(&t, t.root) {

@@ -184,8 +184,7 @@ impl RsTree {
                     return Err(format!("leaf ids out of order at node {n}"));
                 }
                 cursor += 1;
-                if self.child_count[ni] == 0 || self.child_count[ni] as usize > self.degree
-                {
+                if self.child_count[ni] == 0 || self.child_count[ni] as usize > self.degree {
                     return Err(format!("leaf {n} size invalid"));
                 }
                 let (lo, hi) = self.mbr(n);
@@ -223,8 +222,7 @@ impl RsTree {
                         }
                     }
                 }
-                if min_l != self.subtree_min_leaf[ni] || max_l != self.subtree_max_leaf[ni]
-                {
+                if min_l != self.subtree_min_leaf[ni] || max_l != self.subtree_max_leaf[ni] {
                     return Err(format!("node {n} subtree leaf range wrong"));
                 }
                 for c in kids.rev() {

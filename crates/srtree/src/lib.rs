@@ -136,13 +136,9 @@ impl SrTree {
 
     fn insert(&mut self, points: &PointSet, id: u32) {
         self.len += 1;
-        if let Some(sibling) = insert_rec(
-            &mut self.root,
-            points,
-            id,
-            self.internal_cap,
-            self.leaf_cap,
-        ) {
+        if let Some(sibling) =
+            insert_rec(&mut self.root, points, id, self.internal_cap, self.leaf_cap)
+        {
             let dims = self.dims;
             let old_root = std::mem::replace(&mut self.root, SrNode::new_leaf(dims));
             self.root.level = old_root.level + 1;
@@ -323,9 +319,7 @@ fn split_leaf(node: &mut SrNode, points: &PointSet) -> SrNode {
         node.pts.iter().map(|&p| points.point(p as usize).to_vec()).collect();
     let dim = variance_dim(&coords);
     node.pts.sort_by(|&a, &b| {
-        points.point(a as usize)[dim]
-            .total_cmp(&points.point(b as usize)[dim])
-            .then(a.cmp(&b))
+        points.point(a as usize)[dim].total_cmp(&points.point(b as usize)[dim]).then(a.cmp(&b))
     });
     let half = node.pts.len() / 2;
     let right_pts = node.pts.split_off(half);
@@ -442,14 +436,9 @@ mod tests {
 
     #[test]
     fn prunes_most_of_tight_clusters() {
-        let ps = ClusteredSpec {
-            clusters: 10,
-            points_per_cluster: 300,
-            dims: 4,
-            sigma: 15.0,
-            seed: 84,
-        }
-        .generate();
+        let ps =
+            ClusteredSpec { clusters: 10, points_per_cluster: 300, dims: 4, sigma: 15.0, seed: 84 }
+                .generate();
         let t = SrTree::build(&ps, 2048);
         let q = sample_queries(&ps, 1, 0.002, 85);
         let (_, stats) = t.knn_with_points(&ps, q.point(0), 5);

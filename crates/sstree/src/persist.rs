@@ -171,14 +171,8 @@ mod tests {
     }
 
     fn dataset() -> PointSet {
-        ClusteredSpec {
-            clusters: 5,
-            points_per_cluster: 300,
-            dims: 6,
-            sigma: 90.0,
-            seed: 161,
-        }
-        .generate()
+        ClusteredSpec { clusters: 5, points_per_cluster: 300, dims: 6, sigma: 90.0, seed: 161 }
+            .generate()
     }
 
     #[test]

@@ -72,11 +72,8 @@ impl KBest {
     }
 
     fn into_sorted(self) -> Vec<Neighbor> {
-        let mut v: Vec<Neighbor> = self
-            .heap
-            .into_iter()
-            .map(|HeapItem(dist, id)| Neighbor { dist, id })
-            .collect();
+        let mut v: Vec<Neighbor> =
+            self.heap.into_iter().map(|HeapItem(dist, id)| Neighbor { dist, id }).collect();
         v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         v
     }
@@ -224,14 +221,8 @@ mod tests {
     use psb_data::{sample_queries, ClusteredSpec};
 
     fn setup(dims: usize, sigma: f32) -> (PointSet, SsTree) {
-        let ps = ClusteredSpec {
-            clusters: 6,
-            points_per_cluster: 400,
-            dims,
-            sigma,
-            seed: 31,
-        }
-        .generate();
+        let ps = ClusteredSpec { clusters: 6, points_per_cluster: 400, dims, sigma, seed: 31 }
+            .generate();
         let tree = build(&ps, 16, &BuildMethod::Hilbert);
         (ps, tree)
     }

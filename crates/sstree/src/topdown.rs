@@ -82,9 +82,8 @@ pub fn build_topdown(points: &PointSet, degree: usize) -> SsTree {
     // Flatten post-order into per-level plans and reuse the bottom-up
     // materializer.
     let height = root.level as usize + 1;
-    let mut levels: Vec<Level> = (0..height)
-        .map(|_| Level { spheres: Vec::new(), groups: Vec::new() })
-        .collect();
+    let mut levels: Vec<Level> =
+        (0..height).map(|_| Level { spheres: Vec::new(), groups: Vec::new() }).collect();
     flatten(&root, points, &mut levels);
     materialize(points, degree, levels)
 }
@@ -201,8 +200,7 @@ fn max_variance_dim<'a>(coords: impl Iterator<Item = &'a [f32]> + Clone, dims: u
     let n = coords.clone().count().max(1) as f64;
     for d in 0..dims {
         let mean: f64 = coords.clone().map(|c| c[d] as f64).sum::<f64>() / n;
-        let var: f64 =
-            coords.clone().map(|c| (c[d] as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var: f64 = coords.clone().map(|c| (c[d] as f64 - mean).powi(2)).sum::<f64>() / n;
         if var > best_var {
             best_var = var;
             best_dim = d;
@@ -215,9 +213,7 @@ fn split_leaf(leaf: &mut TdNode, points: &PointSet, _degree: usize) -> InsertOut
     let dims = points.dims();
     let dim = max_variance_dim(leaf.pts.iter().map(|&p| points.point(p as usize)), dims);
     leaf.pts.sort_by(|&a, &b| {
-        points.point(a as usize)[dim]
-            .total_cmp(&points.point(b as usize)[dim])
-            .then(a.cmp(&b))
+        points.point(a as usize)[dim].total_cmp(&points.point(b as usize)[dim]).then(a.cmp(&b))
     });
     let half = leaf.pts.len() / 2;
     let right_pts = leaf.pts.split_off(half);
@@ -286,11 +282,8 @@ fn split_internal(node: &mut TdNode, _degree: usize) -> InsertOutcome {
 fn flatten(node: &TdNode, points: &PointSet, levels: &mut [Level]) -> (usize, u32, Sphere) {
     let center = node.centroid();
     if node.level == 0 {
-        let radius = node
-            .pts
-            .iter()
-            .map(|&p| dist(points.point(p as usize), &center))
-            .fold(0f32, f32::max);
+        let radius =
+            node.pts.iter().map(|&p| dist(points.point(p as usize), &center)).fold(0f32, f32::max);
         let sphere = Sphere::new(center, radius * (1.0 + 1e-6));
         let lvl = &mut levels[0];
         let idx = lvl.spheres.len() as u32;
@@ -322,14 +315,8 @@ mod tests {
     use psb_data::{sample_queries, ClusteredSpec};
 
     fn dataset(n: usize, dims: usize) -> PointSet {
-        ClusteredSpec {
-            clusters: 5,
-            points_per_cluster: n / 5,
-            dims,
-            sigma: 90.0,
-            seed: 21,
-        }
-        .generate()
+        ClusteredSpec { clusters: 5, points_per_cluster: n / 5, dims, sigma: 90.0, seed: 21 }
+            .generate()
     }
 
     #[test]

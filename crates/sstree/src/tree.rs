@@ -148,11 +148,8 @@ impl SsTree {
     /// Average leaf utilization in `[0, 1]` (bottom-up construction yields 1.0
     /// except in the final partial leaf; top-down substantially less).
     pub fn leaf_utilization(&self) -> f64 {
-        let filled: u64 = self
-            .leaf_node_of
-            .iter()
-            .map(|&n| self.child_count[n as usize] as u64)
-            .sum();
+        let filled: u64 =
+            self.leaf_node_of.iter().map(|&n| self.child_count[n as usize] as u64).sum();
         filled as f64 / (self.num_leaves() as u64 * self.degree as u64) as f64
     }
 
@@ -243,8 +240,7 @@ impl SsTree {
                     min_l = min_l.min(self.subtree_min_leaf[ci]);
                     max_l = max_l.max(self.subtree_max_leaf[ci]);
                     // Parent sphere must contain child sphere.
-                    let gap = psb_geom::dist(self.center(c), self.center(n))
-                        + self.radius(c);
+                    let gap = psb_geom::dist(self.center(c), self.center(n)) + self.radius(c);
                     if gap > self.radius(n) * (1.0 + 1e-4) + 1e-4 {
                         return Err(format!(
                             "node {n}: child {c} sphere pokes out ({gap} > {})",
@@ -252,8 +248,7 @@ impl SsTree {
                         ));
                     }
                 }
-                if min_l != self.subtree_min_leaf[ni] || max_l != self.subtree_max_leaf[ni]
-                {
+                if min_l != self.subtree_min_leaf[ni] || max_l != self.subtree_max_leaf[ni] {
                     return Err(format!("node {n}: subtree leaf range wrong"));
                 }
                 // Push children right-to-left so leaves pop left-to-right.

@@ -8,14 +8,9 @@
 use psb::prelude::*;
 
 fn main() {
-    let data = ClusteredSpec {
-        clusters: 100,
-        points_per_cluster: 1_000,
-        dims: 64,
-        sigma: 160.0,
-        seed: 3,
-    }
-    .generate();
+    let data =
+        ClusteredSpec { clusters: 100, points_per_cluster: 1_000, dims: 64, sigma: 160.0, seed: 3 }
+            .generate();
     let queries = sample_queries(&data, 240, 0.01, 4);
     let cfg = DeviceConfig::k40();
     println!(

@@ -17,14 +17,9 @@ fn main() {
     // "Descriptor" vectors: 64-d, clustered (real descriptor sets are highly
     // clustered — that is why indexes beat brute force at all).
     let dims = 64;
-    let database = ClusteredSpec {
-        clusters: 40,
-        points_per_cluster: 2_000,
-        dims,
-        sigma: 200.0,
-        seed: 5,
-    }
-    .generate();
+    let database =
+        ClusteredSpec { clusters: 40, points_per_cluster: 2_000, dims, sigma: 200.0, seed: 5 }
+            .generate();
     let probes = sample_queries(&database, 64, 0.02, 6);
     println!(
         "matching {} probe descriptors against {} database descriptors ({} dims)",
@@ -36,11 +31,7 @@ fn main() {
     // k-means bottom-up construction (paper §IV-B: the better builder in
     // high dimensions, Fig. 3).
     let k_leaf = psb::geom::kmeans::suggested_k(database.len());
-    let tree = build(
-        &database,
-        128,
-        &BuildMethod::KMeans { k_leaf, seed: 11 },
-    );
+    let tree = build(&database, 128, &BuildMethod::KMeans { k_leaf, seed: 11 });
     println!(
         "k-means SS-tree: {} leaves (k_leaf = {k_leaf}), height {}",
         tree.num_leaves(),
@@ -60,10 +51,7 @@ fn main() {
             accepted += 1;
         }
     }
-    println!(
-        "\nratio test: {accepted}/{} probes matched confidently",
-        probes.len()
-    );
+    println!("\nratio test: {accepted}/{} probes matched confidently", probes.len());
 
     println!("\nexact 2-NN cost per probe (simulated K40):");
     println!(

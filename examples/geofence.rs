@@ -12,13 +12,8 @@
 use psb::prelude::*;
 
 fn main() {
-    let data = NoaaSpec {
-        stations: 3_000,
-        reports: 120_000,
-        extra_dims: 0,
-        seed: 0xFE0F,
-    }
-    .generate();
+    let data =
+        NoaaSpec { stations: 3_000, reports: 120_000, extra_dims: 0, seed: 0xFE0F }.generate();
     let tree = build(&data, 128, &BuildMethod::Hilbert);
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
@@ -26,12 +21,7 @@ fn main() {
     // Fences of increasing radius around a busy region (degrees).
     let center = sample_queries(&data, 1, 0.0, 7);
     let q = center.point(0);
-    println!(
-        "geofence center: ({:.3}, {:.3}) over {} reports\n",
-        q[0],
-        q[1],
-        data.len()
-    );
+    println!("geofence center: ({:.3}, {:.3}) over {} reports\n", q[0], q[1], data.len());
 
     println!(
         "{:>10} {:>10} {:>12} {:>12} {:>10}",

@@ -8,16 +8,15 @@ use psb::prelude::*;
 
 fn main() {
     // 1. A clustered dataset: 50k points in 16 dimensions, 50 Gaussian blobs.
-    let data = ClusteredSpec {
-        clusters: 50,
-        points_per_cluster: 1_000,
-        dims: 16,
-        sigma: 120.0,
-        seed: 7,
-    }
-    .generate();
-    println!("dataset: {} points x {} dims ({} MB)",
-        data.len(), data.dims(), data.bytes() / (1024 * 1024));
+    let data =
+        ClusteredSpec { clusters: 50, points_per_cluster: 1_000, dims: 16, sigma: 120.0, seed: 7 }
+            .generate();
+    println!(
+        "dataset: {} points x {} dims ({} MB)",
+        data.len(),
+        data.dims(),
+        data.bytes() / (1024 * 1024)
+    );
 
     // 2. Bottom-up SS-tree with Hilbert-curve leaf packing (paper §IV-A),
     //    degree 128 as in the paper's experiments.
@@ -45,11 +44,16 @@ fn main() {
 
     println!("\nsimulated execution:");
     println!("  nodes visited     : {}", stats.nodes_visited);
-    println!("  global memory read: {:.3} MB (dataset is {:.1} MB)",
-        stats.accessed_mb(), data.bytes() as f64 / (1024.0 * 1024.0));
+    println!(
+        "  global memory read: {:.3} MB (dataset is {:.1} MB)",
+        stats.accessed_mb(),
+        data.bytes() as f64 / (1024.0 * 1024.0)
+    );
     println!("  warp efficiency   : {:.1}%", stats.warp_efficiency() * 100.0);
-    println!("  response time     : {:.4} ms (cost model)",
-        stats.response_ms(&cfg, opts.threads_per_block.div_ceil(32)));
+    println!(
+        "  response time     : {:.4} ms (cost model)",
+        stats.response_ms(&cfg, opts.threads_per_block.div_ceil(32))
+    );
 
     // 4. Cross-check against the CPU oracle.
     let oracle = linear_knn(&data, query.point(0), 8);

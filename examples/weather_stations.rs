@@ -13,17 +13,9 @@
 use psb::prelude::*;
 
 fn main() {
-    let data = NoaaSpec {
-        stations: 5_000,
-        reports: 200_000,
-        extra_dims: 0,
-        seed: 0x2016,
-    }
-    .generate();
-    println!(
-        "NOAA-like workload: {} reports from 5,000 stations (lon/lat degrees)",
-        data.len()
-    );
+    let data =
+        NoaaSpec { stations: 5_000, reports: 200_000, extra_dims: 0, seed: 0x2016 }.generate();
+    println!("NOAA-like workload: {} reports from 5,000 stations (lon/lat degrees)", data.len());
 
     let queries = sample_queries(&data, 48, 0.005, 1);
     let k = 32;
@@ -46,7 +38,10 @@ fn main() {
     }
     let sr_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
-    println!("\n{:<24} {:>14} {:>14} {:>10}", "engine", "response (ms)", "read MB/query", "warp eff");
+    println!(
+        "\n{:<24} {:>14} {:>14} {:>10}",
+        "engine", "response (ms)", "read MB/query", "warp eff"
+    );
     let row = |name: &str, r: &QueryBatchResult| {
         println!(
             "{:<24} {:>14.4} {:>14.3} {:>9.1}%",

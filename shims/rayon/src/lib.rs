@@ -1,0 +1,173 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of `rayon` it uses: `into_par_iter`/`par_iter`/`par_chunks`/
+//! `par_chunks_mut` plus the `map`/`zip`/`enumerate`/`reduce`/`sum`/`collect`
+//! adapters and `par_sort_unstable_by_key`.
+//!
+//! Everything executes **sequentially** on the calling thread. That is
+//! semantically identical for this workspace: every parallel region here is
+//! either order-insensitive or explicitly chunk-merged in order for
+//! determinism, and the simulator's cost model is analytic (host wall-time is
+//! never measured inside a parallel region). Swapping the real `rayon` back in
+//! when a registry is reachable requires no source changes.
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator exposing
+/// rayon's adapter names. Inherent methods (not a trait) so that rayon's
+/// 2-argument `reduce(identity, op)` can coexist with `std::iter::Iterator`.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<B, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> B,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon's fold-with-identity reduce (distinct from `Iterator::reduce`).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+/// Conversion into a [`ParIter`]; blanket-implemented for every
+/// `IntoIterator` (ranges, `Vec`, …).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Shared-slice entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk))
+    }
+}
+
+/// Mutable-slice entry points (`par_chunks_mut`, parallel sorts).
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk))
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key)
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_reduce_matches_sequential() {
+        let got = (0..100usize).into_par_iter().map(|i| i * i).reduce(|| 0, |a, b| a + b);
+        assert_eq!(got, (0..100usize).map(|i| i * i).sum::<usize>());
+    }
+
+    #[test]
+    fn zip_chunks_and_chunks_mut() {
+        let src: Vec<u32> = (0..10).collect();
+        let mut dst = vec![0u32; 10];
+        let moved: usize = src
+            .par_chunks(3)
+            .zip(dst.par_chunks_mut(3))
+            .map(|(s, d)| {
+                d.copy_from_slice(s);
+                s.len()
+            })
+            .sum();
+        assert_eq!(moved, 10);
+        assert_eq!(src, dst);
+    }
+
+    #[test]
+    fn enumerate_reduce_argmax() {
+        let v = [3.0f32, 9.0, 1.0, 9.0];
+        let (pos, _) = v.par_iter().enumerate().map(|(i, &x)| (i, x)).reduce(
+            || (usize::MAX, f32::NEG_INFINITY),
+            |a, b| if b.1 > a.1 || (b.1 == a.1 && b.0 < a.0) { b } else { a },
+        );
+        assert_eq!(pos, 1);
+    }
+
+    #[test]
+    fn par_sort_by_key() {
+        let mut v: Vec<u32> = vec![5, 3, 9, 1];
+        v.par_sort_unstable_by_key(|&x| std::cmp::Reverse(x));
+        assert_eq!(v, vec![9, 5, 3, 1]);
+    }
+}

@@ -34,10 +34,7 @@ struct Flags(Vec<String>);
 
 impl Flags {
     fn get(&self, name: &str) -> Option<String> {
-        self.0
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.0.get(i + 1).cloned())
+        self.0.iter().position(|a| a == name).and_then(|i| self.0.get(i + 1).cloned())
     }
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
         match self.get(name) {

@@ -46,10 +46,8 @@ fn check_all_engines(data: &PointSet, queries: &PointSet, k: usize, degree: usiz
         }
         let (e, _) = brute_query(data, q, k, &cfg, &opts);
         assert_distances_match(&e, &want, &format!("{ctx}/brute"));
-        let kd_n: Vec<Neighbor> = kd_results[qi]
-            .iter()
-            .map(|n| Neighbor { dist: n.dist, id: n.id })
-            .collect();
+        let kd_n: Vec<Neighbor> =
+            kd_results[qi].iter().map(|n| Neighbor { dist: n.dist, id: n.id }).collect();
         assert_distances_match(&kd_n, &want, &format!("{ctx}/kdtree_gpu"));
         let (f, _) = sr.knn_with_points(data, q, k);
         let f: Vec<Neighbor> = f.iter().map(|n| Neighbor { dist: n.dist, id: n.id }).collect();
@@ -59,28 +57,18 @@ fn check_all_engines(data: &PointSet, queries: &PointSet, k: usize, degree: usiz
 
 #[test]
 fn clustered_low_dim() {
-    let data = ClusteredSpec {
-        clusters: 8,
-        points_per_cluster: 250,
-        dims: 2,
-        sigma: 80.0,
-        seed: 101,
-    }
-    .generate();
+    let data =
+        ClusteredSpec { clusters: 8, points_per_cluster: 250, dims: 2, sigma: 80.0, seed: 101 }
+            .generate();
     let queries = sample_queries(&data, 12, 0.01, 102);
     check_all_engines(&data, &queries, 8, 16, "clustered-2d");
 }
 
 #[test]
 fn clustered_high_dim() {
-    let data = ClusteredSpec {
-        clusters: 6,
-        points_per_cluster: 300,
-        dims: 32,
-        sigma: 300.0,
-        seed: 103,
-    }
-    .generate();
+    let data =
+        ClusteredSpec { clusters: 6, points_per_cluster: 300, dims: 32, sigma: 300.0, seed: 103 }
+            .generate();
     let queries = sample_queries(&data, 8, 0.01, 104);
     check_all_engines(&data, &queries, 16, 32, "clustered-32d");
 }
@@ -97,8 +85,7 @@ fn uniform_data() {
 
 #[test]
 fn noaa_reports() {
-    let data = NoaaSpec { stations: 400, reports: 2_000, extra_dims: 0, seed: 107 }
-        .generate();
+    let data = NoaaSpec { stations: 400, reports: 2_000, extra_dims: 0, seed: 107 }.generate();
     let queries = sample_queries(&data, 10, 0.01, 108);
     check_all_engines(&data, &queries, 8, 16, "noaa");
 }
@@ -124,14 +111,9 @@ fn near_duplicate_points() {
 
 #[test]
 fn k_spanning_the_whole_dataset() {
-    let data = ClusteredSpec {
-        clusters: 3,
-        points_per_cluster: 100,
-        dims: 4,
-        sigma: 50.0,
-        seed: 109,
-    }
-    .generate();
+    let data =
+        ClusteredSpec { clusters: 3, points_per_cluster: 100, dims: 4, sigma: 50.0, seed: 109 }
+            .generate();
     let queries = sample_queries(&data, 4, 0.02, 110);
     check_all_engines(&data, &queries, 300, 8, "k-equals-n");
 }

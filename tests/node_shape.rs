@@ -11,14 +11,8 @@ use psb::prelude::*;
 use psb::rtree::{build_rtree, RsTree, RtreeBuildMethod};
 
 fn dataset(dims: usize) -> PointSet {
-    ClusteredSpec {
-        clusters: 12,
-        points_per_cluster: 400,
-        dims,
-        sigma: 140.0,
-        seed: 301,
-    }
-    .generate()
+    ClusteredSpec { clusters: 12, points_per_cluster: 400, dims, sigma: 140.0, seed: 301 }
+        .generate()
 }
 
 #[test]

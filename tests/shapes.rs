@@ -5,14 +5,7 @@
 use psb::prelude::*;
 
 fn clustered(dims: usize, sigma: f32, seed: u64) -> PointSet {
-    ClusteredSpec {
-        clusters: 20,
-        points_per_cluster: 400,
-        dims,
-        sigma,
-        seed,
-    }
-    .generate()
+    ClusteredSpec { clusters: 20, points_per_cluster: 400, dims, sigma, seed }.generate()
 }
 
 /// §I / Fig. 6a: data-parallel PSB achieves much higher warp efficiency than
@@ -114,14 +107,8 @@ fn fig8_shape_k_inflates_response_time() {
     for k in [8usize, 256, 1920] {
         let psb = psb_batch(&tree, &queries, k, &cfg, &opts);
         let brute = brute_batch(&data, &queries, k, &cfg, &opts);
-        assert!(
-            psb.report.avg_response_ms >= last_psb,
-            "PSB response not monotone in k"
-        );
-        assert!(
-            brute.report.avg_response_ms >= last_brute,
-            "brute response not monotone in k"
-        );
+        assert!(psb.report.avg_response_ms >= last_psb, "PSB response not monotone in k");
+        assert!(brute.report.avg_response_ms >= last_brute, "brute response not monotone in k");
         last_psb = psb.report.avg_response_ms;
         last_brute = brute.report.avg_response_ms;
     }
@@ -201,7 +188,9 @@ fn aos_layout_pays_in_transactions() {
         &cfg,
         &KernelOptions { layout: NodeLayout::Aos, ..Default::default() },
     );
-    assert!(aos.report.merged.global_transactions as f64
-            > soa.report.merged.global_transactions as f64 * 1.5);
+    assert!(
+        aos.report.merged.global_transactions as f64
+            > soa.report.merged.global_transactions as f64 * 1.5
+    );
     assert!(aos.report.avg_response_ms > soa.report.avg_response_ms);
 }

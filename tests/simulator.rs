@@ -96,6 +96,7 @@ proptest! {
                 smem_peak_bytes: 512,
                 nodes_visited: 1,
                 blocks: 1,
+                ..Default::default()
             })
             .collect();
         let r = launch_blocks(&cfg, 4, &blocks);
@@ -131,14 +132,9 @@ fn divergence_serializes_exactly_by_distinct_ops() {
 fn occupancy_declines_with_k_like_fig8() {
     // The Fig. 8 mechanism in isolation: a bigger k-best list -> bigger smem ->
     // lower occupancy -> longer response for identical traversal work.
-    let data = ClusteredSpec {
-        clusters: 5,
-        points_per_cluster: 400,
-        dims: 8,
-        sigma: 100.0,
-        seed: 55,
-    }
-    .generate();
+    let data =
+        ClusteredSpec { clusters: 5, points_per_cluster: 400, dims: 8, sigma: 100.0, seed: 55 }
+            .generate();
     let tree = build(&data, 32, &BuildMethod::Hilbert);
     let queries = sample_queries(&data, 16, 0.01, 56);
     let cfg = DeviceConfig::k40();

@@ -5,17 +5,15 @@ use psb::prelude::*;
 
 /// Strategy: a small random point set with controlled dims.
 fn point_set(dims: usize, max_n: usize) -> impl Strategy<Value = PointSet> {
-    prop::collection::vec(
-        prop::collection::vec(-1000.0f32..1000.0, dims),
-        2..max_n,
+    prop::collection::vec(prop::collection::vec(-1000.0f32..1000.0, dims), 2..max_n).prop_map(
+        move |rows| {
+            let mut ps = PointSet::new(dims);
+            for r in &rows {
+                ps.push(r);
+            }
+            ps
+        },
     )
-    .prop_map(move |rows| {
-        let mut ps = PointSet::new(dims);
-        for r in &rows {
-            ps.push(r);
-        }
-        ps
-    })
 }
 
 proptest! {
