@@ -2,7 +2,7 @@
 # Local CI gate: formatting, lints, full test suite.
 #
 #   ./ci.sh            # everything
-#   ./ci.sh fmt        # just one stage (fmt | clippy | test)
+#   ./ci.sh fmt        # just one stage (fmt | clippy | hardlint | test | faults)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,20 +10,32 @@ stage="${1:-all}"
 
 run_fmt()    { cargo fmt --all -- --check; }
 run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
+# The kernel and tree crates must stay panic-free outside tests: a corrupt
+# tree or a faulted device has to surface as a typed error, never an unwrap.
+# (clippy.toml re-allows unwrap/expect inside #[cfg(test)].)
+run_hardlint() {
+    cargo clippy -p psb-core -p psb-sstree --all-targets -- \
+        -D warnings -D clippy::unwrap_used -D clippy::expect_used
+}
 run_test()   { cargo test --workspace -q; }
+run_faults() { cargo test -p psb --test fault_injection -q; }
 
 case "$stage" in
-    fmt)    run_fmt ;;
-    clippy) run_clippy ;;
-    test)   run_test ;;
+    fmt)      run_fmt ;;
+    clippy)   run_clippy ;;
+    hardlint) run_hardlint ;;
+    test)     run_test ;;
+    faults)   run_faults ;;
     all)
         echo "== cargo fmt --check ==" && run_fmt
         echo "== cargo clippy -D warnings ==" && run_clippy
+        echo "== cargo clippy (no unwrap/expect in core+sstree) ==" && run_hardlint
         echo "== cargo test ==" && run_test
+        echo "== fault-injection suite ==" && run_faults
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|test|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|all]" >&2
         exit 2
         ;;
 esac

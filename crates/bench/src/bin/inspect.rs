@@ -19,17 +19,23 @@
 //!   event to the file (labels `psb` / `bnb`).
 //! * `--trace trace.jsonl` skips the simulation entirely and prints the
 //!   offline [`psb_bench::trace_report`] for a previously recorded file.
+//!
+//! Fault injection:
+//!
+//! * `--inject SEED` re-runs PSB under a seeded bit-flip [`FaultPlan`] through
+//!   the recovery ladder, prints the clean/retried/degraded split, and checks
+//!   every recovered answer against the CPU linear-scan oracle.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
 use psb_bench::{load_trace, render_trace_report};
 use psb_core::{
-    bnb_batch, bnb_batch_traced, brute_batch, psb_batch, psb_batch_traced, restart_batch,
-    tpss_batch, KernelOptions,
+    bnb_batch, bnb_batch_traced, brute_batch, psb_batch, psb_batch_recovering, psb_batch_traced,
+    restart_batch, tpss_batch, EngineError, KernelOptions, QueryBatchResult,
 };
 use psb_data::{sample_queries, ClusteredSpec};
-use psb_gpu::{launch_blocks, DeviceConfig, JsonlSink, LaunchReport, Phase};
+use psb_gpu::{launch_blocks, DeviceConfig, FaultPlan, JsonlSink, LaunchReport, Phase};
 use psb_kdtree::{gpu::knn_task_parallel, KdTree};
 use psb_srtree::SrTree;
 use psb_sstree::{build, BuildMethod};
@@ -45,6 +51,7 @@ struct Args {
     seed: u64,
     record: Option<String>,
     trace: Option<String>,
+    inject: Option<u64>,
 }
 
 fn parse() -> Args {
@@ -59,6 +66,7 @@ fn parse() -> Args {
         seed: 0x2016,
         record: None,
         trace: None,
+        inject: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +83,7 @@ fn parse() -> Args {
             "--seed" => a.seed = val.parse().expect("--seed"),
             "--record" => a.record = Some(val),
             "--trace" => a.trace = Some(val),
+            "--inject" => a.inject = Some(val.parse().expect("--inject")),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -181,12 +190,18 @@ fn main() {
         );
     };
 
-    let psb = psb_batch(&tree, &queries, a.k, &cfg, &opts);
-    let bnb = bnb_batch(&tree, &queries, a.k, &cfg, &opts);
+    let run = |name: &str, r: Result<QueryBatchResult, EngineError>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("{name} batch failed: {e}");
+            std::process::exit(1);
+        })
+    };
+    let psb = run("psb", psb_batch(&tree, &queries, a.k, &cfg, &opts));
+    let bnb = run("bnb", bnb_batch(&tree, &queries, a.k, &cfg, &opts));
     show("psb", &psb.report);
     show("branch-and-bound", &bnb.report);
-    show("restart", &restart_batch(&tree, &queries, a.k, &cfg, &opts).report);
-    show("brute-force", &brute_batch(&data, &queries, a.k, &cfg, &opts).report);
+    show("restart", &run("restart", restart_batch(&tree, &queries, a.k, &cfg, &opts)).report);
+    show("brute-force", &run("brute", brute_batch(&data, &queries, a.k, &cfg, &opts)).report);
 
     let (_, tp_blocks) = tpss_batch(&tree, &queries, a.k, &cfg, 32);
     show("task-parallel sstree", &launch_blocks(&cfg, 1, &tp_blocks));
@@ -201,6 +216,39 @@ fn main() {
     show_phases("psb", &psb.report);
     show_phases("branch-and-bound", &bnb.report);
 
+    // Fault-injection mode: re-run PSB under a seeded bit-flip plan through
+    // the recovery ladder (retry once on a fresh fault substream, then degrade
+    // to the exact brute-force fallback) and check every answer against the
+    // CPU oracle.
+    if let Some(seed) = a.inject {
+        let plan = FaultPlan::bit_flips(seed, 1);
+        let faulty = run(
+            "fault-injected psb",
+            psb_batch_recovering(&tree, &queries, a.k, &cfg, &opts, &plan),
+        );
+        let clean = faulty.outcomes.iter().filter(|o| o.is_clean()).count();
+        println!(
+            "\nfault injection (seed {seed}, {}‰ bit flips): {} clean, {} retried, {} degraded",
+            plan.bit_flip_per_mille,
+            clean,
+            faulty.report.retried_queries,
+            faulty.report.degraded_queries,
+        );
+        let mut wrong = 0usize;
+        for (i, q) in queries.iter().enumerate() {
+            let oracle = psb_sstree::linear_knn(&data, q, a.k);
+            let got = &faulty.neighbors[i];
+            if got.len() != oracle.len() || got.iter().zip(&oracle).any(|(g, o)| g.dist != o.dist) {
+                wrong += 1;
+            }
+        }
+        if wrong == 0 {
+            println!("  all {} recovered answers match the CPU oracle exactly", queries.len());
+        } else {
+            println!("  WARNING: {wrong} of {} answers diverge from the CPU oracle", queries.len());
+        }
+    }
+
     if let Some(path) = &a.record {
         let file = File::create(path).unwrap_or_else(|e| {
             eprintln!("--record {path}: {e}");
@@ -208,10 +256,12 @@ fn main() {
         });
         let writer = BufWriter::new(file);
         let mut sink = JsonlSink::new("psb", writer);
-        let traced = psb_batch_traced(&tree, &queries, a.k, &cfg, &opts, &mut sink);
+        let traced =
+            run("psb traced", psb_batch_traced(&tree, &queries, a.k, &cfg, &opts, &mut sink));
         assert_eq!(traced.report.merged, psb.report.merged, "tracing must not change counters");
         let mut sink = JsonlSink::new("bnb", sink.into_inner().expect("flush trace"));
-        let traced = bnb_batch_traced(&tree, &queries, a.k, &cfg, &opts, &mut sink);
+        let traced =
+            run("bnb traced", bnb_batch_traced(&tree, &queries, a.k, &cfg, &opts, &mut sink));
         assert_eq!(traced.report.merged, bnb.report.merged, "tracing must not change counters");
         println!("\nrecorded psb+bnb trace to {path} (inspect with --trace {path})");
     }

@@ -6,7 +6,7 @@
 //! wall-clock time and page-based bytes, exactly like the paper's mixed
 //! CPU/GPU comparison.
 
-use psb_core::{bnb_batch, brute_batch, psb_batch, KernelOptions};
+use psb_core::{EngineError, GpuIndex, KernelOptions, QueryBatchResult};
 use psb_data::{sample_queries, ClusteredSpec, NoaaSpec};
 use psb_geom::PointSet;
 use psb_gpu::{launch_blocks, DeviceConfig, KernelStats};
@@ -23,6 +23,53 @@ pub const PAPER_CLUSTERS: usize = 100;
 pub const PAPER_K: usize = 32;
 pub const PAPER_DEGREE: usize = 128;
 pub const PAPER_PAGE_BYTES: usize = 8 * 1024;
+
+// The figure workloads always submit non-empty query batches over trusted
+// trees, so unwrap the engine's typed errors once here instead of at every
+// call site.
+fn expect_batch(r: Result<QueryBatchResult, EngineError>) -> QueryBatchResult {
+    r.expect("figure workloads always submit a non-empty query batch")
+}
+
+fn psb_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    expect_batch(psb_core::psb_batch(tree, queries, k, cfg, opts))
+}
+
+fn bnb_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    expect_batch(psb_core::bnb_batch(tree, queries, k, cfg, opts))
+}
+
+fn restart_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    expect_batch(psb_core::restart_batch(tree, queries, k, cfg, opts))
+}
+
+fn brute_batch(
+    points: &PointSet,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> QueryBatchResult {
+    expect_batch(psb_core::brute_batch(points, queries, k, cfg, opts))
+}
 
 /// Generates the paper's clustered dataset at this scale.
 pub fn clustered(scale: &Scale, dims: usize, sigma: f32) -> PointSet {
@@ -336,7 +383,7 @@ pub fn ablation(scale: &Scale) -> Table {
 
     // Stackless alternatives: restart from the root instead of parent links,
     // and the task-parallel strawman on the same tree (Fig. 1b).
-    let restart = psb_core::restart_batch(&tree, &queries, PAPER_K, &cfg, &base);
+    let restart = restart_batch(&tree, &queries, PAPER_K, &cfg, &base);
     t.push(
         "restart traversal (no parent links)",
         "-",

@@ -126,6 +126,10 @@ impl DynamicSsTree {
     ///
     /// External ids are preserved through the rebuild: the internal tree ids
     /// are remapped back to external ids on every query.
+    ///
+    /// The rebuilt arena passes through [`psb_sstree::build`], whose
+    /// materialization runs [`SsTree::validate`] before returning — so every
+    /// rebuild is structurally verified before queries touch it.
     pub fn rebuild(&mut self) {
         if self.live.is_empty() {
             return; // keep the last base; queries return nothing via filters

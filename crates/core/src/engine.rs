@@ -4,19 +4,31 @@
 //! as an independent simulated block on the rayon pool; the per-block counters
 //! are collected in query order (deterministic under any host thread count) and
 //! aggregated by the device cost model into the figures' metrics.
+//!
+//! The `*_batch_recovering` runners add the fault-tolerance ladder: each query
+//! is attempted under its own deterministic fault substream, retried once on a
+//! typed [`KernelError`], and finally degraded to an exact brute-force scan
+//! that follows no structural links. Results are exact under every rung; the
+//! rung taken per query is recorded in [`QueryBatchResult::outcomes`].
 
 use psb_geom::PointSet;
 use psb_gpu::{
-    launch_blocks, DeviceConfig, KernelStats, LaunchReport, Phase, PhaseBreakdown, TraceSink,
+    launch_blocks, DeviceConfig, FaultPlan, FaultState, KernelStats, LaunchReport, NoopSink, Phase,
+    PhaseBreakdown, TraceSink,
 };
 use psb_sstree::Neighbor;
 
+use crate::error::{EngineError, KernelError, QueryOutcome};
 use crate::index::GpuIndex;
 use rayon::prelude::*;
 
 use crate::kernels::{
-    bnb::bnb_query, bnb::bnb_query_traced, brute::brute_query, psb::psb_query,
-    psb::psb_query_traced, range::range_query_gpu, restart::restart_query,
+    bnb::bnb_query, bnb::bnb_query_traced, range::range_query_gpu, restart::restart_query,
+};
+use crate::kernels::{
+    bnb::bnb_try_query, brute::brute_index_query, brute::brute_index_range, brute::brute_query,
+    psb::psb_query, psb::psb_query_traced, psb::psb_try_query, range::range_try_query,
+    restart::restart_try_query,
 };
 use crate::options::KernelOptions;
 
@@ -34,8 +46,14 @@ pub fn merge_stats(blocks: &[KernelStats]) -> KernelStats {
 pub struct QueryBatchResult {
     /// Per-query neighbor lists, in query order.
     pub neighbors: Vec<Vec<Neighbor>>,
-    /// Per-query (per-block) raw counters, in query order.
+    /// Per-query (per-block) raw counters, in query order. For a recovering
+    /// run this is the counters of the attempt that produced the result
+    /// (failed attempts' partial counters are discarded — they model work a
+    /// real device would have thrown away with the faulted launch).
     pub per_block: Vec<KernelStats>,
+    /// Which recovery rung produced each query's result, in query order.
+    /// All-[`QueryOutcome::Clean`] for the plain (non-recovering) runners.
+    pub outcomes: Vec<QueryOutcome>,
     /// Aggregated metrics under the cost model.
     pub report: LaunchReport,
 }
@@ -58,13 +76,16 @@ fn run_batch(
     warps_per_block: u32,
     cfg: &DeviceConfig,
     f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
-) -> QueryBatchResult {
-    assert!(!queries.is_empty(), "empty query batch");
+) -> Result<QueryBatchResult, EngineError> {
+    if queries.is_empty() {
+        return Err(EngineError::EmptyBatch);
+    }
     let results: Vec<(Vec<Neighbor>, KernelStats)> =
         (0..queries.len()).into_par_iter().map(|i| f(queries.point(i))).collect();
     let (neighbors, per_block): (Vec<_>, Vec<_>) = results.into_iter().unzip();
     let report = launch_blocks(cfg, warps_per_block, &per_block);
-    QueryBatchResult { neighbors, per_block, report }
+    let outcomes = vec![QueryOutcome::Clean; neighbors.len()];
+    Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
 
 /// Sequential batch runner for recording runs: queries execute in order so the
@@ -75,8 +96,10 @@ fn run_batch_traced(
     cfg: &DeviceConfig,
     sink: &mut dyn TraceSink,
     mut f: impl FnMut(&[f32], &mut dyn TraceSink) -> (Vec<Neighbor>, KernelStats),
-) -> QueryBatchResult {
-    assert!(!queries.is_empty(), "empty query batch");
+) -> Result<QueryBatchResult, EngineError> {
+    if queries.is_empty() {
+        return Err(EngineError::EmptyBatch);
+    }
     let mut neighbors = Vec::with_capacity(queries.len());
     let mut per_block = Vec::with_capacity(queries.len());
     for i in 0..queries.len() {
@@ -85,7 +108,70 @@ fn run_batch_traced(
         per_block.push(s);
     }
     let report = launch_blocks(cfg, warps_per_block, &per_block);
-    QueryBatchResult { neighbors, per_block, report }
+    let outcomes = vec![QueryOutcome::Clean; neighbors.len()];
+    Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
+}
+
+/// The recovery ladder, applied per query on the rayon pool:
+///
+/// 1. **Attempt 0** under the query's fault substream (`plan.state_for(i, 0)`).
+/// 2. **Retry** once under a fresh substream (`plan.state_for(i, 1)`) — a real
+///    driver re-launching the failed block; transient upsets usually miss the
+///    second run.
+/// 3. **Degrade** to `fallback`, an exact brute-force scan that attaches no
+///    fault state and follows no structural links, so it cannot fail.
+///
+/// A no-op plan attaches no fault state at all, so attempt 0 is bit-identical
+/// to the plain runner and the ladder never advances.
+fn run_batch_recovering(
+    queries: &PointSet,
+    warps_per_block: u32,
+    cfg: &DeviceConfig,
+    plan: &FaultPlan,
+    attempt: impl Fn(&[f32], Option<FaultState>) -> Result<(Vec<Neighbor>, KernelStats), KernelError>
+        + Sync,
+    fallback: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
+) -> Result<QueryBatchResult, EngineError> {
+    if queries.is_empty() {
+        return Err(EngineError::EmptyBatch);
+    }
+    let results: Vec<(Vec<Neighbor>, KernelStats, QueryOutcome)> = (0..queries.len())
+        .into_par_iter()
+        .map(|i| {
+            let q = queries.point(i);
+            let faults = |attempt_no: u32| {
+                if plan.is_noop() {
+                    None
+                } else {
+                    Some(plan.state_for(i as u64, attempt_no))
+                }
+            };
+            match attempt(q, faults(0)) {
+                Ok((n, s)) => (n, s, QueryOutcome::Clean),
+                Err(first) => match attempt(q, faults(1)) {
+                    Ok((n, s)) => (n, s, QueryOutcome::Retried { first }),
+                    Err(retry) => {
+                        let (n, s) = fallback(q);
+                        (n, s, QueryOutcome::Degraded { first, retry })
+                    }
+                },
+            }
+        })
+        .collect();
+    let mut neighbors = Vec::with_capacity(results.len());
+    let mut per_block = Vec::with_capacity(results.len());
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (n, s, o) in results {
+        neighbors.push(n);
+        per_block.push(s);
+        outcomes.push(o);
+    }
+    let mut report = launch_blocks(cfg, warps_per_block, &per_block);
+    report.retried_queries =
+        outcomes.iter().filter(|o| matches!(o, QueryOutcome::Retried { .. })).count() as u64;
+    report.degraded_queries =
+        outcomes.iter().filter(|o| matches!(o, QueryOutcome::Degraded { .. })).count() as u64;
+    Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
 
 /// PSB over a batch of queries.
@@ -95,7 +181,7 @@ pub fn psb_batch<T: GpuIndex>(
     k: usize,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch(queries, warps, cfg, |q| psb_query(tree, q, k, cfg, opts))
 }
@@ -110,9 +196,31 @@ pub fn psb_batch_traced<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch_traced(queries, warps, cfg, sink, |q, s| psb_query_traced(tree, q, k, cfg, opts, s))
+}
+
+/// [`psb_batch`] under a fault plan, with the retry/degrade recovery ladder.
+/// Results are exact under any plan; with [`FaultPlan::none`] this is
+/// bit-identical to [`psb_batch`] (results, counters, and report).
+pub fn psb_batch_recovering<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    plan: &FaultPlan,
+) -> Result<QueryBatchResult, EngineError> {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch_recovering(
+        queries,
+        warps,
+        cfg,
+        plan,
+        |q, faults| psb_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
+        |q| brute_index_query(tree, q, k, cfg, opts),
+    )
 }
 
 /// Branch-and-bound over a batch of queries.
@@ -122,7 +230,7 @@ pub fn bnb_batch<T: GpuIndex>(
     k: usize,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch(queries, warps, cfg, |q| bnb_query(tree, q, k, cfg, opts))
 }
@@ -137,9 +245,29 @@ pub fn bnb_batch_traced<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch_traced(queries, warps, cfg, sink, |q, s| bnb_query_traced(tree, q, k, cfg, opts, s))
+}
+
+/// [`bnb_batch`] under a fault plan, with the retry/degrade recovery ladder.
+pub fn bnb_batch_recovering<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    plan: &FaultPlan,
+) -> Result<QueryBatchResult, EngineError> {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch_recovering(
+        queries,
+        warps,
+        cfg,
+        plan,
+        |q, faults| bnb_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
+        |q| brute_index_query(tree, q, k, cfg, opts),
+    )
 }
 
 /// Fixed-radius range queries over a batch (PSB-style sweep, fixed bound).
@@ -149,9 +277,31 @@ pub fn range_batch<T: GpuIndex>(
     radius: f32,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch(queries, warps, cfg, |q| range_query_gpu(tree, q, radius, cfg, opts))
+}
+
+/// [`range_batch`] under a fault plan, with the retry/degrade recovery ladder.
+/// The degraded rung is an exact brute-force range scan over the flat point
+/// array.
+pub fn range_batch_recovering<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    plan: &FaultPlan,
+) -> Result<QueryBatchResult, EngineError> {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch_recovering(
+        queries,
+        warps,
+        cfg,
+        plan,
+        |q, faults| range_try_query(tree, q, radius, cfg, opts, faults, &mut NoopSink),
+        |q| brute_index_range(tree, q, radius, cfg, opts),
+    )
 }
 
 /// Scan-and-restart (no parent links) over a batch of queries.
@@ -161,9 +311,30 @@ pub fn restart_batch<T: GpuIndex>(
     k: usize,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch(queries, warps, cfg, |q| restart_query(tree, q, k, cfg, opts))
+}
+
+/// [`restart_batch`] under a fault plan, with the retry/degrade recovery
+/// ladder.
+pub fn restart_batch_recovering<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    plan: &FaultPlan,
+) -> Result<QueryBatchResult, EngineError> {
+    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
+    run_batch_recovering(
+        queries,
+        warps,
+        cfg,
+        plan,
+        |q, faults| restart_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
+        |q| brute_index_query(tree, q, k, cfg, opts),
+    )
 }
 
 /// Brute-force scan over a batch of queries.
@@ -173,7 +344,7 @@ pub fn brute_batch(
     k: usize,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
-) -> QueryBatchResult {
+) -> Result<QueryBatchResult, EngineError> {
     let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch(queries, warps, cfg, |q| brute_query(points, q, k, cfg, opts))
 }
@@ -199,9 +370,9 @@ mod tests {
         let cfg = DeviceConfig::k40();
         let opts = KernelOptions::default();
         let k = 10;
-        let a = psb_batch(&tree, &queries, k, &cfg, &opts);
-        let b = bnb_batch(&tree, &queries, k, &cfg, &opts);
-        let c = brute_batch(&ps, &queries, k, &cfg, &opts);
+        let a = psb_batch(&tree, &queries, k, &cfg, &opts).expect("batch");
+        let b = bnb_batch(&tree, &queries, k, &cfg, &opts).expect("batch");
+        let c = brute_batch(&ps, &queries, k, &cfg, &opts).expect("batch");
         for (qi, q) in queries.iter().enumerate() {
             let want = linear_knn(&ps, q, k);
             for got in [&a.neighbors[qi], &b.neighbors[qi], &c.neighbors[qi]] {
@@ -219,8 +390,8 @@ mod tests {
         let (_, tree, queries) = setup();
         let cfg = DeviceConfig::k40();
         let opts = KernelOptions::default();
-        let a = psb_batch(&tree, &queries, 8, &cfg, &opts);
-        let b = psb_batch(&tree, &queries, 8, &cfg, &opts);
+        let a = psb_batch(&tree, &queries, 8, &cfg, &opts).expect("batch");
+        let b = psb_batch(&tree, &queries, 8, &cfg, &opts).expect("batch");
         assert_eq!(a.per_block, b.per_block);
         assert_eq!(a.report.merged, b.report.merged);
     }
@@ -229,10 +400,23 @@ mod tests {
     fn report_covers_all_blocks() {
         let (_, tree, queries) = setup();
         let cfg = DeviceConfig::k40();
-        let r = psb_batch(&tree, &queries, 8, &cfg, &KernelOptions::default());
+        let r = psb_batch(&tree, &queries, 8, &cfg, &KernelOptions::default()).expect("batch");
         assert_eq!(r.report.merged.blocks as usize, queries.len());
         assert!(r.report.avg_response_ms > 0.0);
         assert!(r.report.warp_efficiency > 0.0 && r.report.warp_efficiency <= 1.0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        let (_, tree, _) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let empty = PointSet::new(tree.dims());
+        assert!(matches!(psb_batch(&tree, &empty, 4, &cfg, &opts), Err(EngineError::EmptyBatch)));
+        assert!(matches!(
+            psb_batch_recovering(&tree, &empty, 4, &cfg, &opts, &FaultPlan::none()),
+            Err(EngineError::EmptyBatch)
+        ));
     }
 
     #[test]
@@ -244,8 +428,8 @@ mod tests {
         let queries = sample_queries(&ps, 8, 0.005, 44);
         let cfg = DeviceConfig::k40();
         let opts = KernelOptions::default();
-        let psb = psb_batch(&tree, &queries, 8, &cfg, &opts);
-        let brute = brute_batch(&ps, &queries, 8, &cfg, &opts);
+        let psb = psb_batch(&tree, &queries, 8, &cfg, &opts).expect("batch");
+        let brute = brute_batch(&ps, &queries, 8, &cfg, &opts).expect("batch");
         assert!(
             psb.report.avg_accessed_mb < brute.report.avg_accessed_mb,
             "PSB {} MB >= brute {} MB",

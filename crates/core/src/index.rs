@@ -47,6 +47,13 @@ pub trait GpuIndex: Sync {
     fn leaf_node_of(&self, l: u32) -> u32;
     /// Number of leaves.
     fn num_leaves(&self) -> usize;
+    /// Total number of nodes (exclusive bound on valid node ids). The
+    /// hardened kernels bounds-check every followed link against this and
+    /// derive their traversal step budget from it.
+    fn num_nodes(&self) -> usize;
+    /// Total number of indexed point positions (exclusive bound on valid
+    /// positions). Also the domain of the exact brute-force fallback scan.
+    fn num_points(&self) -> usize;
     /// Largest leaf id under `n`'s subtree.
     fn subtree_max_leaf(&self, n: u32) -> u32;
     /// Bytes fetched for internal node `n` (its child bounding volumes, SoA).
@@ -108,6 +115,12 @@ impl GpuIndex for SsTree {
     }
     fn num_leaves(&self) -> usize {
         SsTree::num_leaves(self)
+    }
+    fn num_nodes(&self) -> usize {
+        SsTree::num_nodes(self)
+    }
+    fn num_points(&self) -> usize {
+        self.points.len()
     }
     fn subtree_max_leaf(&self, n: u32) -> u32 {
         self.subtree_max_leaf[n as usize]

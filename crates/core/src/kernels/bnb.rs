@@ -9,16 +9,24 @@
 //! child. That repeated work is metered here: an internal node whose `m`
 //! children get visited is fetched `m + 1` times.
 
-use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
+use crate::error::KernelError;
 use crate::index::GpuIndex;
 
-use super::{child_distances, fetch_internal, kth_maxdist, process_leaf, Scratch};
+use super::{
+    checked_children, checked_root, child_distances, fetch_internal, kth_maxdist, process_leaf,
+    Budget, Scratch,
+};
 use crate::knnlist::GpuKnnList;
 use crate::options::KernelOptions;
 
 /// Runs one branch-and-bound query on a simulated block.
+///
+/// Trusted-tree entry point: panics on a [`KernelError`], which a validated
+/// tree and a fault-free device can never produce. Use [`bnb_try_query`] to
+/// handle corruption or injected faults.
 pub fn bnb_query<T: GpuIndex>(
     tree: &T,
     q: &[f32],
@@ -39,19 +47,56 @@ pub fn bnb_query_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> (Vec<Neighbor>, KernelStats) {
+    bnb_try_query(tree, q, k, cfg, opts, None, sink)
+        .unwrap_or_else(|e| panic!("branch-and-bound kernel failed on a trusted tree: {e}"))
+}
+
+/// The hardened branch-and-bound kernel: typed errors instead of panics or
+/// hangs under corruption or injected device faults. Bit-identical to the
+/// original with `faults: None` on a valid tree.
+#[allow(clippy::too_many_arguments)]
+pub fn bnb_try_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    block.set_faults(faults);
+    let mut budget = Budget::for_tree(tree);
     let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
-        .expect("node-degree scratch must fit in shared memory");
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
     let mut scratch = Scratch::default();
     let mut pruning = f32::INFINITY;
 
-    visit(tree, tree.root(), 0, q, k, opts, &mut block, &mut list, &mut scratch, &mut pruning);
-    (list.into_sorted(), block.finish())
+    let root = checked_root(tree)?;
+    visit(
+        tree,
+        root,
+        0,
+        q,
+        k,
+        opts,
+        &mut block,
+        &mut list,
+        &mut scratch,
+        &mut pruning,
+        &mut budget,
+    )?;
+    // Final poll: a fault in the last leaf processed would otherwise slip
+    // past the loop-head checks and reach the caller as a silent result.
+    if let Some(fault) = block.device_fault() {
+        return Err(fault.into());
+    }
+    Ok((list.into_sorted(), block.finish()))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -66,18 +111,30 @@ fn visit<T: GpuIndex>(
     list: &mut GpuKnnList,
     scratch: &mut Scratch,
     pruning: &mut f32,
-) {
+    budget: &mut Budget,
+) -> Result<(), KernelError> {
+    budget.tick(block)?;
+    // Recursion depth guard: a corrupted child range can form a cycle, and a
+    // cycle through `visit` would overflow the host stack long before the
+    // step budget triggers. No valid tree is deeper than it has nodes.
+    if level as usize > tree.num_nodes() {
+        return Err(KernelError::CorruptNode {
+            node: n,
+            detail: "descent deeper than the node count (structural cycle)",
+        });
+    }
     if tree.is_leaf(n) {
-        process_leaf(block, tree, n, q, list, scratch, opts, false, level);
+        process_leaf(block, tree, n, q, list, scratch, opts, false, level)?;
         *pruning = pruning.min(list.bound());
-        return;
+        return Ok(());
     }
 
-    let kids = tree.children(n);
+    let kids = checked_children(tree, n)?;
     let cnt = kids.len();
     let mut visited = vec![false; cnt];
     let mut first = true;
     loop {
+        budget.tick(block)?;
         // (Re-)fetch the node and recompute child distances: with no stack
         // there is nowhere to keep them across the recursive descent. The
         // first fetch is part of the descent; every later one is the cost of
@@ -107,7 +164,7 @@ fn visit<T: GpuIndex>(
             }
         }
         match best {
-            None => return,
+            None => return Ok(()),
             Some((i, _)) => {
                 visited[i] = true;
                 visit(
@@ -121,7 +178,8 @@ fn visit<T: GpuIndex>(
                     list,
                     scratch,
                     pruning,
-                );
+                    budget,
+                )?;
             }
         }
     }

@@ -7,14 +7,20 @@
 //! perfect memory behaviour, zero pruning.
 
 use psb_geom::{dist, PointSet};
-use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::dist_cost;
+use crate::error::KernelError;
+use crate::index::GpuIndex;
+use crate::kernels::Budget;
 use crate::knnlist::GpuKnnList;
 use crate::options::KernelOptions;
 
 /// Runs one brute-force query over the raw point set.
+///
+/// Trusted entry point: panics on a [`KernelError`]. Use [`brute_try_query`]
+/// to handle injected faults or an unlaunchable tile size.
 pub fn brute_query(
     points: &PointSet,
     q: &[f32],
@@ -35,20 +41,41 @@ pub fn brute_query_traced(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> (Vec<Neighbor>, KernelStats) {
+    brute_try_query(points, q, k, cfg, opts, None, sink)
+        .unwrap_or_else(|e| panic!("brute-force kernel failed: {e}"))
+}
+
+/// The hardened brute-force kernel: typed errors instead of panics under
+/// injected device faults or an oversized tile. Bit-identical to the original
+/// with `faults: None`.
+pub fn brute_try_query(
+    points: &PointSet,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), points.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     assert!(!points.is_empty(), "brute-force scan over zero points");
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    block.set_faults(faults);
+    let mut budget = Budget::for_scan(points.len());
     let tile = block.threads() as usize;
     // Shared memory: the staged tile plus the k-best list.
     let tile_bytes = (tile * points.dims() * 4) as u64;
-    block.reserve_shared(tile_bytes, cfg.smem_per_sm).expect("tile must fit in shared memory");
+    block
+        .reserve_shared(tile_bytes, cfg.smem_per_sm)
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
 
     let dc = dist_cost(points.dims());
     let mut dists: Vec<(f32, u32)> = Vec::with_capacity(tile);
     let mut start = 0usize;
     while start < points.len() {
+        budget.tick(&block)?;
         // Tile load + distance sweep are the scan; the k-best updates merge.
         block.set_phase(Phase::LeafScan);
         let len = tile.min(points.len() - start);
@@ -58,6 +85,9 @@ pub fn brute_query_traced(
             let p = start + i;
             dists.push((dist(q, points.point(p)), p as u32));
         });
+        for entry in &mut dists {
+            entry.0 = block.fault_f32(entry.0);
+        }
         block.set_phase(Phase::ResultMerge);
         for &(d, id) in &dists {
             list.offer(&mut block, d, id);
@@ -66,7 +96,114 @@ pub fn brute_query_traced(
         start += len;
     }
 
+    // Final poll: a fault in the last tile would otherwise slip past the
+    // loop-head checks and reach the caller as a silent result.
+    if let Some(fault) = block.device_fault() {
+        return Err(fault.into());
+    }
+    Ok((list.into_sorted(), block.finish()))
+}
+
+/// Pick a tile size (in points) whose staging buffer fits in shared memory.
+/// Starts at the block's thread count and halves until it fits — the
+/// fallback's launchability must not depend on the query's dimensionality.
+fn fallback_tile(threads: usize, dims: usize, smem_per_sm: u64) -> usize {
+    let mut tile = threads.max(1);
+    while tile > 1 && (tile * dims * 4) as u64 > smem_per_sm {
+        tile /= 2;
+    }
+    tile
+}
+
+/// Exact brute-force kNN over an index's reordered point array — the last
+/// rung of the engine's recovery ladder. Runs with no fault state attached
+/// and clamps its tile to fit shared memory, so it cannot fail: it only
+/// reads the flat point array and never follows a structural link, which is
+/// what makes it safe to run on a tree whose links are suspect.
+pub fn brute_index_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    let n = tree.num_points();
+    assert!(n > 0, "brute-force fallback over zero points");
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    let tile = fallback_tile(block.threads() as usize, tree.dims(), cfg.smem_per_sm);
+    let tile_bytes = (tile * tree.dims() * 4) as u64;
+    // fallback_tile guarantees this fits (down to a single point per tile).
+    let _ = block.reserve_shared(tile_bytes, cfg.smem_per_sm);
+    let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
+
+    let dc = dist_cost(tree.dims());
+    let mut dists: Vec<(f32, u32)> = Vec::with_capacity(tile);
+    let mut start = 0usize;
+    while start < n {
+        block.set_phase(Phase::LeafScan);
+        let len = tile.min(n - start);
+        block.load_global_stream((len * tree.dims() * 4) as u64);
+        dists.clear();
+        block.par_for(len, dc, |i| {
+            let p = start + i;
+            dists.push((dist(q, tree.point(p)), tree.point_id(p)));
+        });
+        block.set_phase(Phase::ResultMerge);
+        for &(d, id) in &dists {
+            list.offer(&mut block, d, id);
+        }
+        block.sync();
+        start += len;
+    }
     (list.into_sorted(), block.finish())
+}
+
+/// Exact brute-force range scan over an index's point array — the recovery
+/// fallback for [`range_try_query`](super::range::range_try_query). Same
+/// no-links, no-faults, clamped-tile guarantees as [`brute_index_query`].
+pub fn brute_index_range<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    let n = tree.num_points();
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    let tile = fallback_tile(block.threads() as usize, tree.dims(), cfg.smem_per_sm);
+    let tile_bytes = (tile * tree.dims() * 4) as u64;
+    let _ = block.reserve_shared(tile_bytes, cfg.smem_per_sm);
+
+    let dc = dist_cost(tree.dims());
+    let mut out: Vec<Neighbor> = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        block.set_phase(Phase::LeafScan);
+        let len = tile.min(n - start);
+        block.load_global_stream((len * tree.dims() * 4) as u64);
+        let mut hits = 0u64;
+        block.par_for(len, dc, |i| {
+            let p = start + i;
+            let d = dist(q, tree.point(p));
+            if d <= radius {
+                out.push(Neighbor { dist: d, id: tree.point_id(p) });
+                hits += 1;
+            }
+        });
+        block.set_phase(Phase::ResultMerge);
+        if hits > 0 {
+            block.scalar(2);
+            block.load_global_stream(hits * 8);
+        }
+        block.sync();
+        start += len;
+    }
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    (out, block.finish())
 }
 
 #[cfg(test)]

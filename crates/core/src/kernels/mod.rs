@@ -20,9 +20,137 @@ use psb_geom::dist;
 use psb_gpu::{Block, NodeKind, Phase};
 
 use crate::dist_cost;
+use crate::error::KernelError;
 use crate::index::GpuIndex;
 use crate::knnlist::GpuKnnList;
 use crate::options::{KernelOptions, NodeLayout};
+
+/// Traversal step budget: generous enough that no valid tree can come close
+/// (branch-and-bound revisits each internal node at most `degree + 1` times),
+/// tight enough that a corruption-induced cycle is cut off promptly.
+pub(crate) fn step_budget<T: GpuIndex>(tree: &T) -> u64 {
+    16 * (tree.num_nodes() as u64 + 2) * (tree.degree() as u64 + 2) + 1024
+}
+
+/// The per-launch hardening ledger: a step counter against a budget, polled
+/// together with the block's device fault flags at every traversal step.
+pub(crate) struct Budget {
+    steps: u64,
+    limit: u64,
+}
+
+impl Budget {
+    /// Budget for a tree traversal.
+    pub fn for_tree<T: GpuIndex>(tree: &T) -> Self {
+        Self { steps: 0, limit: step_budget(tree) }
+    }
+
+    /// Budget for a linear scan over `n` items in tiles.
+    pub fn for_scan(n: usize) -> Self {
+        Self { steps: 0, limit: n as u64 + 1024 }
+    }
+
+    /// One traversal step: count it, enforce the budget, poll device faults.
+    pub fn tick(&mut self, block: &Block) -> Result<(), KernelError> {
+        self.steps += 1;
+        if self.steps > self.limit {
+            return Err(KernelError::StepBudgetExceeded { budget: self.limit });
+        }
+        if let Some(fault) = block.device_fault() {
+            return Err(KernelError::Device(fault));
+        }
+        Ok(())
+    }
+}
+
+/// Bounds-check a node id read from a structural link.
+pub(crate) fn checked_node<T: GpuIndex>(
+    tree: &T,
+    link: &'static str,
+    from: u32,
+    target: u32,
+) -> Result<u32, KernelError> {
+    if (target as usize) < tree.num_nodes() {
+        Ok(target)
+    } else {
+        Err(KernelError::LinkOutOfBounds {
+            link,
+            node: from,
+            target: target as u64,
+            limit: tree.num_nodes() as u64,
+        })
+    }
+}
+
+/// Bounds-check an internal node's child range. The range must be non-empty
+/// and lie inside the node array.
+pub(crate) fn checked_children<T: GpuIndex>(
+    tree: &T,
+    n: u32,
+) -> Result<std::ops::Range<u32>, KernelError> {
+    if tree.is_leaf(n) {
+        return Err(KernelError::CorruptNode { node: n, detail: "expected an internal node" });
+    }
+    let kids = tree.children(n);
+    if kids.is_empty() {
+        return Err(KernelError::CorruptNode { node: n, detail: "internal node with no children" });
+    }
+    let limit = tree.num_nodes() as u64;
+    if kids.start as u64 >= limit || kids.end as u64 > limit {
+        return Err(KernelError::LinkOutOfBounds {
+            link: "children",
+            node: n,
+            target: kids.end as u64,
+            limit,
+        });
+    }
+    Ok(kids)
+}
+
+/// Bounds-check a leaf node's point range against the point array.
+pub(crate) fn checked_leaf_points<T: GpuIndex>(
+    tree: &T,
+    n: u32,
+) -> Result<std::ops::Range<usize>, KernelError> {
+    if !tree.is_leaf(n) {
+        return Err(KernelError::CorruptNode { node: n, detail: "expected a leaf node" });
+    }
+    let range = tree.leaf_points(n);
+    let limit = tree.num_points() as u64;
+    if range.start as u64 > range.end as u64 || range.end as u64 > limit {
+        return Err(KernelError::LinkOutOfBounds {
+            link: "leaf_points",
+            node: n,
+            target: range.end as u64,
+            limit,
+        });
+    }
+    Ok(range)
+}
+
+/// Bounds-check a leaf's dense id against the leaf count.
+pub(crate) fn checked_leaf_id<T: GpuIndex>(tree: &T, n: u32) -> Result<u32, KernelError> {
+    let lid = tree.leaf_id(n);
+    if (lid as usize) < tree.num_leaves() {
+        Ok(lid)
+    } else {
+        Err(KernelError::LinkOutOfBounds {
+            link: "leaf_id",
+            node: n,
+            target: lid as u64,
+            limit: tree.num_leaves() as u64,
+        })
+    }
+}
+
+/// Sanity-check the tree frame every traversal relies on before following any
+/// link: a root inside the node array and a non-empty leaf chain.
+pub(crate) fn checked_root<T: GpuIndex>(tree: &T) -> Result<u32, KernelError> {
+    if tree.num_nodes() == 0 || tree.num_leaves() == 0 {
+        return Err(KernelError::CorruptNode { node: 0, detail: "index has no nodes or leaves" });
+    }
+    checked_node(tree, "root", tree.root(), tree.root())
+}
 
 /// Meter fetching an internal node's child-volume block. `level` is the node's
 /// tree depth (root = 0), feeding the per-level visit histogram; the load is
@@ -78,6 +206,10 @@ pub(crate) struct Scratch {
 /// into the k-best list. Returns true when the list changed (PSB's
 /// continue-scanning test). `sequential` marks sibling-scan arrivals.
 ///
+/// Hardening: the leaf's point range is bounds-checked before it is scanned,
+/// and every computed distance passes through the block's fault injector (a
+/// no-op without an attached fault state).
+///
 /// Phase choreography: the fetch and the distance sweep run under
 /// [`Phase::LeafScan`]; offering into the k-best list runs under
 /// [`Phase::ResultMerge`], which is left set on return — callers re-set their
@@ -93,10 +225,10 @@ pub(crate) fn process_leaf<T: GpuIndex>(
     opts: &KernelOptions,
     sequential: bool,
     level: u32,
-) -> bool {
+) -> Result<bool, KernelError> {
+    let range = checked_leaf_points(tree, n)?;
     block.set_phase(Phase::LeafScan);
     fetch_leaf(block, tree, n, opts.layout, sequential, level);
-    let range = tree.leaf_points(n);
     let start = range.start;
     let len = range.len();
     scratch.leaf.clear();
@@ -106,12 +238,15 @@ pub(crate) fn process_leaf<T: GpuIndex>(
         let d = dist(q, tree.point(p));
         scratch.leaf.push((d, tree.point_id(p)));
     });
+    for entry in &mut scratch.leaf {
+        entry.0 = block.fault_f32(entry.0);
+    }
     block.set_phase(Phase::ResultMerge);
     let mut changed = false;
     for &(d, id) in &scratch.leaf {
         changed |= list.offer(block, d, id);
     }
-    changed
+    Ok(changed)
 }
 
 /// Compute MINDIST (and optionally MAXDIST) for every child of internal node
@@ -139,6 +274,15 @@ pub(crate) fn child_distances<T: GpuIndex>(
             scratch.max_d.push(hi);
         }
     });
+    // Loaded child volumes pass through the fault injector (no-op when no
+    // fault state is attached): a flipped bound is how an ECC event on the
+    // node payload reaches the pruning decisions.
+    for v in &mut scratch.min_d {
+        *v = block.fault_f32(*v);
+    }
+    for v in &mut scratch.max_d {
+        *v = block.fault_f32(*v);
+    }
 }
 
 /// The k-th smallest MAXDIST bound (Algorithm 1 line 14): an upper bound on the

@@ -22,16 +22,24 @@
 //! the pruning distance at skip time — which can only shrink afterwards, so the
 //! skip stays justified and the result is exact.
 
-use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
+use crate::error::KernelError;
 use crate::index::GpuIndex;
 
-use super::{child_distances, fetch_internal, kth_maxdist, process_leaf, Scratch};
+use super::{
+    checked_children, checked_leaf_id, checked_node, checked_root, child_distances, fetch_internal,
+    kth_maxdist, process_leaf, Budget, Scratch,
+};
 use crate::knnlist::GpuKnnList;
 use crate::options::KernelOptions;
 
 /// Runs one PSB query on a simulated block; returns exact kNN plus counters.
+///
+/// Trusted-tree entry point: panics if the hardened kernel reports an error
+/// (which a validated tree and a fault-free device can never produce). Use
+/// [`psb_try_query`] to handle corruption or injected faults.
 pub fn psb_query<T: GpuIndex>(
     tree: &T,
     q: &[f32],
@@ -53,24 +61,47 @@ pub fn psb_query_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> (Vec<Neighbor>, KernelStats) {
+    psb_try_query(tree, q, k, cfg, opts, None, sink)
+        .unwrap_or_else(|e| panic!("PSB kernel failed on a trusted tree: {e}"))
+}
+
+/// The hardened PSB kernel: bounds-checks every structural link it follows,
+/// runs under a traversal step budget, polls the device fault flags at each
+/// step, and reports failure as a typed [`KernelError`] instead of panicking
+/// or hanging. With `faults: None` and a valid tree this is bit-identical to
+/// the original kernel (the checks meter nothing).
+#[allow(clippy::too_many_arguments)]
+pub fn psb_try_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    block.set_faults(faults);
+    let mut budget = Budget::for_tree(tree);
     // Static shared memory: the per-child MINDIST/MAXDIST arrays of Algorithm 1
     // plus a warp-reduction scratch line.
     let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
-        .expect("node-degree scratch must fit in shared memory");
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
     let mut scratch = Scratch::default();
     let mut pruning = f32::INFINITY;
 
     // ---- Phase 1: initial greedy descent. ----
     block.set_phase(Phase::Descend);
-    let mut n = tree.root();
+    let mut n = checked_root(tree)?;
     let mut level = 0u32;
     while !tree.is_leaf(n) {
+        budget.tick(&block)?;
+        let kids = checked_children(tree, n)?;
         fetch_internal(&mut block, tree, n, opts.layout, level);
         child_distances(&mut block, tree, n, q, false, &mut scratch);
         block.par_reduce(scratch.min_d.len(), 2);
@@ -80,7 +111,6 @@ pub fn psb_query_traced<T: GpuIndex>(
         // the initial descent in a garbage leaf whose k-th distance is huge —
         // so break ties by centroid distance, matching the paper's "leaf node
         // which is closest to the query point".
-        let kids = tree.children(n);
         let mut best = (f32::INFINITY, f32::INFINITY);
         let mut best_c = kids.start;
         for (i, c) in kids.enumerate() {
@@ -93,7 +123,8 @@ pub fn psb_query_traced<T: GpuIndex>(
         n = best_c;
         level += 1;
     }
-    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false, level);
+    budget.tick(&block)?;
+    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false, level)?;
     pruning = pruning.min(list.bound());
 
     // ---- Phase 2: the left-to-right sweep. ----
@@ -104,14 +135,15 @@ pub fn psb_query_traced<T: GpuIndex>(
     'sweep: loop {
         // Descend to the leftmost qualifying leaf (or backtrack when none).
         while !tree.is_leaf(n) {
+            budget.tick(&block)?;
             block.set_phase(Phase::Descend);
+            let kids = checked_children(tree, n)?;
             fetch_internal(&mut block, tree, n, opts.layout, level);
             child_distances(&mut block, tree, n, q, opts.use_minmax_prune, &mut scratch);
             if opts.use_minmax_prune && scratch.max_d.len() >= k {
                 let bound = kth_maxdist(&mut block, &scratch.max_d, k);
                 pruning = pruning.min(bound);
             }
-            let kids = tree.children(n);
             // Leftmost-qualifying-child selection. Algorithm 1 writes this as
             // a serial loop (lines 16–26), but on a real device it is one
             // parallel predicate evaluation plus a ballot/find-first-set
@@ -120,7 +152,7 @@ pub fn psb_query_traced<T: GpuIndex>(
             block.par_reduce(kids.len(), 1);
             block.scalar(2);
             let mut chosen = None;
-            for (i, c) in kids.enumerate() {
+            for (i, c) in kids.clone().enumerate() {
                 if scratch.min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
@@ -147,8 +179,11 @@ pub fn psb_query_traced<T: GpuIndex>(
                     block.set_phase(Phase::Backtrack);
                     block.backtrack(level);
                     block.scalar(1); // follow the parent link
-                    n = tree.parent(n);
-                    level -= 1;
+                    n = checked_node(tree, "parent", n, tree.parent(n))?;
+                    level = level.checked_sub(1).ok_or(KernelError::CorruptNode {
+                        node: n,
+                        detail: "parent chain deeper than the descent that reached it",
+                    })?;
                 }
             }
         }
@@ -156,6 +191,7 @@ pub fn psb_query_traced<T: GpuIndex>(
         // Leaf phase: linear scan of sibling leaves while they improve.
         let mut via_sibling = false;
         loop {
+            budget.tick(&block)?;
             let changed = process_leaf(
                 &mut block,
                 tree,
@@ -166,14 +202,14 @@ pub fn psb_query_traced<T: GpuIndex>(
                 opts,
                 via_sibling,
                 level,
-            );
+            )?;
             pruning = pruning.min(list.bound());
-            let lid = tree.leaf_id(n);
+            let lid = checked_leaf_id(tree, n)?;
             visited = lid as i64;
             if opts.leaf_scan && changed && lid < last_leaf {
                 block.set_phase(Phase::LeafScan);
                 block.scalar(1); // follow the right-sibling link
-                n = tree.leaf_node_of(lid + 1);
+                n = checked_node(tree, "leaf_node_of", n, tree.leaf_node_of(lid + 1))?;
                 via_sibling = true; // contiguous leaves: a prefetchable stream
             } else if n == tree.root() {
                 // Single-leaf tree: nothing to backtrack to.
@@ -182,14 +218,22 @@ pub fn psb_query_traced<T: GpuIndex>(
                 block.set_phase(Phase::Backtrack);
                 block.backtrack(level);
                 block.scalar(1); // follow the parent link
-                n = tree.parent(n);
-                level -= 1;
+                n = checked_node(tree, "parent", n, tree.parent(n))?;
+                level = level.checked_sub(1).ok_or(KernelError::CorruptNode {
+                    node: n,
+                    detail: "parent chain deeper than the descent that reached it",
+                })?;
                 break;
             }
         }
     }
 
-    (list.into_sorted(), block.finish())
+    // Final poll: a fault in the last leaf processed would otherwise slip
+    // past the loop-head checks and reach the caller as a silent result.
+    if let Some(fault) = block.device_fault() {
+        return Err(fault.into());
+    }
+    Ok((list.into_sorted(), block.finish()))
 }
 
 #[cfg(test)]

@@ -13,17 +13,24 @@
 //! way a real kernel would append via an atomic cursor into an output buffer).
 
 use psb_geom::dist;
-use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
+use crate::error::KernelError;
 use crate::index::GpuIndex;
 
-use super::{child_distances, fetch_internal, fetch_leaf, Scratch};
+use super::{
+    checked_children, checked_leaf_id, checked_leaf_points, checked_node, checked_root,
+    child_distances, fetch_internal, fetch_leaf, Budget, Scratch,
+};
 use crate::dist_cost;
 use crate::options::KernelOptions;
 
 /// Runs one range query on a simulated block; returns the points within
 /// `radius` of `q`, ascending by distance, plus the block counters.
+///
+/// Trusted-tree entry point: panics on a [`KernelError`]. Use
+/// [`range_try_query`] to handle corruption or injected faults.
 pub fn range_query_gpu<T: GpuIndex>(
     tree: &T,
     q: &[f32],
@@ -44,32 +51,52 @@ pub fn range_query_gpu_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> (Vec<Neighbor>, KernelStats) {
+    range_try_query(tree, q, radius, cfg, opts, None, sink)
+        .unwrap_or_else(|e| panic!("range kernel failed on a trusted tree: {e}"))
+}
+
+/// The hardened range kernel: typed errors instead of panics or hangs under
+/// corruption or injected device faults. Bit-identical to the original with
+/// `faults: None` on a valid tree.
+#[allow(clippy::too_many_arguments)]
+pub fn range_try_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert!(radius >= 0.0, "radius must be non-negative");
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    block.set_faults(faults);
+    let mut budget = Budget::for_tree(tree);
     let static_smem = tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
-        .expect("node-degree scratch must fit in shared memory");
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut scratch = Scratch::default();
     let mut out: Vec<Neighbor> = Vec::new();
     let dc = dist_cost(tree.dims());
 
     let last_leaf = (tree.num_leaves() - 1) as u32;
     let mut visited: i64 = -1;
-    let mut n = tree.root();
+    let mut n = checked_root(tree)?;
     let mut level = 0u32;
     'sweep: loop {
         while !tree.is_leaf(n) {
+            budget.tick(&block)?;
             block.set_phase(Phase::Descend);
+            let kids = checked_children(tree, n)?;
             fetch_internal(&mut block, tree, n, opts.layout, level);
             child_distances(&mut block, tree, n, q, false, &mut scratch);
-            let kids = tree.children(n);
             block.par_for(kids.len(), 1, |_| {});
             block.par_reduce(kids.len(), 1);
             block.scalar(2);
             let mut chosen = None;
-            for (i, c) in kids.enumerate() {
+            for (i, c) in kids.clone().enumerate() {
                 if scratch.min_d[i] <= radius && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
@@ -88,8 +115,11 @@ pub fn range_query_gpu_traced<T: GpuIndex>(
                     block.set_phase(Phase::Backtrack);
                     block.backtrack(level);
                     block.scalar(1);
-                    n = tree.parent(n);
-                    level -= 1;
+                    n = checked_node(tree, "parent", n, tree.parent(n))?;
+                    level = level.checked_sub(1).ok_or(KernelError::CorruptNode {
+                        node: n,
+                        detail: "parent chain deeper than the descent that reached it",
+                    })?;
                 }
             }
         }
@@ -98,9 +128,10 @@ pub fn range_query_gpu_traced<T: GpuIndex>(
         // producing hits (in-range leaves cluster together on the curve).
         let mut via_sibling = false;
         loop {
+            budget.tick(&block)?;
+            let range = checked_leaf_points(tree, n)?;
             block.set_phase(Phase::LeafScan);
             fetch_leaf(&mut block, tree, n, opts.layout, via_sibling, level);
-            let range = tree.leaf_points(n);
             let start = range.start;
             let len = range.len();
             scratch.leaf.clear();
@@ -109,6 +140,9 @@ pub fn range_query_gpu_traced<T: GpuIndex>(
                 let d = dist(q, tree.point(p));
                 scratch.leaf.push((d, tree.point_id(p)));
             });
+            for entry in &mut scratch.leaf {
+                entry.0 = block.fault_f32(entry.0);
+            }
             block.set_phase(Phase::ResultMerge);
             let mut hits = 0u64;
             for &(d, id) in &scratch.leaf {
@@ -122,12 +156,12 @@ pub fn range_query_gpu_traced<T: GpuIndex>(
                 block.scalar(2);
                 block.load_global_stream(hits * 8);
             }
-            let lid = tree.leaf_id(n);
+            let lid = checked_leaf_id(tree, n)?;
             visited = lid as i64;
             if opts.leaf_scan && hits > 0 && lid < last_leaf {
                 block.set_phase(Phase::LeafScan);
                 block.scalar(1);
-                n = tree.leaf_node_of(lid + 1);
+                n = checked_node(tree, "leaf_node_of", n, tree.leaf_node_of(lid + 1))?;
                 via_sibling = true;
             } else if n == tree.root() {
                 break 'sweep;
@@ -135,15 +169,23 @@ pub fn range_query_gpu_traced<T: GpuIndex>(
                 block.set_phase(Phase::Backtrack);
                 block.backtrack(level);
                 block.scalar(1);
-                n = tree.parent(n);
-                level -= 1;
+                n = checked_node(tree, "parent", n, tree.parent(n))?;
+                level = level.checked_sub(1).ok_or(KernelError::CorruptNode {
+                    node: n,
+                    detail: "parent chain deeper than the descent that reached it",
+                })?;
                 break;
             }
         }
     }
 
+    // Final poll: a fault in the last leaf processed would otherwise slip
+    // past the loop-head checks and reach the caller as a silent result.
+    if let Some(fault) = block.device_fault() {
+        return Err(fault.into());
+    }
     out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-    (out, block.finish())
+    Ok((out, block.finish()))
 }
 
 #[cfg(test)]

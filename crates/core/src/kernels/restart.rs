@@ -12,16 +12,23 @@
 //! Exactness argument is identical to PSB's: the cursor only advances past
 //! leaves that are visited or provably outside the pruning distance.
 
-use psb_gpu::{Block, DeviceConfig, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
+use crate::error::KernelError;
 use crate::index::GpuIndex;
 
-use super::{child_distances, fetch_internal, kth_maxdist, process_leaf, Scratch};
+use super::{
+    checked_children, checked_leaf_id, checked_node, checked_root, child_distances, fetch_internal,
+    kth_maxdist, process_leaf, Budget, Scratch,
+};
 use crate::knnlist::GpuKnnList;
 use crate::options::KernelOptions;
 
 /// Runs one scan-and-restart query on a simulated block.
+///
+/// Trusted-tree entry point: panics on a [`KernelError`]. Use
+/// [`restart_try_query`] to handle corruption or injected faults.
 pub fn restart_query<T: GpuIndex>(
     tree: &T,
     q: &[f32],
@@ -42,22 +49,43 @@ pub fn restart_query_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> (Vec<Neighbor>, KernelStats) {
+    restart_try_query(tree, q, k, cfg, opts, None, sink)
+        .unwrap_or_else(|e| panic!("restart kernel failed on a trusted tree: {e}"))
+}
+
+/// The hardened scan-and-restart kernel: typed errors instead of panics or
+/// hangs under corruption or injected device faults. Bit-identical to the
+/// original with `faults: None` on a valid tree.
+#[allow(clippy::too_many_arguments)]
+pub fn restart_try_query<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    block.set_faults(faults);
+    let mut budget = Budget::for_tree(tree);
     let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
-        .expect("node-degree scratch must fit in shared memory");
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
     let mut scratch = Scratch::default();
     let mut pruning = f32::INFINITY;
 
     // Initial greedy descent primes the pruning distance (same as PSB).
     block.set_phase(Phase::Descend);
-    let mut n = tree.root();
+    let mut n = checked_root(tree)?;
     let mut level = 0u32;
     while !tree.is_leaf(n) {
+        budget.tick(&block)?;
+        let kids = checked_children(tree, n)?;
         fetch_internal(&mut block, tree, n, opts.layout, level);
         child_distances(&mut block, tree, n, q, false, &mut scratch);
         block.par_reduce(scratch.min_d.len(), 2);
@@ -67,7 +95,6 @@ pub fn restart_query_traced<T: GpuIndex>(
         // the initial descent in a garbage leaf whose k-th distance is huge —
         // so break ties by centroid distance, matching the paper's "leaf node
         // which is closest to the query point".
-        let kids = tree.children(n);
         let mut best = (f32::INFINITY, f32::INFINITY);
         let mut best_c = kids.start;
         for (i, c) in kids.enumerate() {
@@ -80,7 +107,8 @@ pub fn restart_query_traced<T: GpuIndex>(
         n = best_c;
         level += 1;
     }
-    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false, level);
+    budget.tick(&block)?;
+    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false, level)?;
     pruning = pruning.min(list.bound());
 
     let last_leaf = (tree.num_leaves() - 1) as u32;
@@ -90,20 +118,21 @@ pub fn restart_query_traced<T: GpuIndex>(
         n = tree.root();
         level = 0;
         while !tree.is_leaf(n) {
+            budget.tick(&block)?;
             block.set_phase(Phase::Descend);
+            let kids = checked_children(tree, n)?;
             fetch_internal(&mut block, tree, n, opts.layout, level);
             child_distances(&mut block, tree, n, q, opts.use_minmax_prune, &mut scratch);
             if opts.use_minmax_prune && scratch.max_d.len() >= k {
                 let bound = kth_maxdist(&mut block, &scratch.max_d, k);
                 pruning = pruning.min(bound);
             }
-            let kids = tree.children(n);
             // Parallel predicate + ballot/ffs selection (see psb.rs).
             block.par_for(kids.len(), 1, |_| {});
             block.par_reduce(kids.len(), 1);
             block.scalar(2);
             let mut chosen = None;
-            for (i, c) in kids.enumerate() {
+            for (i, c) in kids.clone().enumerate() {
                 if scratch.min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
@@ -128,6 +157,7 @@ pub fn restart_query_traced<T: GpuIndex>(
         // Linear scan of sibling leaves while they improve (same as PSB).
         let mut via_sibling = false;
         loop {
+            budget.tick(&block)?;
             let changed = process_leaf(
                 &mut block,
                 tree,
@@ -138,14 +168,14 @@ pub fn restart_query_traced<T: GpuIndex>(
                 opts,
                 via_sibling,
                 level,
-            );
+            )?;
             pruning = pruning.min(list.bound());
-            let lid = tree.leaf_id(n);
+            let lid = checked_leaf_id(tree, n)?;
             visited = lid as i64;
             if opts.leaf_scan && changed && lid < last_leaf {
                 block.set_phase(Phase::LeafScan);
                 block.scalar(1);
-                n = tree.leaf_node_of(lid + 1);
+                n = checked_node(tree, "leaf_node_of", n, tree.leaf_node_of(lid + 1))?;
                 via_sibling = true;
             } else if n == tree.root() {
                 break 'restart; // single-leaf tree
@@ -156,7 +186,12 @@ pub fn restart_query_traced<T: GpuIndex>(
         }
     }
 
-    (list.into_sorted(), block.finish())
+    // Final poll: a fault in the last leaf processed would otherwise slip
+    // past the loop-head checks and reach the caller as a silent result.
+    if let Some(fault) = block.device_fault() {
+        return Err(fault.into());
+    }
+    Ok((list.into_sorted(), block.finish()))
 }
 
 #[cfg(test)]

@@ -13,11 +13,13 @@
 
 use psb_geom::{dist, PointSet};
 
+use crate::error::{EngineError, KernelError};
 use crate::index::GpuIndex;
 use psb_gpu::{run_task_parallel_traced, DeviceConfig, KernelStats, LaneStep, NoopSink, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::dist_cost;
+use crate::kernels::step_budget;
 
 /// Operation tags (distinct tags in one warp serialize). The values follow
 /// the [`psb_gpu::op_phase`] convention, so the scheduler attributes each
@@ -36,6 +38,13 @@ struct Lane<'a, T: GpuIndex> {
     has_cursor: bool,
     best: Vec<Neighbor>,
     done: bool,
+    /// Per-lane step counter against `step_limit` — the corruption-induced-
+    /// loop backstop for the task-parallel traversal.
+    steps: u64,
+    step_limit: u64,
+    /// Set when the lane hits corruption; the lane halts and the batch entry
+    /// point reports it.
+    error: Option<KernelError>,
 }
 
 impl<T: GpuIndex> Lane<'_, T> {
@@ -48,6 +57,11 @@ impl<T: GpuIndex> Lane<'_, T> {
     }
 
     fn offer(&mut self, d: f32, id: u32) {
+        // NaN would land at an arbitrary partition point and corrupt the
+        // sorted order; a NaN distance can only come from corrupt geometry.
+        if d.is_nan() {
+            return;
+        }
         if self.best.len() >= self.k && d >= self.bound() {
             return;
         }
@@ -58,9 +72,20 @@ impl<T: GpuIndex> Lane<'_, T> {
         }
     }
 
+    /// Halt the lane with a typed error.
+    fn fail(&mut self, e: KernelError) -> Option<LaneStep> {
+        self.error = Some(e);
+        self.done = true;
+        None
+    }
+
     fn step(&mut self) -> Option<LaneStep> {
         if self.done {
             return None;
+        }
+        self.steps += 1;
+        if self.steps > self.step_limit {
+            return self.fail(KernelError::StepBudgetExceeded { budget: self.step_limit });
         }
         if !self.has_cursor {
             match self.stack.pop() {
@@ -80,8 +105,24 @@ impl<T: GpuIndex> Lane<'_, T> {
         let n = self.cursor;
         self.has_cursor = false;
         let tree = self.tree;
+        if n as usize >= tree.num_nodes() {
+            return self.fail(KernelError::LinkOutOfBounds {
+                link: "node",
+                node: n,
+                target: n as u64,
+                limit: tree.num_nodes() as u64,
+            });
+        }
         if tree.is_leaf(n) {
             let range = tree.leaf_points(n);
+            if range.start > range.end || range.end > tree.num_points() {
+                return self.fail(KernelError::LinkOutOfBounds {
+                    link: "leaf_points",
+                    node: n,
+                    target: range.end as u64,
+                    limit: tree.num_points() as u64,
+                });
+            }
             let count = range.len() as u64;
             for p in range {
                 let d = dist(self.q, tree.point(p));
@@ -97,6 +138,21 @@ impl<T: GpuIndex> Lane<'_, T> {
         // push the qualifying children (descending MINDIST so the closest pops
         // first).
         let kids = tree.children(n);
+        if kids.is_empty() {
+            return self.fail(KernelError::CorruptNode {
+                node: n,
+                detail: "internal node with no children",
+            });
+        }
+        let limit = tree.num_nodes() as u64;
+        if kids.start as u64 >= limit || kids.end as u64 > limit {
+            return self.fail(KernelError::LinkOutOfBounds {
+                link: "children",
+                node: n,
+                target: kids.end as u64,
+                limit,
+            });
+        }
         let count = kids.len() as u64;
         let mut qualifying: Vec<(u32, f32)> = Vec::with_capacity(kids.len());
         for c in kids {
@@ -130,6 +186,10 @@ pub fn tpss_batch<T: GpuIndex>(
 /// [`tpss_batch`] with every block's issue groups and loads mirrored into
 /// `sink` (blocks run sequentially, so events arrive in block order). Results
 /// and counters are bit-identical to the untraced run.
+///
+/// Trusted-tree entry point: panics if any lane reports a [`KernelError`],
+/// which a validated tree can never produce. Use [`tpss_try_batch`] to handle
+/// corruption per query.
 pub fn tpss_batch_traced<T: GpuIndex>(
     tree: &T,
     queries: &PointSet,
@@ -138,10 +198,40 @@ pub fn tpss_batch_traced<T: GpuIndex>(
     threads_per_block: u32,
     sink: &mut dyn TraceSink,
 ) -> (Vec<Vec<Neighbor>>, Vec<KernelStats>) {
-    assert!(k >= 1);
     assert!(!queries.is_empty(), "empty query batch");
+    let (results, per_block) = tpss_try_batch(tree, queries, k, cfg, threads_per_block, sink)
+        .unwrap_or_else(|e| panic!("task-parallel kernel rejected the batch: {e}"));
+    let results = results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("task-parallel kernel failed on a trusted tree: {e}")))
+        .collect();
+    (results, per_block)
+}
+
+/// Per-query fallible results plus per-block counters from the hardened
+/// task-parallel batch.
+pub type TpssBatchOutput = (Vec<Result<Vec<Neighbor>, KernelError>>, Vec<KernelStats>);
+
+/// The hardened task-parallel batch: each lane carries a step budget and
+/// bounds-checks every link it follows, so corruption yields a per-query
+/// [`KernelError`] instead of a panic or an endless round loop. Lanes that
+/// fail simply go idle; surviving lanes in the same block finish normally.
+/// Bit-identical results and stats to [`tpss_batch`] on a valid tree.
+pub fn tpss_try_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    threads_per_block: u32,
+    sink: &mut dyn TraceSink,
+) -> Result<TpssBatchOutput, EngineError> {
+    assert!(k >= 1);
+    if queries.is_empty() {
+        return Err(EngineError::EmptyBatch);
+    }
     assert_eq!(queries.dims(), tree.dims());
     let tpb = threads_per_block.max(1) as usize;
+    let limit = step_budget(tree);
 
     let mut results = Vec::with_capacity(queries.len());
     let mut per_block = Vec::new();
@@ -158,14 +248,20 @@ pub fn tpss_batch_traced<T: GpuIndex>(
                 has_cursor: false,
                 best: Vec::with_capacity(k + 1),
                 done: false,
+                steps: 0,
+                step_limit: limit,
+                error: None,
             })
             .collect();
         let stats = run_task_parallel_traced(cfg, &mut lanes, 0, Lane::step, sink);
         per_block.push(stats);
-        results.extend(lanes.into_iter().map(|l| l.best));
+        results.extend(lanes.into_iter().map(|l| match l.error {
+            Some(e) => Err(e),
+            None => Ok(l.best),
+        }));
         qi += block_n;
     }
-    (results, per_block)
+    Ok((results, per_block))
 }
 
 #[cfg(test)]
@@ -219,7 +315,7 @@ mod tests {
         let cfg = DeviceConfig::k40();
         let (_, tp_blocks) = tpss_batch(&tree128, &queries, 10, &cfg, 32);
         let tp = launch_blocks(&cfg, 1, &tp_blocks);
-        let dp = psb_batch(&tree128, &queries, 10, &cfg, &KernelOptions::default());
+        let dp = psb_batch(&tree128, &queries, 10, &cfg, &KernelOptions::default()).expect("batch");
         assert!(
             tp.avg_response_ms > dp.report.avg_response_ms * 2.0,
             "task-parallel {:.4} ms vs data-parallel {:.4} ms",

@@ -94,6 +94,14 @@ impl GpuKnnList {
     /// (`log2 k` instructions on one lane); one landing in the global region of
     /// a hybrid list additionally pays a global write.
     pub fn offer(&mut self, block: &mut Block, dist: f32, id: u32) -> bool {
+        // A NaN distance can only come from corrupted geometry (e.g. an
+        // injected bit flip in the exponent): it would land at an arbitrary
+        // partition point and silently break the sorted order, so reject it
+        // outright. No metering — a real GPU's `dist < pruningDist` test is
+        // false for NaN and skips the update path entirely.
+        if dist.is_nan() {
+            return false;
+        }
         let phase = block.phase();
         if self.entries.len() >= self.k && dist >= self.bound() {
             block.emit(|| TraceEvent::KnnUpdate { pruned: true, phase });
@@ -221,6 +229,18 @@ mod tests {
         assert!(!list.offer(&mut b, 1.0, 5));
         let out = list.into_sorted();
         assert_eq!(out.iter().map(|n| n.id).collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn nan_distance_is_rejected() {
+        let (mut b, smem) = block();
+        let mut list = GpuKnnList::new(2, SharedMemPolicy::AllShared, &mut b, smem);
+        assert!(!list.offer(&mut b, f32::NAN, 0), "NaN must never enter the list");
+        assert!(list.is_empty());
+        list.offer(&mut b, 1.0, 1);
+        assert!(!list.offer(&mut b, f32::NAN, 2));
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.into_sorted()[0].id, 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 pub mod dynamic;
 pub mod engine;
+pub mod error;
 pub mod index;
 pub mod kernels;
 pub mod knnlist;
@@ -30,11 +31,18 @@ pub mod options;
 
 pub use dynamic::DynamicSsTree;
 pub use engine::{
-    bnb_batch, bnb_batch_traced, brute_batch, merge_stats, psb_batch, psb_batch_traced,
-    range_batch, restart_batch, QueryBatchResult,
+    bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, merge_stats, psb_batch,
+    psb_batch_recovering, psb_batch_traced, range_batch, range_batch_recovering, restart_batch,
+    restart_batch_recovering, QueryBatchResult,
 };
+pub use error::{EngineError, KernelError, QueryOutcome};
 pub use index::GpuIndex;
-pub use kernels::tpss::{tpss_batch, tpss_batch_traced};
+pub use kernels::bnb::bnb_try_query;
+pub use kernels::brute::{brute_index_query, brute_index_range, brute_try_query};
+pub use kernels::psb::psb_try_query;
+pub use kernels::range::range_try_query;
+pub use kernels::restart::restart_try_query;
+pub use kernels::tpss::{tpss_batch, tpss_batch_traced, tpss_try_batch};
 pub use knnlist::SharedMemPolicy;
 pub use options::{KernelOptions, NodeLayout};
 

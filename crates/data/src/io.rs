@@ -58,6 +58,20 @@ pub fn read_csv(path: &Path) -> io::Result<PointSet> {
                         format!("line {}: {} columns, expected {dims}", lineno + 1, row.len()),
                     ));
                 }
+                // "NaN"/"inf" parse as valid f32 — but a non-finite coordinate
+                // poisons every distance computed against it, so reject it
+                // here with the offending line and column.
+                if let Some(col) = row.iter().position(|x| !x.is_finite()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "line {}, column {}: non-finite coordinate {}",
+                            lineno + 1,
+                            col + 1,
+                            row[col]
+                        ),
+                    ));
+                }
                 data.extend_from_slice(&row);
             }
         }
@@ -103,9 +117,16 @@ pub fn read_binary(path: &Path) -> io::Result<PointSet> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "size overflow"))?;
     let mut data = vec![0f32; total];
     let mut byte = [0u8; 4];
-    for slot in data.iter_mut() {
+    for (i, slot) in data.iter_mut().enumerate() {
         r.read_exact(&mut byte)?;
-        *slot = f32::from_le_bytes(byte);
+        let v = f32::from_le_bytes(byte);
+        if !v.is_finite() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("point {}, dimension {}: non-finite coordinate {v}", i / dims, i % dims),
+            ));
+        }
+        *slot = v;
     }
     Ok(PointSet::from_flat(dims, data))
 }
@@ -175,6 +196,39 @@ mod tests {
         let p = tmp("garbage.bin");
         std::fs::write(&p, b"NOPE....").unwrap();
         assert!(read_binary(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn non_finite_csv_rejected_with_location() {
+        // "NaN" and "inf" are valid f32 literals, so the parser accepts them —
+        // the finiteness check must catch them and name the line and column.
+        let p = tmp("nonfinite.csv");
+        std::fs::write(&p, "1.0,2.0\n3.0,NaN\n").unwrap();
+        let err = read_csv(&p).expect_err("NaN coordinate must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("column 2"), "got: {msg}");
+
+        std::fs::write(&p, "inf,2.0\n").unwrap();
+        let err = read_csv(&p).expect_err("inf coordinate must be rejected");
+        assert!(err.to_string().contains("line 1"), "got: {err}");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn non_finite_binary_rejected_with_location() {
+        let ps = sample();
+        let p = tmp("nonfinite.bin");
+        write_binary(&ps, &p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Overwrite the coordinate of point 3, dimension 2 with NaN
+        // (header = 4 magic + 4 dims + 8 len).
+        let off = 16 + (3 * ps.dims() + 2) * 4;
+        bytes[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let err = read_binary(&p).expect_err("NaN coordinate must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("point 3") && msg.contains("dimension 2"), "got: {msg}");
         std::fs::remove_file(&p).ok();
     }
 

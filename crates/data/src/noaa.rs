@@ -77,7 +77,9 @@ impl NoaaSpec {
                 Some(*acc)
             })
             .collect();
-        let total_w = *cumulative.last().unwrap();
+        // CONTINENTS is a non-empty const table, so the scan yields at least
+        // one weight; fall back defensively rather than unwrapping.
+        let total_w = cumulative.last().copied().unwrap_or(1.0);
         // A handful of sub-cluster offsets per continent, fixed per dataset.
         let sub_clusters: Vec<Vec<(f32, f32)>> = CONTINENTS
             .iter()

@@ -20,6 +20,7 @@
 //! one.
 
 use crate::config::DeviceConfig;
+use crate::fault::{DeviceFault, FaultState};
 use crate::stats::{KernelStats, MAX_TRACKED_LEVELS};
 use crate::trace::{NodeKind, Phase, TraceEvent, TraceSink};
 
@@ -32,6 +33,7 @@ pub struct Block<'s> {
     smem_in_use: u64,
     phase: Phase,
     sink: Option<&'s mut dyn TraceSink>,
+    faults: Option<FaultState>,
 }
 
 impl std::fmt::Debug for Block<'_> {
@@ -60,6 +62,7 @@ impl<'s> Block<'s> {
             smem_in_use: 0,
             phase: Phase::Other,
             sink: None,
+            faults: None,
         }
     }
 
@@ -69,6 +72,44 @@ impl<'s> Block<'s> {
         let mut block = Self::new(threads, cfg);
         block.sink = Some(sink);
         block
+    }
+
+    /// Attach (or detach, with `None`) a per-launch fault state. Without one,
+    /// every fault hook is a no-op and the block behaves exactly as before —
+    /// the same no-op-parity discipline [`Block::with_sink`] follows.
+    pub fn set_faults(&mut self, faults: Option<FaultState>) {
+        self.faults = faults;
+    }
+
+    /// Pass a value loaded from global memory through the fault injector.
+    /// Without an attached [`FaultState`] this returns `v` untouched and
+    /// meters nothing.
+    #[inline]
+    pub fn fault_f32(&mut self, v: f32) -> f32 {
+        match &mut self.faults {
+            None => v,
+            Some(f) => f.maybe_flip_f32(v),
+        }
+    }
+
+    /// Poll for a detected device fault. Kernels call this at their loop
+    /// heads and abort with a typed error when it returns `Some`. Order:
+    /// sticky ECC flag, then sticky truncation, then the watchdog budget
+    /// (checked against the block's issue counter).
+    pub fn device_fault(&self) -> Option<DeviceFault> {
+        let f = self.faults.as_ref()?;
+        if f.ecc_flagged() {
+            return Some(DeviceFault::EccError);
+        }
+        if f.truncated() {
+            return Some(DeviceFault::TruncatedLoad);
+        }
+        if let Some(budget) = f.watchdog_budget {
+            if self.stats.compute_issues > budget {
+                return Some(DeviceFault::Watchdog);
+            }
+        }
+        None
     }
 
     /// Threads in the block (multiple of the warp size).
@@ -204,6 +245,13 @@ impl<'s> Block<'s> {
         }
         let phase = self.phase;
         self.emit(|| TraceEvent::GlobalLoad { bytes, transactions, streamed, phase });
+        if let Some(f) = &mut self.faults {
+            if let Some(limit) = f.truncate_after {
+                if self.stats.global_transactions > limit {
+                    f.truncated = true;
+                }
+            }
+        }
     }
 
     /// Coalesced global-memory read of `bytes` bytes (SoA layouts): transactions
@@ -501,6 +549,51 @@ mod tests {
             TraceEvent::NodeVisit { level: 1, kind: NodeKind::Leaf, phase: Phase::LeafScan }
         ));
         assert_eq!(sink.events[5], TraceEvent::Backtrack { level: 1 });
+    }
+
+    #[test]
+    fn no_fault_state_means_no_faults_and_no_perturbation() {
+        let mut b = block(64);
+        assert_eq!(b.device_fault(), None);
+        let before = *b.stats();
+        assert_eq!(b.fault_f32(3.5).to_bits(), 3.5f32.to_bits());
+        assert_eq!(*b.stats(), before, "fault hooks must not meter anything");
+    }
+
+    #[test]
+    fn truncation_latches_after_transaction_budget() {
+        use crate::fault::FaultPlan;
+        let mut b = block(32);
+        b.set_faults(Some(FaultPlan::truncation(2).state_for(0, 0)));
+        b.load_global(128); // 1 transaction
+        assert_eq!(b.device_fault(), None);
+        b.load_global(128); // 2 transactions: at the limit, not over it
+        assert_eq!(b.device_fault(), None);
+        b.load_global(128); // 3 > 2: latches
+        assert_eq!(b.device_fault(), Some(DeviceFault::TruncatedLoad));
+        // Sticky: still reported with no further loads.
+        assert_eq!(b.device_fault(), Some(DeviceFault::TruncatedLoad));
+    }
+
+    #[test]
+    fn watchdog_fires_on_issue_budget() {
+        use crate::fault::FaultPlan;
+        let mut b = block(32);
+        b.set_faults(Some(FaultPlan::watchdog(3).state_for(0, 0)));
+        b.scalar(3);
+        assert_eq!(b.device_fault(), None);
+        b.scalar(1);
+        assert_eq!(b.device_fault(), Some(DeviceFault::Watchdog));
+    }
+
+    #[test]
+    fn certain_bit_flip_reports_ecc() {
+        use crate::fault::FaultPlan;
+        let mut b = block(32);
+        b.set_faults(Some(FaultPlan::bit_flips(11, 1000).state_for(0, 0)));
+        let v = b.fault_f32(1.0);
+        assert_ne!(v.to_bits(), 1.0f32.to_bits());
+        assert_eq!(b.device_fault(), Some(DeviceFault::EccError));
     }
 
     #[test]

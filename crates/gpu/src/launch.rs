@@ -54,6 +54,12 @@ pub struct LaunchReport {
     /// Largest per-block occupancy in the batch. A gap between min and max
     /// means the makespan estimate over-penalizes the light blocks.
     pub occupancy_max: u32,
+    /// Queries that failed their first launch but succeeded on retry. Zero
+    /// for plain launches; filled in by the engine's recovery layer.
+    pub retried_queries: u64,
+    /// Queries that exhausted retries and were answered by the exact
+    /// brute-force fallback. Zero for plain launches.
+    pub degraded_queries: u64,
 }
 
 impl LaunchReport {
@@ -123,6 +129,8 @@ pub fn launch_blocks(
         occupancy,
         occupancy_min,
         occupancy_max,
+        retried_queries: 0,
+        degraded_queries: 0,
         merged,
     }
 }

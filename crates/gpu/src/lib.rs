@@ -40,6 +40,7 @@
 
 pub mod block;
 pub mod config;
+pub mod fault;
 pub mod launch;
 pub mod stats;
 pub mod task;
@@ -47,6 +48,7 @@ pub mod trace;
 
 pub use block::Block;
 pub use config::DeviceConfig;
+pub use fault::{DeviceFault, FaultPlan, FaultState};
 pub use launch::{launch_blocks, LaunchReport, PhaseBreakdown};
 pub use stats::{KernelStats, PhaseStats, MAX_TRACKED_LEVELS};
 pub use task::{op_phase, run_task_parallel, run_task_parallel_traced, LaneStep};

@@ -59,6 +59,12 @@ impl GpuIndex for RsTree {
     fn num_leaves(&self) -> usize {
         self.leaf_node_of.len()
     }
+    fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+    fn num_points(&self) -> usize {
+        self.points.len()
+    }
     fn subtree_max_leaf(&self, n: u32) -> u32 {
         self.subtree_max_leaf[n as usize]
     }

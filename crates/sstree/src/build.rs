@@ -97,30 +97,38 @@ pub fn build(points: &PointSet, degree: usize, method: &BuildMethod) -> SsTree {
         BuildMethod::KMeans { seed, .. } => *seed,
         BuildMethod::Hilbert => 0,
     };
-    while levels.last().unwrap().spheres.len() > 1 {
-        let below = levels.last_mut().unwrap();
-        let m = below.spheres.len();
+    loop {
+        let m = levels.last().map_or(0, |l| l.spheres.len());
+        if m <= 1 {
+            break;
+        }
 
         // Reorder the level below (k-means method only, while k is meaningful).
         if k_level >= 2 && m > degree {
-            let centers = PointSet::from_flat(
-                points.dims(),
-                below.spheres.iter().flat_map(|s| s.center.iter().copied()).collect(),
-            );
-            let all: Vec<u32> = (0..m as u32).collect();
-            let result = kmeans(
-                &centers,
-                &all,
-                &KMeansParams { k: k_level.min(m), max_iters: 16, seed: kmeans_seed ^ 0x5eed },
-            );
-            let ckeys: Vec<HilbertKey> =
-                (0..m).map(|i| hilbert_key(centers.point(i), &bounds)).collect();
-            let perm = order_by_clusters(&result.assignment, &result.centroids, &ckeys, &bounds);
-            apply_permutation(below, &perm);
+            if let Some(below) = levels.last_mut() {
+                let centers = PointSet::from_flat(
+                    points.dims(),
+                    below.spheres.iter().flat_map(|s| s.center.iter().copied()).collect(),
+                );
+                let all: Vec<u32> = (0..m as u32).collect();
+                let result = kmeans(
+                    &centers,
+                    &all,
+                    &KMeansParams { k: k_level.min(m), max_iters: 16, seed: kmeans_seed ^ 0x5eed },
+                );
+                let ckeys: Vec<HilbertKey> =
+                    (0..m).map(|i| hilbert_key(centers.point(i), &bounds)).collect();
+                let perm =
+                    order_by_clusters(&result.assignment, &result.centroids, &ckeys, &bounds);
+                apply_permutation(below, &perm);
+            }
         }
 
         // Chunk into parents and enclose.
-        let below_spheres = &levels.last().unwrap().spheres;
+        let below_spheres = match levels.last() {
+            Some(l) => &l.spheres,
+            None => break, // unreachable: the loop guard saw a last level
+        };
         let parent_groups: Vec<Vec<u32>> =
             (0..m as u32).collect::<Vec<u32>>().chunks(degree).map(|c| c.to_vec()).collect();
         let parent_spheres: Vec<Sphere> = parent_groups
@@ -242,12 +250,15 @@ pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) 
             let node = (b + j as u32) as usize;
             let fc = first_child[node];
             let cc = child_count[node];
-            subtree_min[node] = (fc..fc + cc).map(|c| subtree_min[c as usize]).min().unwrap();
-            subtree_max[node] = (fc..fc + cc).map(|c| subtree_max[c as usize]).max().unwrap();
+            // Defensive defaults for an (impossible) empty group: min > max,
+            // which the post-build validation below rejects as an empty range.
+            subtree_min[node] =
+                (fc..fc + cc).map(|c| subtree_min[c as usize]).min().unwrap_or(u32::MAX);
+            subtree_max[node] = (fc..fc + cc).map(|c| subtree_max[c as usize]).max().unwrap_or(0);
         }
     }
 
-    SsTree {
+    let tree = SsTree {
         dims,
         degree,
         points: points.gather(&point_order),
@@ -263,7 +274,14 @@ pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) 
         subtree_max_leaf: subtree_max,
         leaf_node_of,
         root: 0,
+    };
+    // Every construction path (bottom-up, top-down, dynamic rebuild) funnels
+    // through here: run the structural verifier so a construction bug can
+    // never hand an invalid arena to the query engines.
+    if let Err(e) = tree.validate() {
+        panic!("construction produced a structurally invalid tree: {e}");
     }
+    tree
 }
 
 #[cfg(test)]

@@ -17,13 +17,15 @@
 //!   used as correctness oracles for the GPU kernels.
 
 pub mod build;
+pub mod error;
 pub mod persist;
 pub mod search;
 pub mod topdown;
 pub mod tree;
 
 pub use build::{build, BuildMethod};
-pub use persist::{load as load_index, save as save_index};
+pub use error::StructuralError;
+pub use persist::{load as load_index, save as save_index, LoadError};
 pub use search::{knn_best_first, knn_branch_and_bound, linear_knn, Neighbor};
 pub use topdown::build_topdown;
 pub use tree::SsTree;

@@ -15,6 +15,8 @@
 
 use psb_geom::{PointSet, Sphere};
 
+use crate::error::StructuralError;
+
 /// Sentinel for "no parent" (the root).
 pub const NO_PARENT: u32 = u32::MAX;
 /// Sentinel leaf id for internal nodes.
@@ -153,28 +155,48 @@ impl SsTree {
         filled as f64 / (self.num_leaves() as u64 * self.degree as u64) as f64
     }
 
-    /// Exhaustive structural check; returns a description of the first violated
-    /// invariant. Used by tests and property tests.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Exhaustive structural check; returns the first violated invariant as a
+    /// typed [`StructuralError`].
+    ///
+    /// The verifier is deliberately *defensive*: it only indexes an array
+    /// after proving the index is in range, does all range arithmetic in
+    /// `u64`, and caps its traversal at the arena size — so it terminates with
+    /// a typed error on arbitrarily corrupted field values (a bit-flipped
+    /// persisted file, a fuzzer-mutated arena) rather than panicking or
+    /// looping. Run after construction, after [`crate::persist::load`], and
+    /// after every dynamic rebuild.
+    // Containment checks are written as negated `<=` on purpose: a NaN
+    // distance (corrupt point payload) must count as a violation. The point
+    // loop indexes `seen_points` and the point arena by the same untrusted
+    // index, which the range-loop lint cannot see.
+    #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::needless_range_loop)]
+    pub fn validate(&self) -> Result<(), StructuralError> {
         let nn = self.num_nodes();
-        for v in [
-            self.parent.len(),
-            self.level.len(),
-            self.first_child.len(),
-            self.child_count.len(),
-            self.leaf_id.len(),
-            self.subtree_min_leaf.len(),
-            self.subtree_max_leaf.len(),
+        for (array, len) in [
+            ("parent", self.parent.len()),
+            ("level", self.level.len()),
+            ("first_child", self.first_child.len()),
+            ("child_count", self.child_count.len()),
+            ("leaf_id", self.leaf_id.len()),
+            ("subtree_min_leaf", self.subtree_min_leaf.len()),
+            ("subtree_max_leaf", self.subtree_max_leaf.len()),
         ] {
-            if v != nn {
-                return Err(format!("array length {v} != node count {nn}"));
+            if len != nn {
+                return Err(StructuralError::ArrayLength { array, len, nodes: nn });
             }
         }
+        if self.centers.len() != nn * self.dims {
+            return Err(StructuralError::ArrayLength {
+                array: "centers",
+                len: self.centers.len(),
+                nodes: nn,
+            });
+        }
         if self.root as usize >= nn {
-            return Err("root out of range".into());
+            return Err(StructuralError::RootOutOfRange { root: self.root, nodes: nn });
         }
         if self.parent[self.root as usize] != NO_PARENT {
-            return Err("root has a parent".into());
+            return Err(StructuralError::RootHasParent { root: self.root });
         }
 
         let mut seen_points = vec![false; self.points.len()];
@@ -184,98 +206,134 @@ impl SsTree {
         let mut visited_nodes = 0usize;
         while let Some(n) = stack.pop() {
             visited_nodes += 1;
+            // Cycle guard: corrupted links can revisit nodes forever; no valid
+            // traversal visits more nodes than the arena holds.
+            if visited_nodes > nn {
+                return Err(StructuralError::TraversalOverrun { nodes: nn });
+            }
             let ni = n as usize;
+            if !self.radii[ni].is_finite()
+                || self.radii[ni] < 0.0
+                || self.center(n).iter().any(|c| !c.is_finite())
+            {
+                return Err(StructuralError::NonFiniteGeometry { node: n });
+            }
             if self.subtree_min_leaf[ni] > self.subtree_max_leaf[ni] {
-                return Err(format!("node {n}: empty subtree leaf range"));
+                return Err(StructuralError::EmptySubtreeRange { node: n });
             }
             if self.is_leaf(n) {
-                if self.leaf_id[ni] == NOT_A_LEAF {
-                    return Err(format!("leaf {n} lacks a leaf id"));
+                let lid = self.leaf_id[ni];
+                if lid == NOT_A_LEAF || lid as usize >= self.num_leaves() {
+                    return Err(StructuralError::LeafIdInvalid { node: n, leaf_id: lid });
                 }
-                if self.subtree_min_leaf[ni] != self.leaf_id[ni]
-                    || self.subtree_max_leaf[ni] != self.leaf_id[ni]
-                {
-                    return Err(format!("leaf {n}: subtree range != own leaf id"));
+                if self.subtree_min_leaf[ni] != lid || self.subtree_max_leaf[ni] != lid {
+                    return Err(StructuralError::LeafRangeNotSelf { node: n });
                 }
-                if self.leaf_node_of[self.leaf_id[ni] as usize] != n {
-                    return Err(format!("leaf_node_of mismatch for leaf {n}"));
+                if self.leaf_node_of[lid as usize] != n {
+                    return Err(StructuralError::LeafChainBroken { node: n, leaf_id: lid });
                 }
-                if self.child_count[ni] == 0 {
-                    return Err(format!("leaf {n} is empty"));
+                let count = self.child_count[ni];
+                if count == 0 {
+                    return Err(StructuralError::NoChildren { node: n });
                 }
-                if self.child_count[ni] as usize > self.degree {
-                    return Err(format!("leaf {n} overflows the degree"));
+                if count as usize > self.degree {
+                    return Err(StructuralError::DegreeOverflow {
+                        node: n,
+                        count,
+                        degree: self.degree,
+                    });
                 }
-                for p in self.leaf_points(n) {
+                let start = self.first_child[ni] as u64;
+                let end = start + count as u64;
+                if end > self.points.len() as u64 {
+                    return Err(StructuralError::PointRangeOutOfRange {
+                        node: n,
+                        target: end,
+                        points: self.points.len(),
+                    });
+                }
+                for p in start as usize..end as usize {
                     if seen_points[p] {
-                        return Err(format!("point {p} appears in two leaves"));
+                        return Err(StructuralError::DuplicatePoint { point: p });
                     }
                     seen_points[p] = true;
                     let pd = psb_geom::dist(self.points.point(p), self.center(n));
-                    if pd > self.radius(n) * (1.0 + 1e-4) + 1e-4 {
-                        return Err(format!(
-                            "leaf {n}: point {p} at {pd} outside radius {}",
-                            self.radius(n)
-                        ));
+                    if !(pd <= self.radius(n) * (1.0 + 1e-4) + 1e-4) {
+                        return Err(StructuralError::PointOutsideSphere { node: n, point: p });
                     }
                 }
-            } else {
-                let kids = self.children(n);
-                if kids.is_empty() {
-                    return Err(format!("internal node {n} has no children"));
+                if lid != leaf_cursor {
+                    return Err(StructuralError::LeafIdsNotSequential {
+                        node: n,
+                        got: lid,
+                        expected: leaf_cursor,
+                    });
                 }
-                if kids.len() > self.degree {
-                    return Err(format!("internal node {n} overflows the degree"));
+                leaf_cursor += 1;
+            } else {
+                let count = self.child_count[ni];
+                if count == 0 {
+                    return Err(StructuralError::NoChildren { node: n });
+                }
+                if count as usize > self.degree {
+                    return Err(StructuralError::DegreeOverflow {
+                        node: n,
+                        count,
+                        degree: self.degree,
+                    });
+                }
+                let start = self.first_child[ni] as u64;
+                let end = start + count as u64;
+                if end > nn as u64 {
+                    return Err(StructuralError::ChildOutOfRange {
+                        node: n,
+                        target: end,
+                        nodes: nn,
+                    });
                 }
                 let mut min_l = u32::MAX;
                 let mut max_l = 0u32;
-                for c in kids.clone() {
+                for c in start as u32..end as u32 {
                     let ci = c as usize;
                     if self.parent[ci] != n {
-                        return Err(format!("child {c} does not point back to {n}"));
+                        return Err(StructuralError::ParentLinkBroken {
+                            child: c,
+                            expected_parent: n,
+                            actual_parent: self.parent[ci],
+                        });
                     }
-                    if self.level[ci] + 1 != self.level[ni] {
-                        return Err(format!("child {c} level mismatch under {n}"));
+                    if self.level[ci] as u32 + 1 != self.level[ni] as u32 {
+                        return Err(StructuralError::LevelMismatch { child: c, parent: n });
                     }
                     min_l = min_l.min(self.subtree_min_leaf[ci]);
                     max_l = max_l.max(self.subtree_max_leaf[ci]);
-                    // Parent sphere must contain child sphere.
+                    // Parent sphere must contain child sphere. Written as a
+                    // negated `<=` so a NaN gap (corrupt geometry) fails too.
                     let gap = psb_geom::dist(self.center(c), self.center(n)) + self.radius(c);
-                    if gap > self.radius(n) * (1.0 + 1e-4) + 1e-4 {
-                        return Err(format!(
-                            "node {n}: child {c} sphere pokes out ({gap} > {})",
-                            self.radius(n)
-                        ));
+                    if !(gap <= self.radius(n) * (1.0 + 1e-4) + 1e-4) {
+                        return Err(StructuralError::SphereNotContained { node: n, child: c });
                     }
                 }
                 if min_l != self.subtree_min_leaf[ni] || max_l != self.subtree_max_leaf[ni] {
-                    return Err(format!("node {n}: subtree leaf range wrong"));
+                    return Err(StructuralError::SubtreeRangeWrong { node: n });
                 }
                 // Push children right-to-left so leaves pop left-to-right.
-                for c in kids.rev() {
+                for c in (start as u32..end as u32).rev() {
                     stack.push(c);
                 }
             }
-            if self.is_leaf(n) {
-                if self.leaf_id[ni] != leaf_cursor {
-                    return Err(format!(
-                        "leaf ids not left-to-right: leaf {n} has id {} expected {leaf_cursor}",
-                        self.leaf_id[ni]
-                    ));
-                }
-                leaf_cursor += 1;
-            }
         }
         if visited_nodes != nn {
-            return Err(format!(
-                "arena holds {nn} nodes but only {visited_nodes} reachable from root"
-            ));
+            return Err(StructuralError::UnreachableNodes { nodes: nn, visited: visited_nodes });
         }
         if leaf_cursor as usize != self.num_leaves() {
-            return Err("leaf count mismatch".into());
+            return Err(StructuralError::LeafCountMismatch {
+                counted: leaf_cursor as usize,
+                expected: self.num_leaves(),
+            });
         }
         if let Some(p) = seen_points.iter().position(|&s| !s) {
-            return Err(format!("point {p} is in no leaf"));
+            return Err(StructuralError::OrphanPoint { point: p });
         }
         Ok(())
     }

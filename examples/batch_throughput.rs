@@ -30,7 +30,7 @@ fn main() {
     );
     for degree in [32usize, 64, 128, 256, 512] {
         let tree = build(&data, degree, &BuildMethod::Hilbert);
-        let r = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default());
+        let r = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default()).expect("batch");
         println!(
             "{:<8} {:>11.1}% {:>12.3} {:>12.4} {:>12.3}",
             degree,
@@ -49,7 +49,7 @@ fn main() {
         "k", "occupancy", "smem bytes", "resp ms", "hybrid resp ms"
     );
     for k in [1usize, 32, 256, 1024, 1920] {
-        let all = psb_batch(&tree, &queries, k, &cfg, &KernelOptions::default());
+        let all = psb_batch(&tree, &queries, k, &cfg, &KernelOptions::default()).expect("batch");
         let hybrid = psb_batch(
             &tree,
             &queries,
@@ -59,7 +59,8 @@ fn main() {
                 smem_policy: SharedMemPolicy::Hybrid { shared_slots: 64 },
                 ..Default::default()
             },
-        );
+        )
+        .expect("batch");
         println!(
             "{:<8} {:>10} {:>12} {:>12.4} {:>14.4}",
             k,

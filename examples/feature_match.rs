@@ -40,8 +40,8 @@ fn main() {
 
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
-    let knn = psb_batch(&tree, &probes, 2, &cfg, &opts);
-    let brute = brute_batch(&database, &probes, 2, &cfg, &opts);
+    let knn = psb_batch(&tree, &probes, 2, &cfg, &opts).expect("batch");
+    let brute = brute_batch(&database, &probes, 2, &cfg, &opts).expect("batch");
 
     // Lowe's ratio test on the exact 2-NN.
     let mut accepted = 0usize;

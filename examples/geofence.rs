@@ -46,7 +46,7 @@ fn main() {
 
     // Batch version: fences around many centers at once.
     let centers = sample_queries(&data, 64, 0.01, 8);
-    let batch = range_batch(&tree, &centers, 1.0, &cfg, &opts);
+    let batch = range_batch(&tree, &centers, 1.0, &cfg, &opts).expect("batch");
     let total_hits: usize = batch.neighbors.iter().map(|v| v.len()).sum();
     println!(
         "\nbatch: 64 fences of 1 degree -> {} total hits, {:.3} ms avg, {:.2} MB/query",

@@ -24,9 +24,9 @@ fn main() {
 
     // GPU-side indexes and kernels (simulated).
     let tree = build(&data, 128, &BuildMethod::Hilbert);
-    let psb = psb_batch(&tree, &queries, k, &cfg, &opts);
-    let bnb = bnb_batch(&tree, &queries, k, &cfg, &opts);
-    let brute = brute_batch(&data, &queries, k, &cfg, &opts);
+    let psb = psb_batch(&tree, &queries, k, &cfg, &opts).expect("batch");
+    let bnb = bnb_batch(&tree, &queries, k, &cfg, &opts).expect("batch");
+    let brute = brute_batch(&data, &queries, k, &cfg, &opts).expect("batch");
 
     // CPU SR-tree baseline (real wall-clock).
     let srtree = SrTree::build(&data, 8192);

@@ -211,10 +211,16 @@ fn main() {
                 tree.height(),
                 tree.leaf_utilization() * 100.0
             );
+            let run = |name: &str, r: Result<QueryBatchResult, EngineError>| {
+                r.unwrap_or_else(|e| {
+                    eprintln!("{name} batch failed: {e}");
+                    std::process::exit(1);
+                })
+            };
             for (name, r) in [
-                ("psb", psb_batch(&tree, &queries, k, &cfg, &opts)),
-                ("bnb", bnb_batch(&tree, &queries, k, &cfg, &opts)),
-                ("brute", brute_batch(&data, &queries, k, &cfg, &opts)),
+                ("psb", run("psb", psb_batch(&tree, &queries, k, &cfg, &opts))),
+                ("bnb", run("bnb", bnb_batch(&tree, &queries, k, &cfg, &opts))),
+                ("brute", run("brute", brute_batch(&data, &queries, k, &cfg, &opts))),
             ] {
                 println!(
                     "{name:>6}: {:.4} ms/query, {:.3} MB/query, warp eff {:.1}%",

@@ -59,15 +59,19 @@ pub use psb_sstree as sstree;
 
 /// The names most programs need, re-exported flat.
 pub mod prelude {
-    pub use psb_core::kernels::bnb::{bnb_query, bnb_query_traced};
-    pub use psb_core::kernels::brute::{brute_query, brute_query_traced};
-    pub use psb_core::kernels::psb::{psb_query, psb_query_traced};
-    pub use psb_core::kernels::range::{range_query_gpu, range_query_gpu_traced};
-    pub use psb_core::kernels::restart::{restart_query, restart_query_traced};
+    pub use psb_core::kernels::bnb::{bnb_query, bnb_query_traced, bnb_try_query};
+    pub use psb_core::kernels::brute::{
+        brute_index_query, brute_index_range, brute_query, brute_query_traced, brute_try_query,
+    };
+    pub use psb_core::kernels::psb::{psb_query, psb_query_traced, psb_try_query};
+    pub use psb_core::kernels::range::{range_query_gpu, range_query_gpu_traced, range_try_query};
+    pub use psb_core::kernels::restart::{restart_query, restart_query_traced, restart_try_query};
     pub use psb_core::{
-        bnb_batch, bnb_batch_traced, brute_batch, dist_cost, merge_stats, psb_batch,
-        psb_batch_traced, range_batch, restart_batch, tpss_batch, tpss_batch_traced, DynamicSsTree,
-        KernelOptions, NodeLayout, QueryBatchResult, SharedMemPolicy,
+        bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, dist_cost, merge_stats,
+        psb_batch, psb_batch_recovering, psb_batch_traced, range_batch, range_batch_recovering,
+        restart_batch, restart_batch_recovering, tpss_batch, tpss_batch_traced, tpss_try_batch,
+        DynamicSsTree, EngineError, KernelError, KernelOptions, NodeLayout, QueryBatchResult,
+        QueryOutcome, SharedMemPolicy,
     };
     pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, UniformSpec};
     pub use psb_geom::{
@@ -75,8 +79,9 @@ pub mod prelude {
         PointSet, Rect, RitterMode, Sphere,
     };
     pub use psb_gpu::{
-        launch_blocks, Block, DeviceConfig, JsonlSink, KernelStats, LaunchReport, NodeKind,
-        NoopSink, Phase, PhaseBreakdown, PhaseStats, TraceEvent, TraceSink, VecSink,
+        launch_blocks, Block, DeviceConfig, DeviceFault, FaultPlan, FaultState, JsonlSink,
+        KernelStats, LaunchReport, NodeKind, NoopSink, Phase, PhaseBreakdown, PhaseStats,
+        TraceEvent, TraceSink, VecSink,
     };
     pub use psb_kdtree::{gpu::knn_task_parallel, knn_cpu, KdTree};
     pub use psb_rtree::{build_rtree, RsTree, RtreeBuildMethod};
@@ -84,6 +89,6 @@ pub mod prelude {
     pub use psb_sstree::search::{linear_range, range_query};
     pub use psb_sstree::{
         build, build_topdown, knn_best_first, knn_branch_and_bound, linear_knn, BuildMethod,
-        Neighbor, SsTree,
+        LoadError, Neighbor, SsTree, StructuralError,
     };
 }

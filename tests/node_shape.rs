@@ -65,8 +65,8 @@ fn rectangles_cost_more_compute_per_child_in_high_dims() {
     use psb::core::GpuIndex;
     assert!(GpuIndex::child_eval_cost(&rt, true) > GpuIndex::child_eval_cost(&st, true));
 
-    let s = psb_batch(&st, &queries, 32, &cfg, &opts);
-    let r = psb_batch(&rt, &queries, 32, &cfg, &opts);
+    let s = psb_batch(&st, &queries, 32, &cfg, &opts).expect("batch");
+    let r = psb_batch(&rt, &queries, 32, &cfg, &opts).expect("batch");
     // Rect nodes are also ~2x larger (two corners), so bytes grow too.
     assert!(
         r.report.merged.global_bytes > s.report.merged.global_bytes,
@@ -84,10 +84,10 @@ fn both_shapes_prune_on_clustered_data() {
     let opts = KernelOptions::default();
     let st = build(&ps, 32, &BuildMethod::Hilbert);
     let rt: RsTree = build_rtree(&ps, 32, &RtreeBuildMethod::Str);
-    let brute = brute_batch(&ps, &queries, 8, &cfg, &opts);
+    let brute = brute_batch(&ps, &queries, 8, &cfg, &opts).expect("batch");
     for report in [
-        psb_batch(&st, &queries, 8, &cfg, &opts).report,
-        psb_batch(&rt, &queries, 8, &cfg, &opts).report,
+        psb_batch(&st, &queries, 8, &cfg, &opts).expect("batch").report,
+        psb_batch(&rt, &queries, 8, &cfg, &opts).expect("batch").report,
     ] {
         assert!(report.avg_accessed_mb < brute.report.avg_accessed_mb);
     }

@@ -72,18 +72,18 @@ fn traced_batches_reproduce_untraced_reports() {
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
 
-    let silent = psb_batch(&tree, &queries, 8, &cfg, &opts);
+    let silent = psb_batch(&tree, &queries, 8, &cfg, &opts).expect("batch");
     let mut sink = VecSink::new();
-    let traced = psb_batch_traced(&tree, &queries, 8, &cfg, &opts, &mut sink);
+    let traced = psb_batch_traced(&tree, &queries, 8, &cfg, &opts, &mut sink).expect("batch");
     assert_eq!(silent.neighbors, traced.neighbors);
     assert_eq!(silent.per_block, traced.per_block);
     assert_eq!(silent.report.merged, traced.report.merged);
     assert_eq!(silent.report.occupancy_min, traced.report.occupancy_min);
     assert_eq!(silent.report.occupancy_max, traced.report.occupancy_max);
 
-    let silent = bnb_batch(&tree, &queries, 8, &cfg, &opts);
+    let silent = bnb_batch(&tree, &queries, 8, &cfg, &opts).expect("batch");
     let mut sink = VecSink::new();
-    let traced = bnb_batch_traced(&tree, &queries, 8, &cfg, &opts, &mut sink);
+    let traced = bnb_batch_traced(&tree, &queries, 8, &cfg, &opts, &mut sink).expect("batch");
     assert_eq!(silent.neighbors, traced.neighbors);
     assert_eq!(silent.report.merged, traced.report.merged);
 }

@@ -19,7 +19,7 @@ fn warp_efficiency_gap_psb_vs_kdtree() {
     // Degree 128, as in the paper's warp-efficiency experiment (Fig. 6 runs
     // at 64-d, degree 128 = 4 × warp size).
     let tree = build(&data, 128, &BuildMethod::Hilbert);
-    let psb = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default());
+    let psb = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default()).expect("batch");
 
     // Brown's minimal kd-tree: single-point leaves (the paper's comparator).
     let kd = KdTree::build(&data, 1);
@@ -51,8 +51,8 @@ fn psb_beats_bnb_and_bytes_converge_at_high_sigma() {
         // point workload at degree 128 has a 3-level tree; so does this).
         let tree = build(&data, 32, &BuildMethod::Hilbert);
         let queries = sample_queries(&data, 24, 0.01, 204);
-        let psb = psb_batch(&tree, &queries, 32, &cfg, &opts);
-        let bnb = bnb_batch(&tree, &queries, 32, &cfg, &opts);
+        let psb = psb_batch(&tree, &queries, 32, &cfg, &opts).expect("batch");
+        let bnb = bnb_batch(&tree, &queries, 32, &cfg, &opts).expect("batch");
         assert!(
             psb.report.avg_response_ms <= bnb.report.avg_response_ms * 1.10,
             "sigma {sigma}: PSB {} slower than B&B {}",
@@ -82,9 +82,9 @@ fn fig7_shape_tree_beats_brute_on_clusters() {
     let tree = build(&data, 32, &BuildMethod::Hilbert);
     let queries = sample_queries(&data, 24, 0.01, 206);
 
-    let brute = brute_batch(&data, &queries, 32, &cfg, &opts);
-    let psb = psb_batch(&tree, &queries, 32, &cfg, &opts);
-    let bnb = bnb_batch(&tree, &queries, 32, &cfg, &opts);
+    let brute = brute_batch(&data, &queries, 32, &cfg, &opts).expect("batch");
+    let psb = psb_batch(&tree, &queries, 32, &cfg, &opts).expect("batch");
+    let bnb = bnb_batch(&tree, &queries, 32, &cfg, &opts).expect("batch");
 
     assert!(psb.report.avg_accessed_mb < brute.report.avg_accessed_mb);
     assert!(bnb.report.avg_accessed_mb < brute.report.avg_accessed_mb);
@@ -105,8 +105,8 @@ fn fig8_shape_k_inflates_response_time() {
     let mut last_psb = 0.0;
     let mut last_brute = 0.0;
     for k in [8usize, 256, 1920] {
-        let psb = psb_batch(&tree, &queries, k, &cfg, &opts);
-        let brute = brute_batch(&data, &queries, k, &cfg, &opts);
+        let psb = psb_batch(&tree, &queries, k, &cfg, &opts).expect("batch");
+        let brute = brute_batch(&data, &queries, k, &cfg, &opts).expect("batch");
         assert!(psb.report.avg_response_ms >= last_psb, "PSB response not monotone in k");
         assert!(brute.report.avg_response_ms >= last_brute, "brute response not monotone in k");
         last_psb = psb.report.avg_response_ms;
@@ -127,8 +127,8 @@ fn fig3_shape_construction_quality() {
 
     let hilbert = build(&data, 128, &BuildMethod::Hilbert);
     let kmeans = build(&data, 128, &BuildMethod::KMeans { k_leaf: 64, seed: 3 });
-    let h = bnb_batch(&hilbert, &queries, 32, &cfg, &opts);
-    let m = bnb_batch(&kmeans, &queries, 32, &cfg, &opts);
+    let h = bnb_batch(&hilbert, &queries, 32, &cfg, &opts).expect("batch");
+    let m = bnb_batch(&kmeans, &queries, 32, &cfg, &opts).expect("batch");
     assert!(
         m.report.avg_accessed_mb <= h.report.avg_accessed_mb * 1.10,
         "k-means bytes {} should not exceed Hilbert bytes {} by >10%",
@@ -157,14 +157,15 @@ fn leaf_scan_ablation_direction() {
     let data = clustered(16, 160.0, 212);
     let tree = build(&data, 128, &BuildMethod::Hilbert);
     let queries = sample_queries(&data, 24, 0.01, 213);
-    let on = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default());
+    let on = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default()).expect("batch");
     let off = psb_batch(
         &tree,
         &queries,
         32,
         &cfg,
         &KernelOptions { leaf_scan: false, ..Default::default() },
-    );
+    )
+    .expect("batch");
     assert!(
         off.report.merged.global_bytes >= on.report.merged.global_bytes,
         "disabling the leaf scan reduced bytes: {} < {}",
@@ -180,14 +181,15 @@ fn aos_layout_pays_in_transactions() {
     let data = clustered(16, 160.0, 214);
     let tree = build(&data, 128, &BuildMethod::Hilbert);
     let queries = sample_queries(&data, 12, 0.01, 215);
-    let soa = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default());
+    let soa = psb_batch(&tree, &queries, 32, &cfg, &KernelOptions::default()).expect("batch");
     let aos = psb_batch(
         &tree,
         &queries,
         32,
         &cfg,
         &KernelOptions { layout: NodeLayout::Aos, ..Default::default() },
-    );
+    )
+    .expect("batch");
     assert!(
         aos.report.merged.global_transactions as f64
             > soa.report.merged.global_transactions as f64 * 1.5

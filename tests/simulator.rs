@@ -139,8 +139,8 @@ fn occupancy_declines_with_k_like_fig8() {
     let queries = sample_queries(&data, 16, 0.01, 56);
     let cfg = DeviceConfig::k40();
     let opts = KernelOptions::default();
-    let small = psb_batch(&tree, &queries, 2, &cfg, &opts);
-    let large = psb_batch(&tree, &queries, 1500, &cfg, &opts);
+    let small = psb_batch(&tree, &queries, 2, &cfg, &opts).expect("batch");
+    let large = psb_batch(&tree, &queries, 1500, &cfg, &opts).expect("batch");
     assert!(large.report.occupancy <= small.report.occupancy);
     assert!(large.report.merged.smem_peak_bytes > small.report.merged.smem_peak_bytes);
 }

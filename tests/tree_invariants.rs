@@ -129,4 +129,65 @@ proptest! {
         let b = hilbert_key(&p, &bounds);
         prop_assert_eq!(a, b);
     }
+
+    // Seeded corruption of every structural field of a freshly built tree:
+    // the verifier must detect the damage, and the hardened kernels must
+    // either fail with a typed `KernelError` or finish with a well-formed
+    // answer — never panic. Every traversal is step-budgeted, so the test
+    // body returning at all is the no-infinite-loop proof.
+    #[test]
+    fn corrupted_trees_are_caught_and_never_panic(
+        ps in point_set(3, 80),
+        degree in 2usize..10,
+        kind in 0usize..7,
+        node_sel in 0usize..1_000_000,
+    ) {
+        let mut tree = build(&ps, degree, &BuildMethod::Hilbert);
+        let nn = tree.num_nodes();
+        let ni = node_sel % nn;
+        match kind {
+            // Non-finite geometry.
+            0 => tree.radii[ni] = f32::NAN,
+            1 => tree.centers[ni * tree.dims] = f32::INFINITY,
+            // Out-of-bounds child / point range.
+            2 => tree.first_child[ni] += (nn + ps.len()) as u32 + 1,
+            // Fan-out beyond the declared degree.
+            3 => tree.child_count[ni] += tree.degree as u32 + 1 + (node_sel % 1000) as u32,
+            // Broken parent back-link (on the root: a parent where none may be).
+            4 => tree.parent[ni] ^= 1,
+            // Level no longer one above the children's.
+            5 => tree.level[tree.root as usize] += 1,
+            // subtreeMaxLeafId no longer the max over the subtree.
+            6 => tree.subtree_max_leaf[ni] = tree.num_leaves() as u32 + 1 + ni as u32,
+            _ => unreachable!(),
+        }
+        prop_assert!(
+            tree.validate().is_err(),
+            "kind {} corruption at node {} of {} went undetected", kind, ni, nn
+        );
+
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let q = ps.point(0);
+        let k = 4usize;
+        for (name, r) in [
+            ("psb", psb_try_query(&tree, q, k, &cfg, &opts, None, &mut NoopSink)),
+            ("bnb", bnb_try_query(&tree, q, k, &cfg, &opts, None, &mut NoopSink)),
+            ("restart", restart_try_query(&tree, q, k, &cfg, &opts, None, &mut NoopSink)),
+            ("range", range_try_query(&tree, q, 50.0, &cfg, &opts, None, &mut NoopSink)),
+        ] {
+            if let Ok((nb, _)) = r {
+                prop_assert!(nb.iter().all(|x| x.dist.is_finite()),
+                    "{} returned a non-finite distance from a corrupt tree", name);
+            }
+        }
+        let mut one = PointSet::new(tree.dims);
+        one.push(q);
+        if let Ok((per_query, _)) = tpss_try_batch(&tree, &one, k, &cfg, 32, &mut NoopSink) {
+            for nb in per_query.iter().flatten() {
+                prop_assert!(nb.iter().all(|x| x.dist.is_finite()),
+                    "tpss returned a non-finite distance from a corrupt tree");
+            }
+        }
+    }
 }
