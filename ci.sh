@@ -2,7 +2,7 @@
 # Local CI gate: formatting, lints, full test suite.
 #
 #   ./ci.sh            # everything
-#   ./ci.sh fmt        # just one stage (fmt | clippy | hardlint | test | faults)
+#   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults | bench-smoke)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,23 +19,34 @@ run_hardlint() {
 }
 run_test()   { cargo test --workspace -q; }
 run_faults() { cargo test -p psb --test fault_injection -q; }
+# Benchmark harness gate: every criterion bench must compile, and the wall-
+# clock bench binary must complete a tiny workload and emit a BENCH_psb.json
+# whose required keys are present, finite, and nonzero (the binary's --smoke
+# mode self-validates the schema and exits nonzero on any violation). The
+# speedup magnitude is machine-dependent and deliberately NOT asserted here.
+run_bench_smoke() {
+    cargo bench --workspace --no-run
+    cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
+}
 
 case "$stage" in
-    fmt)      run_fmt ;;
-    clippy)   run_clippy ;;
-    hardlint) run_hardlint ;;
-    test)     run_test ;;
-    faults)   run_faults ;;
+    fmt)         run_fmt ;;
+    clippy)      run_clippy ;;
+    hardlint)    run_hardlint ;;
+    test)        run_test ;;
+    faults)      run_faults ;;
+    bench-smoke) run_bench_smoke ;;
     all)
         echo "== cargo fmt --check ==" && run_fmt
         echo "== cargo clippy -D warnings ==" && run_clippy
         echo "== cargo clippy (no unwrap/expect in core+sstree) ==" && run_hardlint
         echo "== cargo test ==" && run_test
         echo "== fault-injection suite ==" && run_faults
+        echo "== bench smoke ==" && run_bench_smoke
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|bench-smoke|all]" >&2
         exit 2
         ;;
 esac

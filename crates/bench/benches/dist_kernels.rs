@@ -1,0 +1,107 @@
+//! Microbenchmarks for the dimension-specialized distance layer and the two
+//! sweep paths it feeds: the packed-arena child/leaf sweeps vs the legacy
+//! scattered gather. These are the host inner loops the `bench` binary's
+//! end-to-end numbers (BENCH_psb.json) decompose into.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psb_core::{gather_child_sweep, gather_leaf_sweep, GpuIndex, SweepScratch};
+use psb_data::UniformSpec;
+use psb_geom::{sq_dist, sq_dist_d, DistKernel};
+use psb_sstree::{build, BuildMethod, SsTree};
+
+fn pair(dims: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..dims).map(|i| i as f32 * 0.37).collect();
+    let b: Vec<f32> = (0..dims).map(|i| (dims - i) as f32 * 0.11).collect();
+    (a, b)
+}
+
+fn bench_sq_dist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sq_dist");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for dims in [2usize, 4, 8, 16] {
+        let (a, b) = pair(dims);
+        g.bench_with_input(BenchmarkId::new("generic", dims), &dims, |bch, _| {
+            bch.iter(|| std::hint::black_box(sq_dist(&a, &b)))
+        });
+        let dk = DistKernel::for_dims(dims);
+        g.bench_with_input(BenchmarkId::new("dispatched", dims), &dims, |bch, _| {
+            bch.iter(|| std::hint::black_box(dk.sq(&a, &b)))
+        });
+    }
+    let (a, b) = pair(16);
+    g.bench_function("monomorphic_16", |bch| {
+        bch.iter(|| std::hint::black_box(sq_dist_d::<16>(&a, &b)))
+    });
+    g.finish();
+}
+
+fn tree_and_query(dims: usize) -> (SsTree, Vec<f32>) {
+    let ps = UniformSpec { len: 4096, dims, seed: 7 }.generate();
+    let q = ps.point(17).to_vec();
+    (build(&ps, 16, &BuildMethod::Hilbert), q)
+}
+
+/// The per-internal-node child sweep (the host side of `child_distances`):
+/// packed-arena streaming vs the legacy scattered gather on the same node.
+fn bench_child_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("child_sweep");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for dims in [4usize, 16] {
+        let (tree, q) = tree_and_query(dims);
+        let root = GpuIndex::root(&tree);
+        let dk = DistKernel::for_dims(dims);
+        let mut out = SweepScratch::default();
+        g.bench_with_input(BenchmarkId::new("arena", dims), &dims, |bch, _| {
+            bch.iter(|| {
+                out.clear();
+                tree.child_sweep(root, &q, &dk, true, true, &mut out);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gather", dims), &dims, |bch, _| {
+            bch.iter(|| {
+                out.clear();
+                gather_child_sweep(&tree, root, &q, true, true, &mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The per-leaf point sweep (the host side of `process_leaf`): packed run vs
+/// per-point gather on the same leaf.
+fn bench_leaf_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("leaf_sweep");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for dims in [4usize, 16] {
+        let (tree, q) = tree_and_query(dims);
+        // Walk to the leftmost leaf.
+        let mut n = GpuIndex::root(&tree);
+        while !GpuIndex::is_leaf(&tree, n) {
+            n = GpuIndex::children(&tree, n).start;
+        }
+        let dk = DistKernel::for_dims(dims);
+        let mut out: Vec<(f32, u32)> = Vec::new();
+        g.bench_with_input(BenchmarkId::new("arena", dims), &dims, |bch, _| {
+            bch.iter(|| {
+                out.clear();
+                tree.leaf_sweep(n, &q, &dk, &mut out);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("gather", dims), &dims, |bch, _| {
+            bch.iter(|| {
+                out.clear();
+                gather_leaf_sweep(&tree, n, &q, &mut out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sq_dist, bench_child_sweep, bench_leaf_sweep);
+criterion_main!(benches);

@@ -1,0 +1,352 @@
+//! Host wall-clock benchmark harness — `BENCH_psb.json`.
+//!
+//! Unlike the `figures` binary (which reports *simulated device* metrics under
+//! the cost model), this harness measures what the packed arenas and
+//! dimension-specialized distance kernels actually buy on the host: build
+//! time, sustained queries/sec, and p50/p99 per-query wall time for all six
+//! kernels over both index types, on uniform and gaussian workloads.
+//!
+//! ```text
+//! cargo run --release -p psb-bench --bin bench                  # arena layout
+//! cargo run --release -p psb-bench --bin bench -- --legacy-layout
+//! cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
+//! ```
+//!
+//! The default (arena) run additionally times the headline workload — PSB on
+//! a 16-dim uniform SS-tree — with the arena stripped, and records the ratio
+//! as `speedup_vs_legacy`. `--smoke` shrinks every workload to seconds-scale,
+//! then self-validates the emitted JSON (required keys present, finite and
+//! nonzero) and exits nonzero if the schema check fails.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use psb_core::kernels::brute::brute_query;
+use psb_core::kernels::psb::psb_query;
+use psb_core::kernels::range::range_query_gpu;
+use psb_core::kernels::restart::restart_query;
+use psb_core::kernels::{bnb::bnb_query, tpss::tpss_batch};
+use psb_core::{GpuIndex, KernelOptions};
+use psb_data::{sample_queries, ClusteredSpec, UniformSpec};
+use psb_geom::PointSet;
+use psb_gpu::DeviceConfig;
+use psb_rtree::{build_rtree, RtreeBuildMethod};
+use psb_sstree::{build, BuildMethod};
+
+const SCHEMA: &str = "psb-bench-v1";
+const K: usize = 8;
+const RANGE_RADIUS: f32 = 250.0;
+
+struct Config {
+    scale: f64,
+    legacy: bool,
+    smoke: bool,
+    seed: u64,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench [--scale F] [--seed S] [--legacy-layout] [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        scale: 1.0,
+        legacy: false,
+        smoke: false,
+        seed: 0x2016,
+        out: "BENCH_psb.json".to_string(),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--legacy-layout" => cfg.legacy = true,
+            "--smoke" => cfg.smoke = true,
+            "--out" => {
+                i += 1;
+                cfg.out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    cfg
+}
+
+/// One (workload, dims, index, kernel) measurement row.
+struct Row {
+    workload: &'static str,
+    dims: usize,
+    index: &'static str,
+    kernel: &'static str,
+    build_ms: f64,
+    queries: usize,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+/// Times `run` once per query (after a small warm-up) and summarizes.
+fn measure(queries: &PointSet, mut run: impl FnMut(&[f32])) -> (f64, f64, f64) {
+    for q in queries.iter().take(2) {
+        run(q);
+    }
+    let mut per_query_us: Vec<f64> = Vec::with_capacity(queries.len());
+    let total = Instant::now();
+    for q in queries.iter() {
+        let t = Instant::now();
+        run(q);
+        per_query_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let total_s = total.elapsed().as_secs_f64();
+    per_query_us.sort_by(f64::total_cmp);
+    let qps = queries.len() as f64 / total_s.max(1e-12);
+    (qps, percentile(&per_query_us, 0.50), percentile(&per_query_us, 0.99))
+}
+
+/// Runs all six kernels against one index pair + raw points; pushes rows.
+#[allow(clippy::too_many_arguments)]
+fn bench_index<T: GpuIndex>(
+    rows: &mut Vec<Row>,
+    workload: &'static str,
+    dims: usize,
+    index: &'static str,
+    tree: &T,
+    ps: &PointSet,
+    queries: &PointSet,
+    build_ms: f64,
+) {
+    let dev = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+    let nq = queries.len();
+    let mut push = |kernel: &'static str, (qps, p50, p99): (f64, f64, f64)| {
+        rows.push(Row {
+            workload,
+            dims,
+            index,
+            kernel,
+            build_ms,
+            queries: nq,
+            qps,
+            p50_us: p50,
+            p99_us: p99,
+        });
+    };
+    push("psb", measure(queries, |q| drop(psb_query(tree, q, K, &dev, &opts))));
+    push("bnb", measure(queries, |q| drop(bnb_query(tree, q, K, &dev, &opts))));
+    push("restart", measure(queries, |q| drop(restart_query(tree, q, K, &dev, &opts))));
+    push("range", measure(queries, |q| drop(range_query_gpu(tree, q, RANGE_RADIUS, &dev, &opts))));
+    push(
+        "tpss",
+        measure(queries, |q| {
+            let mut one = PointSet::new(dims);
+            one.push(q);
+            drop(tpss_batch(tree, &one, K, &dev, opts.threads_per_block));
+        }),
+    );
+    // Brute force ignores the index; report it once per (workload, index) so
+    // the baseline lands beside each tree's rows in the JSON.
+    push("brute", measure(queries, |q| drop(brute_query(ps, q, K, &dev, &opts))));
+}
+
+struct Workload {
+    name: &'static str,
+    dims: usize,
+    points: PointSet,
+    queries: PointSet,
+}
+
+fn workloads(cfg: &Config) -> Vec<Workload> {
+    let (n, nq) = if cfg.smoke { (1200, 8) } else { ((20_000.0 * cfg.scale) as usize, 48) };
+    let n = n.max(256);
+    let dims_list: &[usize] = if cfg.smoke { &[16] } else { &[4, 16] };
+    let mut out = Vec::new();
+    for &dims in dims_list {
+        let uni = UniformSpec { len: n, dims, seed: cfg.seed }.generate();
+        let uni_q = sample_queries(&uni, nq, 0.01, cfg.seed ^ q_marker());
+        out.push(Workload { name: "uniform", dims, points: uni, queries: uni_q });
+        let gauss = ClusteredSpec {
+            clusters: 10,
+            points_per_cluster: n / 10,
+            dims,
+            sigma: 150.0,
+            seed: cfg.seed + 1,
+        }
+        .generate();
+        let gauss_q = sample_queries(&gauss, nq, 0.01, cfg.seed ^ q_marker());
+        out.push(Workload { name: "gaussian", dims, points: gauss, queries: gauss_q });
+    }
+    out
+}
+
+const fn q_marker() -> u64 {
+    0x51
+}
+
+/// Queries/sec of PSB on an SS-tree for one layout of the same dataset.
+/// Best-of-3 passes: the speedup ratio is about steady-state layout cost, so
+/// each layout gets its least-noisy pass.
+fn headline_qps(tree: &psb_sstree::SsTree, queries: &PointSet) -> f64 {
+    let dev = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+    (0..3)
+        .map(|_| measure(queries, |q| drop(psb_query(tree, q, K, &dev, &opts))).0)
+        .fold(0.0, f64::max)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(cfg: &Config, rows: &[Row], speedup: Option<f64>) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"{}\",", json_escape(SCHEMA));
+    let _ = writeln!(s, "  \"scale\": {},", cfg.scale);
+    let _ = writeln!(s, "  \"layout\": \"{}\",", if cfg.legacy { "legacy" } else { "arena" });
+    let _ = writeln!(s, "  \"k\": {K},");
+    let _ = writeln!(s, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"workload\": \"{}\", \"dims\": {}, \"index\": \"{}\", \"kernel\": \"{}\", \
+             \"build_ms\": {:.3}, \"queries\": {}, \"qps\": {:.3}, \"p50_us\": {:.3}, \
+             \"p99_us\": {:.3}}}{}",
+            r.workload,
+            r.dims,
+            r.index,
+            r.kernel,
+            r.build_ms,
+            r.queries,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            comma
+        );
+    }
+    let _ = write!(s, "  ]");
+    if let Some(sp) = speedup {
+        let _ = write!(s, ",\n  \"speedup_vs_legacy\": {sp:.4}");
+    }
+    let _ = writeln!(s, "\n}}");
+    s
+}
+
+/// Minimal schema check for the smoke stage: every required key exists and
+/// every numeric field the harness promises is finite and nonzero.
+fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
+    for key in [
+        "\"schema\"",
+        "\"scale\"",
+        "\"layout\"",
+        "\"results\"",
+        "\"qps\"",
+        "\"p50_us\"",
+        "\"p99_us\"",
+        "\"build_ms\"",
+        "\"queries\"",
+    ] {
+        if !json.contains(key) {
+            return Err(format!("missing required key {key}"));
+        }
+    }
+    if expect_speedup && !json.contains("\"speedup_vs_legacy\"") {
+        return Err("missing required key \"speedup_vs_legacy\"".to_string());
+    }
+    // Pull every `"qps": N` style numeric field and require finite, nonzero.
+    for field in ["qps", "p50_us", "p99_us", "speedup_vs_legacy"] {
+        let pat = format!("\"{field}\": ");
+        let mut rest = json;
+        while let Some(pos) = rest.find(&pat) {
+            rest = &rest[pos + pat.len()..];
+            let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+            let v: f64 =
+                rest[..end].trim().parse().map_err(|e| format!("unparsable {field}: {e}"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{field} = {v} is not finite/positive"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let cfg = parse_args();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut headline: Option<(f64, f64)> = None; // (arena_qps, legacy_qps)
+
+    for w in workloads(&cfg) {
+        eprintln!("workload {} dims {} ({} points)...", w.name, w.dims, w.points.len());
+        let t = Instant::now();
+        let mut sstree = build(&w.points, 16, &BuildMethod::Hilbert);
+        let ss_build_ms = t.elapsed().as_secs_f64() * 1e3;
+        let t = Instant::now();
+        let mut rtree = build_rtree(&w.points, 16, &RtreeBuildMethod::Hilbert);
+        let rt_build_ms = t.elapsed().as_secs_f64() * 1e3;
+        if cfg.legacy {
+            sstree.strip_arena();
+            rtree.strip_arena();
+        }
+        bench_index(
+            &mut rows,
+            w.name,
+            w.dims,
+            "sstree",
+            &sstree,
+            &w.points,
+            &w.queries,
+            ss_build_ms,
+        );
+        bench_index(&mut rows, w.name, w.dims, "rtree", &rtree, &w.points, &w.queries, rt_build_ms);
+
+        // Headline comparison: PSB / SS-tree / 16-dim uniform, arena vs
+        // stripped, on the identical tree and query set.
+        if !cfg.legacy && w.name == "uniform" && w.dims == 16 {
+            let arena_qps = headline_qps(&sstree, &w.queries);
+            let mut stripped = sstree.clone();
+            stripped.strip_arena();
+            let legacy_qps = headline_qps(&stripped, &w.queries);
+            headline = Some((arena_qps, legacy_qps));
+        }
+    }
+
+    let speedup = headline.map(|(a, l)| a / l.max(1e-12));
+    if let Some((a, l)) = headline {
+        eprintln!("headline psb/sstree/uniform-16d: arena {a:.1} qps vs legacy {l:.1} qps");
+    }
+    let json = emit_json(&cfg, &rows, speedup);
+    if let Err(e) = std::fs::write(&cfg.out, &json) {
+        eprintln!("cannot write {}: {e}", cfg.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", cfg.out);
+
+    if cfg.smoke {
+        match validate(&json, !cfg.legacy) {
+            Ok(()) => eprintln!("smoke: schema OK ({} result rows)", rows.len()),
+            Err(e) => {
+                eprintln!("smoke: schema check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -13,7 +13,70 @@
 //! farthest-corner pass for MAXDIST). Running the identical kernel over both
 //! turns the paper's §II-C computational-cost argument into a measurement.
 
+use psb_geom::DistKernel;
 use psb_sstree::SsTree;
+
+/// Reusable output buffers for a per-node child sweep. Pooled in the engine's
+/// per-thread [`Scratch`](crate::kernels::Scratch) so the batch loop performs
+/// no per-node allocation.
+#[derive(Clone, Debug, Default)]
+pub struct SweepScratch {
+    /// MINDIST per child, in child order.
+    pub min_d: Vec<f32>,
+    /// MAXDIST per child (filled only when the sweep ran `with_max`).
+    pub max_d: Vec<f32>,
+    /// Anchor (representative-point) distance per child (filled only when the
+    /// sweep ran `with_anchor`).
+    pub anchor_d: Vec<f32>,
+}
+
+impl SweepScratch {
+    /// Empty all three buffers, keeping their capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.min_d.clear();
+        self.max_d.clear();
+        self.anchor_d.clear();
+    }
+}
+
+/// The legacy gather path for [`GpuIndex::child_sweep`]: per-child scattered
+/// loads through the node-major accessors. Default implementation and the
+/// fallback when a packed arena is stale or absent.
+pub fn gather_child_sweep<T: GpuIndex + ?Sized>(
+    tree: &T,
+    n: u32,
+    q: &[f32],
+    with_max: bool,
+    with_anchor: bool,
+    out: &mut SweepScratch,
+) {
+    for c in tree.children(n) {
+        let (lo, hi) = tree.child_min_max(c, q, with_max);
+        out.min_d.push(lo);
+        if with_max {
+            out.max_d.push(hi);
+        }
+    }
+    if with_anchor {
+        for c in tree.children(n) {
+            out.anchor_d.push(tree.child_anchor_dist(c, q));
+        }
+    }
+}
+
+/// The legacy gather path for [`GpuIndex::leaf_sweep`]: per-point scattered
+/// loads through the point accessors.
+pub fn gather_leaf_sweep<T: GpuIndex + ?Sized>(
+    tree: &T,
+    n: u32,
+    q: &[f32],
+    out: &mut Vec<(f32, u32)>,
+) {
+    for p in tree.leaf_points(n) {
+        out.push((psb_geom::dist(q, tree.point(p)), tree.point_id(p)));
+    }
+}
 
 /// A flattened n-ary spatial index traversable by the data-parallel kernels.
 ///
@@ -77,6 +140,34 @@ pub trait GpuIndex: Sync {
     /// rectangle center). Used as the tie-break when several overlapping
     /// volumes report `MINDIST = 0` during the initial greedy descent.
     fn child_anchor_dist(&self, c: u32, q: &[f32]) -> f32;
+
+    /// Evaluate every child of internal node `n` against `q` in one pass:
+    /// MINDIST always, MAXDIST when `with_max`, anchor distance when
+    /// `with_anchor`, appended to `out` in child order.
+    ///
+    /// The default gathers through the scattered per-child accessors exactly
+    /// like the historical kernel loop; packed-arena implementations override
+    /// it to stream one contiguous SoA block. Overrides must be **bit-identical**
+    /// to the default — the sweep is a host-speed change only, pinned down by
+    /// the layout-parity suite.
+    fn child_sweep(
+        &self,
+        n: u32,
+        q: &[f32],
+        _dk: &DistKernel,
+        with_max: bool,
+        with_anchor: bool,
+        out: &mut SweepScratch,
+    ) {
+        gather_child_sweep(self, n, q, with_max, with_anchor, out);
+    }
+
+    /// Evaluate every point of leaf node `n` against `q`, appending
+    /// `(distance, original id)` pairs to `out` in point order. Same
+    /// bit-identity contract as [`GpuIndex::child_sweep`].
+    fn leaf_sweep(&self, n: u32, q: &[f32], _dk: &DistKernel, out: &mut Vec<(f32, u32)>) {
+        gather_leaf_sweep(self, n, q, out);
+    }
 }
 
 impl GpuIndex for SsTree {
@@ -152,6 +243,50 @@ impl GpuIndex for SsTree {
 
     fn child_anchor_dist(&self, c: u32, q: &[f32]) -> f32 {
         psb_geom::dist(q, self.center(c))
+    }
+
+    fn child_sweep(
+        &self,
+        n: u32,
+        q: &[f32],
+        dk: &DistKernel,
+        with_max: bool,
+        with_anchor: bool,
+        out: &mut SweepScratch,
+    ) {
+        let kids = SsTree::children(self, n);
+        let blk = self.arena.as_ref().and_then(|a| a.internal(n, kids.start, kids.len()));
+        let Some(blk) = blk else {
+            // Stale/absent arena (stripped for benchmarking, or the tree was
+            // mutated underneath it): the bounds-checked gather path.
+            gather_child_sweep(self, n, q, with_max, with_anchor, out);
+            return;
+        };
+        // One linear run over the packed block: center distance once per
+        // child, both bounds and the anchor derived from it — bit-identical
+        // to the gather path (same kernel, same data, same op order per value).
+        for (row, &r) in blk.centers.chunks_exact(self.dims).zip(blk.radii) {
+            let cd = dk.dist(q, row);
+            out.min_d.push((cd - r).max(0.0));
+            if with_max {
+                out.max_d.push(cd + r);
+            }
+            if with_anchor {
+                out.anchor_d.push(cd);
+            }
+        }
+    }
+
+    fn leaf_sweep(&self, n: u32, q: &[f32], dk: &DistKernel, out: &mut Vec<(f32, u32)>) {
+        let run = SsTree::leaf_points(self, n);
+        let blk = self.arena.as_ref().and_then(|a| a.leaf(n, run.start as u32, run.len()));
+        let Some(blk) = blk else {
+            gather_leaf_sweep(self, n, q, out);
+            return;
+        };
+        for (i, row) in blk.coords.chunks_exact(self.dims).enumerate() {
+            out.push((dk.dist(q, row), blk.id(i)));
+        }
     }
 }
 

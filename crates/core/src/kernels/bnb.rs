@@ -66,6 +66,22 @@ pub fn bnb_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
+    super::with_scratch(tree.dims(), |scratch| {
+        bnb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bnb_try_query_with<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+    scratch: &mut Scratch,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
@@ -74,23 +90,10 @@ pub fn bnb_try_query<T: GpuIndex>(
         .reserve_shared(static_smem, cfg.smem_per_sm)
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
-    let mut scratch = Scratch::default();
     let mut pruning = f32::INFINITY;
 
     let root = checked_root(tree)?;
-    visit(
-        tree,
-        root,
-        0,
-        q,
-        k,
-        opts,
-        &mut block,
-        &mut list,
-        &mut scratch,
-        &mut pruning,
-        &mut budget,
-    )?;
+    visit(tree, root, 0, q, k, opts, &mut block, &mut list, scratch, &mut pruning, &mut budget)?;
     // Final poll: a fault in the last leaf processed would otherwise slip
     // past the loop-head checks and reach the caller as a silent result.
     if let Some(fault) = block.device_fault() {
@@ -147,15 +150,15 @@ fn visit<T: GpuIndex>(
             block.backtrack(level + 1);
         }
         fetch_internal(block, tree, n, opts.layout, level);
-        child_distances(block, tree, n, q, opts.use_minmax_prune, scratch);
-        if opts.use_minmax_prune && scratch.max_d.len() >= k {
-            let bound = kth_maxdist(block, &scratch.max_d, k);
+        child_distances(block, tree, n, q, opts.use_minmax_prune, false, scratch);
+        if opts.use_minmax_prune && scratch.sweep.max_d.len() >= k {
+            let bound = kth_maxdist(block, &scratch.sweep.max_d, k, &mut scratch.kth);
             *pruning = pruning.min(bound);
         }
         // Select the unvisited child with the smallest in-bound MINDIST.
         block.par_reduce(cnt, 2);
         let mut best: Option<(usize, f32)> = None;
-        for (i, &d) in scratch.min_d.iter().enumerate() {
+        for (i, &d) in scratch.sweep.min_d.iter().enumerate() {
             if visited[i] || d >= *pruning {
                 continue;
             }

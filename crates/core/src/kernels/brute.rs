@@ -60,6 +60,22 @@ pub fn brute_try_query(
     assert_eq!(q.len(), points.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     assert!(!points.is_empty(), "brute-force scan over zero points");
+    super::with_scratch(points.dims(), |scratch| {
+        brute_try_query_with(points, q, k, cfg, opts, faults, sink, scratch)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn brute_try_query_with(
+    points: &PointSet,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+    scratch: &mut super::Scratch,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_scan(points.len());
@@ -71,25 +87,31 @@ pub fn brute_try_query(
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
 
-    let dc = dist_cost(points.dims());
-    let mut dists: Vec<(f32, u32)> = Vec::with_capacity(tile);
+    let dims = points.dims();
+    let dc = dist_cost(dims);
+    let dk = scratch.dk;
     let mut start = 0usize;
     while start < points.len() {
         budget.tick(&block)?;
         // Tile load + distance sweep are the scan; the k-best updates merge.
         block.set_phase(Phase::LeafScan);
         let len = tile.min(points.len() - start);
-        block.load_global_stream((len * points.dims() * 4) as u64);
-        dists.clear();
-        block.par_for(len, dc, |i| {
-            let p = start + i;
-            dists.push((dist(q, points.point(p)), p as u32));
-        });
-        for entry in &mut dists {
-            entry.0 = block.fault_f32(entry.0);
+        block.load_global_stream((len * dims * 4) as u64);
+        scratch.leaf.clear();
+        block.par_for(len, dc, |_| {});
+        // The tile rows are one contiguous run of the flat point array:
+        // stream them through the dimension-specialized kernel.
+        let rows = &points.as_flat()[start * dims..(start + len) * dims];
+        for (i, row) in rows.chunks_exact(dims).enumerate() {
+            scratch.leaf.push((dk.dist(q, row), (start + i) as u32));
+        }
+        if block.has_faults() {
+            for entry in &mut scratch.leaf {
+                entry.0 = block.fault_f32(entry.0);
+            }
         }
         block.set_phase(Phase::ResultMerge);
-        for &(d, id) in &dists {
+        for &(d, id) in &scratch.leaf {
             list.offer(&mut block, d, id);
         }
         block.sync();

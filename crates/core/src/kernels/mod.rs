@@ -16,12 +16,14 @@ pub mod range;
 pub mod restart;
 pub mod tpss;
 
-use psb_geom::dist;
+use std::cell::RefCell;
+
+use psb_geom::DistKernel;
 use psb_gpu::{Block, NodeKind, Phase};
 
 use crate::dist_cost;
 use crate::error::KernelError;
-use crate::index::GpuIndex;
+use crate::index::{GpuIndex, SweepScratch};
 use crate::knnlist::GpuKnnList;
 use crate::options::{KernelOptions, NodeLayout};
 
@@ -194,12 +196,53 @@ pub(crate) fn fetch_leaf<T: GpuIndex>(
 }
 
 /// Scratch buffers reused across node visits so the simulation does not
-/// allocate in its hot loop.
+/// allocate in its hot loop: the per-query resolved distance kernel, the
+/// child-sweep buffers, the leaf distance buffer, and the k-th-select
+/// temporary. Pooled per host thread (see [`with_scratch`]) so the rayon
+/// batch loop reuses capacity across queries too.
 #[derive(Default)]
 pub(crate) struct Scratch {
-    pub min_d: Vec<f32>,
-    pub max_d: Vec<f32>,
+    pub dk: DistKernel,
+    pub sweep: SweepScratch,
     pub leaf: Vec<(f32, u32)>,
+    pub kth: Vec<f32>,
+}
+
+impl Scratch {
+    /// Prepare for a query in `dims` dimensions: re-resolve the distance
+    /// kernel only on a dimensionality change, empty every buffer.
+    fn reset_for(&mut self, dims: usize) {
+        if self.dk.dims() != dims {
+            self.dk = DistKernel::for_dims(dims);
+        }
+        self.sweep.clear();
+        self.leaf.clear();
+        self.kth.clear();
+    }
+}
+
+thread_local! {
+    /// One pooled [`Scratch`] per host thread: rayon gives each worker its own
+    /// copy, so the whole batch loop allocates scratch capacity only once per
+    /// thread (not per query, and certainly not per node).
+    static SCRATCH_POOL: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Run `f` with this thread's pooled scratch, reset for `dims`. Falls back to
+/// a fresh scratch if the pool is unexpectedly still borrowed (e.g. a kernel
+/// re-entered through a recovery path) — correctness never depends on reuse.
+pub(crate) fn with_scratch<R>(dims: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH_POOL.with(|pool| match pool.try_borrow_mut() {
+        Ok(mut scratch) => {
+            scratch.reset_for(dims);
+            f(&mut scratch)
+        }
+        Err(_) => {
+            let mut scratch = Scratch::default();
+            scratch.reset_for(dims);
+            f(&mut scratch)
+        }
+    })
 }
 
 /// Fetch a leaf, compute all point distances in parallel, and push improvements
@@ -229,17 +272,22 @@ pub(crate) fn process_leaf<T: GpuIndex>(
     let range = checked_leaf_points(tree, n)?;
     block.set_phase(Phase::LeafScan);
     fetch_leaf(block, tree, n, opts.layout, sequential, level);
-    let start = range.start;
     let len = range.len();
     scratch.leaf.clear();
+    // Metering is a function of (len, cost) only; the distances themselves
+    // come from the index's leaf sweep, which streams the packed arena block
+    // when one is attached and gathers (exactly as this loop used to)
+    // otherwise. Counters and values are identical either way.
     let dc = dist_cost(tree.dims());
-    block.par_for(len, dc, |i| {
-        let p = start + i;
-        let d = dist(q, tree.point(p));
-        scratch.leaf.push((d, tree.point_id(p)));
-    });
-    for entry in &mut scratch.leaf {
-        entry.0 = block.fault_f32(entry.0);
+    block.par_for(len, dc, |_| {});
+    tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.leaf);
+    // Computed distances pass through the fault injector. Without an attached
+    // fault state `fault_f32` is the identity and meters nothing, so the
+    // sweep is skipped wholesale on the fault-free path.
+    if block.has_faults() {
+        for entry in &mut scratch.leaf {
+            entry.0 = block.fault_f32(entry.0);
+        }
     }
     block.set_phase(Phase::ResultMerge);
     let mut changed = false;
@@ -249,50 +297,55 @@ pub(crate) fn process_leaf<T: GpuIndex>(
     Ok(changed)
 }
 
-/// Compute MINDIST (and optionally MAXDIST) for every child of internal node
-/// `n` into the scratch buffers, metered as one data-parallel sweep whose
-/// per-item cost comes from the index's node shape.
+/// Compute MINDIST (and optionally MAXDIST and the anchor distance) for every
+/// child of internal node `n` into the sweep buffers, metered as one
+/// data-parallel sweep whose per-item cost comes from the index's node shape.
+///
+/// `with_anchor` asks the sweep for the representative-point distances the
+/// descent uses as its tie-break — packed-arena sweeps derive them from the
+/// same center distance as the bounds, so requesting them up front is free
+/// where computing them per-child later would gather again.
 pub(crate) fn child_distances<T: GpuIndex>(
     block: &mut Block,
     tree: &T,
     n: u32,
     q: &[f32],
     with_max: bool,
+    with_anchor: bool,
     scratch: &mut Scratch,
 ) {
-    let kids = tree.children(n);
-    let start = kids.start;
-    let cnt = kids.len();
-    scratch.min_d.clear();
-    scratch.max_d.clear();
+    let cnt = tree.children(n).len();
+    scratch.sweep.clear();
     let cost = tree.child_eval_cost(with_max);
-    block.par_for(cnt, cost, |i| {
-        let c = start + i as u32;
-        let (lo, hi) = tree.child_min_max(c, q, with_max);
-        scratch.min_d.push(lo);
-        if with_max {
-            scratch.max_d.push(hi);
+    // Metering depends only on (cnt, cost); values come from the index sweep
+    // (packed arena stream, or the same per-child gather as the historical
+    // loop body).
+    block.par_for(cnt, cost, |_| {});
+    tree.child_sweep(n, q, &scratch.dk, with_max, with_anchor, &mut scratch.sweep);
+    // Loaded child volumes pass through the fault injector: a flipped bound
+    // is how an ECC event on the node payload reaches the pruning decisions.
+    // Skipped wholesale when no fault state is attached (identity, no meter).
+    if block.has_faults() {
+        for v in &mut scratch.sweep.min_d {
+            *v = block.fault_f32(*v);
         }
-    });
-    // Loaded child volumes pass through the fault injector (no-op when no
-    // fault state is attached): a flipped bound is how an ECC event on the
-    // node payload reaches the pruning decisions.
-    for v in &mut scratch.min_d {
-        *v = block.fault_f32(*v);
-    }
-    for v in &mut scratch.max_d {
-        *v = block.fault_f32(*v);
+        for v in &mut scratch.sweep.max_d {
+            *v = block.fault_f32(*v);
+        }
     }
 }
 
 /// The k-th smallest MAXDIST bound (Algorithm 1 line 14): an upper bound on the
 /// k-th nearest neighbor distance, valid because each of the k nearest child
 /// subtrees contains at least one point no farther than its MAXDIST.
-/// Only callable when the node has at least k children.
-pub(crate) fn kth_maxdist(block: &mut Block, max_d: &[f32], k: usize) -> f32 {
+/// Only callable when the node has at least k children. `tmp` is pooled
+/// scratch; the selected element is the same one a full `total_cmp` sort would
+/// put at position `k - 1` (equal keys are bit-identical under a total order).
+pub(crate) fn kth_maxdist(block: &mut Block, max_d: &[f32], k: usize, tmp: &mut Vec<f32>) -> f32 {
     debug_assert!(max_d.len() >= k && k >= 1);
     block.par_kth_select(max_d.len(), k);
-    let mut v: Vec<f32> = max_d.to_vec();
-    v.sort_by(f32::total_cmp);
-    v[k - 1]
+    tmp.clear();
+    tmp.extend_from_slice(max_d);
+    let (_, kth, _) = tmp.select_nth_unstable_by(k - 1, f32::total_cmp);
+    *kth
 }

@@ -82,6 +82,22 @@ pub fn psb_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
+    super::with_scratch(tree.dims(), |scratch| {
+        psb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn psb_try_query_with<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+    scratch: &mut Scratch,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
@@ -92,7 +108,6 @@ pub fn psb_try_query<T: GpuIndex>(
         .reserve_shared(static_smem, cfg.smem_per_sm)
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
-    let mut scratch = Scratch::default();
     let mut pruning = f32::INFINITY;
 
     // ---- Phase 1: initial greedy descent. ----
@@ -103,8 +118,10 @@ pub fn psb_try_query<T: GpuIndex>(
         budget.tick(&block)?;
         let kids = checked_children(tree, n)?;
         fetch_internal(&mut block, tree, n, opts.layout, level);
-        child_distances(&mut block, tree, n, q, false, &mut scratch);
-        block.par_reduce(scratch.min_d.len(), 2);
+        // The anchor distances ride along in the same sweep (on a packed
+        // arena they reuse the very center distance the bounds came from).
+        child_distances(&mut block, tree, n, q, false, true, scratch);
+        block.par_reduce(scratch.sweep.min_d.len(), 2);
         // Pick the child nearest the query. MINDIST alone ties at 0 whenever
         // several child spheres overlap the query (common for the oversized
         // boundary spheres Hilbert packing creates), and a bad tie-break lands
@@ -114,7 +131,7 @@ pub fn psb_try_query<T: GpuIndex>(
         let mut best = (f32::INFINITY, f32::INFINITY);
         let mut best_c = kids.start;
         for (i, c) in kids.enumerate() {
-            let key = (scratch.min_d[i], tree.child_anchor_dist(c, q));
+            let key = (scratch.sweep.min_d[i], scratch.sweep.anchor_d[i]);
             if key < best {
                 best = key;
                 best_c = c;
@@ -124,7 +141,7 @@ pub fn psb_try_query<T: GpuIndex>(
         level += 1;
     }
     budget.tick(&block)?;
-    process_leaf(&mut block, tree, n, q, &mut list, &mut scratch, opts, false, level)?;
+    process_leaf(&mut block, tree, n, q, &mut list, scratch, opts, false, level)?;
     pruning = pruning.min(list.bound());
 
     // ---- Phase 2: the left-to-right sweep. ----
@@ -139,9 +156,9 @@ pub fn psb_try_query<T: GpuIndex>(
             block.set_phase(Phase::Descend);
             let kids = checked_children(tree, n)?;
             fetch_internal(&mut block, tree, n, opts.layout, level);
-            child_distances(&mut block, tree, n, q, opts.use_minmax_prune, &mut scratch);
-            if opts.use_minmax_prune && scratch.max_d.len() >= k {
-                let bound = kth_maxdist(&mut block, &scratch.max_d, k);
+            child_distances(&mut block, tree, n, q, opts.use_minmax_prune, false, scratch);
+            if opts.use_minmax_prune && scratch.sweep.max_d.len() >= k {
+                let bound = kth_maxdist(&mut block, &scratch.sweep.max_d, k, &mut scratch.kth);
                 pruning = pruning.min(bound);
             }
             // Leftmost-qualifying-child selection. Algorithm 1 writes this as
@@ -153,7 +170,7 @@ pub fn psb_try_query<T: GpuIndex>(
             block.scalar(2);
             let mut chosen = None;
             for (i, c) in kids.clone().enumerate() {
-                if scratch.min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
+                if scratch.sweep.min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
                 }
@@ -192,17 +209,8 @@ pub fn psb_try_query<T: GpuIndex>(
         let mut via_sibling = false;
         loop {
             budget.tick(&block)?;
-            let changed = process_leaf(
-                &mut block,
-                tree,
-                n,
-                q,
-                &mut list,
-                &mut scratch,
-                opts,
-                via_sibling,
-                level,
-            )?;
+            let changed =
+                process_leaf(&mut block, tree, n, q, &mut list, scratch, opts, via_sibling, level)?;
             pruning = pruning.min(list.bound());
             let lid = checked_leaf_id(tree, n)?;
             visited = lid as i64;

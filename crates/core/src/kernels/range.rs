@@ -12,7 +12,6 @@
 //! Result rows are written to global memory (metered as streaming writes, the
 //! way a real kernel would append via an atomic cursor into an output buffer).
 
-use psb_geom::dist;
 use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
@@ -70,6 +69,22 @@ pub fn range_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert!(radius >= 0.0, "radius must be non-negative");
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    super::with_scratch(tree.dims(), |scratch| {
+        range_try_query_with(tree, q, radius, cfg, opts, faults, sink, scratch)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn range_try_query_with<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+    scratch: &mut Scratch,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
@@ -77,7 +92,6 @@ pub fn range_try_query<T: GpuIndex>(
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
-    let mut scratch = Scratch::default();
     let mut out: Vec<Neighbor> = Vec::new();
     let dc = dist_cost(tree.dims());
 
@@ -91,13 +105,13 @@ pub fn range_try_query<T: GpuIndex>(
             block.set_phase(Phase::Descend);
             let kids = checked_children(tree, n)?;
             fetch_internal(&mut block, tree, n, opts.layout, level);
-            child_distances(&mut block, tree, n, q, false, &mut scratch);
+            child_distances(&mut block, tree, n, q, false, false, scratch);
             block.par_for(kids.len(), 1, |_| {});
             block.par_reduce(kids.len(), 1);
             block.scalar(2);
             let mut chosen = None;
             for (i, c) in kids.clone().enumerate() {
-                if scratch.min_d[i] <= radius && tree.subtree_max_leaf(c) as i64 > visited {
+                if scratch.sweep.min_d[i] <= radius && tree.subtree_max_leaf(c) as i64 > visited {
                     chosen = Some(c);
                     break;
                 }
@@ -132,16 +146,17 @@ pub fn range_try_query<T: GpuIndex>(
             let range = checked_leaf_points(tree, n)?;
             block.set_phase(Phase::LeafScan);
             fetch_leaf(&mut block, tree, n, opts.layout, via_sibling, level);
-            let start = range.start;
             let len = range.len();
             scratch.leaf.clear();
-            block.par_for(len, dc, |i| {
-                let p = start + i;
-                let d = dist(q, tree.point(p));
-                scratch.leaf.push((d, tree.point_id(p)));
-            });
-            for entry in &mut scratch.leaf {
-                entry.0 = block.fault_f32(entry.0);
+            // Metering depends only on (len, dc); the index's leaf sweep
+            // streams the packed arena block when attached, else gathers
+            // exactly as this loop used to (see `process_leaf`).
+            block.par_for(len, dc, |_| {});
+            tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.leaf);
+            if block.has_faults() {
+                for entry in &mut scratch.leaf {
+                    entry.0 = block.fault_f32(entry.0);
+                }
             }
             block.set_phase(Phase::ResultMerge);
             let mut hits = 0u64;

@@ -36,7 +36,7 @@ pub use engine::{
     restart_batch_recovering, QueryBatchResult,
 };
 pub use error::{EngineError, KernelError, QueryOutcome};
-pub use index::GpuIndex;
+pub use index::{gather_child_sweep, gather_leaf_sweep, GpuIndex, SweepScratch};
 pub use kernels::bnb::bnb_try_query;
 pub use kernels::brute::{brute_index_query, brute_index_range, brute_try_query};
 pub use kernels::psb::psb_try_query;

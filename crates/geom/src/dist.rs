@@ -3,11 +3,27 @@
 //! The inner loop is written over exact-size chunks so LLVM auto-vectorizes it; this
 //! is the hottest code in the whole workspace (brute-force scans run it a billion
 //! times at paper scale).
+//!
+//! Two entry forms share one implementation:
+//!
+//! * [`sq_dist`] — generic over runtime `dims`; the loop trip counts are only
+//!   known at run time, so LLVM emits a loop.
+//! * [`sq_dist_d`] — const-generic over `D`; when the slices really have length
+//!   `D` the same implementation inlines with compile-time trip counts, so the
+//!   whole distance fully unrolls (and vectorizes wider). Because both forms run
+//!   the *identical* sequence of floating-point operations, their results are
+//!   **bit-identical** — the specialization is a host-speed change only, which
+//!   the tests below pin down.
+//!
+//! [`DistKernel`] resolves the best form once (per query, in practice) for the
+//! paper's dimensionalities 2/3/4/8/16, falling back to the generic loop.
 
-/// Squared Euclidean distance between two equal-length coordinate slices.
-#[inline]
-pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
+/// The one true squared-distance loop. `#[inline(always)]` so that callers with
+/// compile-time-known slice lengths (see [`sq_dist_d`]) get fully unrolled
+/// code, while the op order — and therefore the f32 result bits — never
+/// changes between the generic and specialized forms.
+#[inline(always)]
+fn sq_dist_impl(a: &[f32], b: &[f32]) -> f32 {
     // 4-wide manual unroll: keeps four independent accumulators so the loop
     // pipelines, and lets LLVM lower it to SIMD without a reduction dependency.
     let mut acc = [0f32; 4];
@@ -27,10 +43,79 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Squared Euclidean distance between two equal-length coordinate slices.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    sq_dist_impl(a, b)
+}
+
+/// Squared distance specialized for dimensionality `D`: when both slices have
+/// length `D` the shared loop inlines with constant trip counts and fully
+/// unrolls; otherwise it degrades to the generic loop. Bit-identical to
+/// [`sq_dist`] in either case.
+#[inline]
+pub fn sq_dist_d<const D: usize>(a: &[f32], b: &[f32]) -> f32 {
+    match (<&[f32; D]>::try_from(a), <&[f32; D]>::try_from(b)) {
+        (Ok(a), Ok(b)) => sq_dist_impl(a, b),
+        _ => sq_dist_impl(a, b),
+    }
+}
+
 /// Euclidean distance between two equal-length coordinate slices.
 #[inline]
 pub fn dist(a: &[f32], b: &[f32]) -> f32 {
     sq_dist(a, b).sqrt()
+}
+
+/// A distance kernel dispatched once per query: dimension-specialized for the
+/// paper's dims (2/3/4/8/16), generic otherwise. The selected function is a
+/// plain `fn` pointer, so carrying it into a per-node sweep costs one indirect
+/// call per evaluation and nothing else.
+#[derive(Clone, Copy, Debug)]
+pub struct DistKernel {
+    sq: fn(&[f32], &[f32]) -> f32,
+    dims: usize,
+}
+
+impl DistKernel {
+    /// Resolve the kernel for `dims`.
+    pub fn for_dims(dims: usize) -> Self {
+        let sq: fn(&[f32], &[f32]) -> f32 = match dims {
+            2 => sq_dist_d::<2>,
+            3 => sq_dist_d::<3>,
+            4 => sq_dist_d::<4>,
+            8 => sq_dist_d::<8>,
+            16 => sq_dist_d::<16>,
+            _ => sq_dist,
+        };
+        Self { sq, dims }
+    }
+
+    /// The dimensionality this kernel was resolved for.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Squared distance via the resolved kernel.
+    #[inline]
+    pub fn sq(&self, a: &[f32], b: &[f32]) -> f32 {
+        (self.sq)(a, b)
+    }
+
+    /// Distance via the resolved kernel.
+    #[inline]
+    pub fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
+        (self.sq)(a, b).sqrt()
+    }
+}
+
+impl Default for DistKernel {
+    /// The generic (runtime-`dims`) kernel.
+    fn default() -> Self {
+        Self { sq: sq_dist, dims: 0 }
+    }
 }
 
 #[cfg(test)]
@@ -63,5 +148,87 @@ mod tests {
     #[test]
     fn one_dimensional() {
         assert_eq!(dist(&[-1.0], &[2.0]), 3.0);
+    }
+
+    /// Deterministic pseudo-random f32 in a hostile range (magnitudes spread
+    /// over several orders so accumulation order differences would show up).
+    fn lcg_f32(state: &mut u64) -> f32 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let u = (*state >> 40) as u32; // 24 significant bits
+        (u as f32 / (1 << 24) as f32 - 0.5) * 2e4
+    }
+
+    fn random_pair(dims: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut s = seed;
+        let a = (0..dims).map(|_| lcg_f32(&mut s)).collect();
+        let b = (0..dims).map(|_| lcg_f32(&mut s)).collect();
+        (a, b)
+    }
+
+    /// The hard invariant behind the arena layout work: every specialized
+    /// kernel is bit-identical to the generic loop.
+    #[test]
+    fn specialized_kernels_are_bit_identical_to_generic() {
+        fn check<const D: usize>() {
+            for trial in 0..200u64 {
+                let (a, b) = random_pair(D, trial * 31 + D as u64);
+                assert_eq!(
+                    sq_dist_d::<D>(&a, &b).to_bits(),
+                    sq_dist(&a, &b).to_bits(),
+                    "dims {D} trial {trial}"
+                );
+            }
+        }
+        check::<2>();
+        check::<3>();
+        check::<4>();
+        check::<8>();
+        check::<16>();
+    }
+
+    #[test]
+    fn dist_kernel_dispatch_is_bit_identical_for_all_dims() {
+        for dims in 1..=24 {
+            let dk = DistKernel::for_dims(dims);
+            assert_eq!(dk.dims(), dims);
+            for trial in 0..50u64 {
+                let (a, b) = random_pair(dims, trial * 97 + dims as u64);
+                assert_eq!(dk.sq(&a, &b).to_bits(), sq_dist(&a, &b).to_bits());
+                assert_eq!(dk.dist(&a, &b).to_bits(), dist(&a, &b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_kernel_on_wrong_length_falls_back() {
+        // A dims-4 kernel handed 6-dim slices must still be exact (the sweep
+        // fallback paths rely on this never panicking).
+        let (a, b) = random_pair(6, 7);
+        assert_eq!(sq_dist_d::<4>(&a, &b).to_bits(), sq_dist(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn default_kernel_is_generic() {
+        let dk = DistKernel::default();
+        let (a, b) = random_pair(5, 3);
+        assert_eq!(dk.sq(&a, &b).to_bits(), sq_dist(&a, &b).to_bits());
+    }
+
+    /// The sweep loops stream flat row slices through the kernel; pin the
+    /// chunked form against per-row calls so a future row-iteration change
+    /// cannot drift.
+    #[test]
+    fn chunked_row_sweep_matches_per_row_dist_bitwise() {
+        for dims in [2usize, 3, 4, 5, 8, 16, 19] {
+            let dk = DistKernel::for_dims(dims);
+            let mut s = dims as u64 * 1117;
+            let q: Vec<f32> = (0..dims).map(|_| lcg_f32(&mut s)).collect();
+            let rows: Vec<f32> = (0..dims * 23).map(|_| lcg_f32(&mut s)).collect();
+            for (i, row) in rows.chunks_exact(dims).enumerate() {
+                let from_flat = dk.dist(&q, &rows[i * dims..(i + 1) * dims]);
+                assert_eq!(from_flat.to_bits(), dk.dist(&q, row).to_bits(), "dims {dims} row {i}");
+                assert_eq!(from_flat.to_bits(), dist(&q, row).to_bits(), "dims {dims} row {i}");
+            }
+        }
     }
 }

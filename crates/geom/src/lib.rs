@@ -23,6 +23,7 @@
 pub mod dist;
 pub mod hilbert;
 pub mod kmeans;
+pub mod layout;
 pub mod matrix;
 pub mod point;
 pub mod rect;
@@ -30,11 +31,12 @@ pub mod ritter;
 pub mod sphere;
 pub mod welzl;
 
-pub use dist::{dist, sq_dist};
+pub use dist::{dist, sq_dist, sq_dist_d, DistKernel};
 pub use hilbert::{hilbert_key, HilbertKey};
 pub use kmeans::{kmeans, KMeansParams, KMeansResult};
+pub use layout::AlignedF32;
 pub use point::PointSet;
 pub use rect::Rect;
 pub use ritter::{ritter_points, ritter_spheres, RitterMode};
-pub use sphere::Sphere;
+pub use sphere::{Sphere, SphereRef};
 pub use welzl::welzl;

@@ -81,6 +81,15 @@ impl<'s> Block<'s> {
         self.faults = faults;
     }
 
+    /// Whether a fault state is attached. Kernels use this to skip
+    /// value-identity fault sweeps entirely on the (typical) fault-free path:
+    /// with no state attached [`Block::fault_f32`] is the identity and meters
+    /// nothing, so skipping the sweep changes neither values nor counters.
+    #[inline]
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
     /// Pass a value loaded from global memory through the fault injector.
     /// Without an attached [`FaultState`] this returns `v` untouched and
     /// meters nothing.

@@ -111,11 +111,12 @@ pub fn launch_blocks(
         occupancy_max = occupancy_max.max(occ);
     }
 
-    // The merged smem peak is the batch max, so this equals occupancy_min; the
-    // batch is scheduled at its hungriest block's occupancy.
-    let occupancy = cfg.occupancy_blocks(merged.smem_peak_bytes, warps_per_block);
+    // The merged smem peak is the batch max, so the hungriest block's
+    // occupancy (occupancy_min, computed in the loop above) is the batch
+    // occupancy — no need to re-derive it from the merged stats.
+    let occupancy = occupancy_min;
     assert!(occupancy > 0, "batch contains an unlaunchable block");
-    debug_assert_eq!(occupancy, occupancy_min);
+    debug_assert_eq!(occupancy, cfg.occupancy_blocks(merged.smem_peak_bytes, warps_per_block));
     let slots = (cfg.sms as f64) * occupancy as f64;
     let makespan_cycles = (sum_cycles / slots).max(max_cycles);
 

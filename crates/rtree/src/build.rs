@@ -166,7 +166,7 @@ fn materialize(points: &PointSet, degree: usize, order: &[u32]) -> RsTree {
         }
     }
 
-    RsTree {
+    let mut tree = RsTree {
         dims,
         degree,
         points: points.gather(order),
@@ -182,7 +182,10 @@ fn materialize(points: &PointSet, degree: usize, order: &[u32]) -> RsTree {
         subtree_max_leaf: sub_max,
         leaf_node_of,
         root: 0,
-    }
+        arena: None,
+    };
+    tree.rebuild_arena();
+    tree
 }
 
 #[cfg(test)]

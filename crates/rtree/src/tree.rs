@@ -3,6 +3,8 @@
 
 use psb_geom::{dist, PointSet};
 
+use crate::arena::RectArena;
+
 /// Sentinel for "no parent" (the root).
 pub const NO_PARENT: u32 = u32::MAX;
 /// Sentinel leaf id for internal nodes.
@@ -40,6 +42,10 @@ pub struct RsTree {
     pub leaf_node_of: Vec<u32>,
     /// Root node id.
     pub root: u32,
+    /// Packed per-node device arena (see [`crate::arena`]): a derived cache,
+    /// rebuilt after construction and stripped (`None`) to benchmark the
+    /// legacy gather layout.
+    pub arena: Option<RectArena>,
 }
 
 impl RsTree {
@@ -47,6 +53,17 @@ impl RsTree {
     #[inline]
     pub fn num_nodes(&self) -> usize {
         self.parent.len()
+    }
+
+    /// Rebuild the packed device arena from the current node arrays.
+    pub fn rebuild_arena(&mut self) {
+        self.arena = None;
+        self.arena = Some(RectArena::build(self));
+    }
+
+    /// Drop the packed arena, forcing sweeps onto the legacy gather path.
+    pub fn strip_arena(&mut self) {
+        self.arena = None;
     }
 
     /// Whether node `n` is a leaf.
@@ -188,7 +205,6 @@ impl RsTree {
                     return Err(format!("leaf {n} size invalid"));
                 }
                 let (lo, hi) = self.mbr(n);
-                let (lo, hi) = (lo.to_vec(), hi.to_vec());
                 for p in self.leaf_points(n) {
                     if seen[p] {
                         return Err(format!("point {p} duplicated"));
@@ -206,7 +222,6 @@ impl RsTree {
                     return Err(format!("node {n} fan-out invalid"));
                 }
                 let (nlo, nhi) = self.mbr(n);
-                let (nlo, nhi) = (nlo.to_vec(), nhi.to_vec());
                 let mut min_l = u32::MAX;
                 let mut max_l = 0u32;
                 for c in kids.clone() {

@@ -258,7 +258,7 @@ pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) 
         }
     }
 
-    let tree = SsTree {
+    let mut tree = SsTree {
         dims,
         degree,
         points: points.gather(&point_order),
@@ -274,6 +274,7 @@ pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) 
         subtree_max_leaf: subtree_max,
         leaf_node_of,
         root: 0,
+        arena: None,
     };
     // Every construction path (bottom-up, top-down, dynamic rebuild) funnels
     // through here: run the structural verifier so a construction bug can
@@ -281,6 +282,8 @@ pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) 
     if let Err(e) = tree.validate() {
         panic!("construction produced a structurally invalid tree: {e}");
     }
+    // Only a verified tree gets the packed device arena.
+    tree.rebuild_arena();
     tree
 }
 

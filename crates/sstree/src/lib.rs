@@ -16,6 +16,7 @@
 //! * [`search`] — exact CPU searches (recursive branch-and-bound and best-first)
 //!   used as correctness oracles for the GPU kernels.
 
+pub mod arena;
 pub mod build;
 pub mod error;
 pub mod persist;
@@ -23,6 +24,7 @@ pub mod search;
 pub mod topdown;
 pub mod tree;
 
+pub use arena::SphereArena;
 pub use build::{build, BuildMethod};
 pub use error::StructuralError;
 pub use persist::{load as load_index, save as save_index, LoadError};

@@ -187,7 +187,7 @@ pub fn load(path: &Path) -> Result<SsTree, LoadError> {
     let subtree_max_leaf = read_u32s(&mut r, n_nodes)?;
     let leaf_node_of = read_u32s(&mut r, n_leaves)?;
 
-    let tree = SsTree {
+    let mut tree = SsTree {
         dims,
         degree,
         points,
@@ -203,8 +203,12 @@ pub fn load(path: &Path) -> Result<SsTree, LoadError> {
         subtree_max_leaf,
         leaf_node_of,
         root,
+        arena: None,
     };
     tree.validate()?;
+    // The arena is a derived cache, never persisted: rebuild it from the
+    // freshly validated arrays.
+    tree.rebuild_arena();
     Ok(tree)
 }
 

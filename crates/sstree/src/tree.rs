@@ -13,8 +13,9 @@
 //! * every node records the min/max leaf id of its subtree, which PSB uses to
 //!   skip already-visited subtrees without a stack.
 
-use psb_geom::{PointSet, Sphere};
+use psb_geom::{PointSet, SphereRef};
 
+use crate::arena::SphereArena;
 use crate::error::StructuralError;
 
 /// Sentinel for "no parent" (the root).
@@ -56,6 +57,10 @@ pub struct SsTree {
     pub leaf_node_of: Vec<u32>,
     /// Root node id.
     pub root: u32,
+    /// Packed per-node device arena (see [`crate::arena`]): a derived cache of
+    /// the node geometry above, rebuilt after construction/load and stripped
+    /// (`None`) to benchmark the legacy gather layout.
+    pub arena: Option<SphereArena>,
 }
 
 impl SsTree {
@@ -95,9 +100,25 @@ impl SsTree {
         self.radii[n as usize]
     }
 
-    /// The bounding sphere of node `n` as an owned [`Sphere`].
-    pub fn sphere(&self, n: u32) -> Sphere {
-        Sphere::new(self.center(n).to_vec(), self.radius(n))
+    /// The bounding sphere of node `n`, borrowed straight from node-major
+    /// storage — no allocation (use [`SphereRef::to_sphere`] if you need an
+    /// owned copy).
+    #[inline]
+    pub fn sphere(&self, n: u32) -> SphereRef<'_> {
+        SphereRef::new(self.center(n), self.radius(n))
+    }
+
+    /// Rebuild the packed device arena from the current node arrays. Call
+    /// after any structural mutation (construction and load do it for you).
+    pub fn rebuild_arena(&mut self) {
+        self.arena = None;
+        self.arena = Some(SphereArena::build(self));
+    }
+
+    /// Drop the packed arena, forcing sweeps onto the legacy gather path
+    /// (the benchmark harness's `--legacy-layout` baseline).
+    pub fn strip_arena(&mut self) {
+        self.arena = None;
     }
 
     /// Children of internal node `n` as a node-id range.
