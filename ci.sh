@@ -23,7 +23,11 @@ run_faults() { cargo test -p psb --test fault_injection -q; }
 # clock bench binary must complete a tiny workload and emit a BENCH_psb.json
 # whose required keys are present, finite, and nonzero (the binary's --smoke
 # mode self-validates the schema and exits nonzero on any violation). The
-# speedup magnitude is machine-dependent and deliberately NOT asserted here.
+# smoke run also times one scheduled and one fused 240-query batch and fails
+# if the scheduled engine is slower than the unscheduled one, or if fusion
+# does not raise modeled warp efficiency on the low-fanout tree. Those are
+# direction gates only — speedup *magnitudes* are machine-dependent and
+# deliberately not asserted.
 run_bench_smoke() {
     cargo bench --workspace --no-run
     cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json

@@ -1,0 +1,60 @@
+//! Scheduler microbenchmarks: the host-side cost of ordering a batch.
+//!
+//! The Hilbert permutation runs once per batch on the host before any kernel
+//! launches, so it has to stay cheap relative to the traversal work it
+//! reorders. These benches pin its cost at the default chunk size (240) and at
+//! larger batches, plus the scratch-recycling path the streaming pipeline uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psb_core::{hilbert_order, hilbert_permutation, ScheduleScratch};
+use psb_data::{sample_queries, ClusteredSpec};
+use psb_geom::PointSet;
+
+fn batch(n: usize, dims: usize, seed: u64) -> PointSet {
+    let ps =
+        ClusteredSpec { clusters: 8, points_per_cluster: (n / 8).max(1), dims, sigma: 120.0, seed }
+            .generate();
+    sample_queries(&ps, n, 0.02, seed ^ 0x5C4E)
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+
+    // One-shot ordering across batch sizes (240 is the streaming default).
+    for n in [240usize, 1024, 4096] {
+        let queries = batch(n, 16, 71);
+        g.bench_with_input(BenchmarkId::new("hilbert_order", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(hilbert_order(&queries)))
+        });
+    }
+
+    // Dimensionality sweep at the default chunk size: key derivation
+    // dominates, and it scales with dims.
+    for dims in [2usize, 8, 32] {
+        let queries = batch(240, dims, 72);
+        g.bench_with_input(BenchmarkId::new("hilbert_order_240_dims", dims), &dims, |b, _| {
+            b.iter(|| std::hint::black_box(hilbert_order(&queries)))
+        });
+    }
+
+    // The streaming pipeline's steady state: permute into recycled scratch,
+    // no fresh allocations per chunk.
+    let queries = batch(240, 16, 73);
+    g.bench_function("hilbert_permutation_recycled_240", |b| {
+        let mut scratch = ScheduleScratch::default();
+        b.iter(|| {
+            let perm = hilbert_permutation(&queries, &mut scratch);
+            let first = perm.first().copied();
+            scratch.recycle(perm);
+            std::hint::black_box(first)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

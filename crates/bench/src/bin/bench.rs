@@ -26,15 +26,20 @@ use psb_core::kernels::psb::psb_query;
 use psb_core::kernels::range::range_query_gpu;
 use psb_core::kernels::restart::restart_query;
 use psb_core::kernels::{bnb::bnb_query, tpss::tpss_batch};
-use psb_core::{GpuIndex, KernelOptions};
+use psb_core::{psb_batch, GpuIndex, KernelOptions, QuerySchedule};
 use psb_data::{sample_queries, ClusteredSpec, UniformSpec};
 use psb_geom::PointSet;
 use psb_gpu::DeviceConfig;
 use psb_rtree::{build_rtree, RtreeBuildMethod};
 use psb_sstree::{build, BuildMethod};
 
-const SCHEMA: &str = "psb-bench-v1";
+const SCHEMA: &str = "psb-bench-v2";
 const K: usize = 8;
+/// Queries per batch: the paper's §V-B experiment size. Per-kernel rows and
+/// the throughput section both run full 240-query batches (smoke mode shrinks
+/// the per-kernel rows but keeps the throughput batch at 240 so the
+/// scheduled-vs-unscheduled gate measures a real batch).
+const BATCH: usize = 240;
 const RANGE_RADIUS: f32 = 250.0;
 
 struct Config {
@@ -175,7 +180,7 @@ struct Workload {
 }
 
 fn workloads(cfg: &Config) -> Vec<Workload> {
-    let (n, nq) = if cfg.smoke { (1200, 8) } else { ((20_000.0 * cfg.scale) as usize, 48) };
+    let (n, nq) = if cfg.smoke { (1200, 8) } else { ((20_000.0 * cfg.scale) as usize, BATCH) };
     let n = n.max(256);
     let dims_list: &[usize] = if cfg.smoke { &[16] } else { &[4, 16] };
     let mut out = Vec::new();
@@ -212,17 +217,76 @@ fn headline_qps(tree: &psb_sstree::SsTree, queries: &PointSet) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// The throughput section: batch-engine wall clock on the headline workload
+/// (PSB / SS-tree / 16-dim uniform), submission order vs the Hilbert-scheduled
+/// throughput engine, plus the fusion row on a low-fanout (degree-8) tree.
+struct Throughput {
+    batch_size: usize,
+    unscheduled_qps: f64,
+    scheduled_qps: f64,
+    fused_qps: f64,
+    warp_eff_unfused: f64,
+    warp_eff_fused: f64,
+}
+
+/// Best-of-3 whole-batch queries/sec through the batch engine.
+fn batch_qps<T: GpuIndex>(tree: &T, queries: &PointSet, opts: &KernelOptions) -> f64 {
+    let dev = DeviceConfig::k40();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let r = psb_batch(tree, queries, K, &dev, opts);
+        let dt = t.elapsed().as_secs_f64();
+        assert!(r.is_ok(), "batch engine failed on a trusted tree");
+        best = best.max(queries.len() as f64 / dt.max(1e-12));
+    }
+    best
+}
+
+fn throughput_section(points: &PointSet, seed: u64) -> Throughput {
+    let dev = DeviceConfig::k40();
+    let queries = sample_queries(points, BATCH, 0.01, seed ^ q_marker() ^ 0xB47C);
+    let tree = build(points, 16, &BuildMethod::Hilbert);
+    let base = KernelOptions::default();
+    let sched = KernelOptions { schedule: QuerySchedule::Hilbert, ..Default::default() };
+    let unscheduled_qps = batch_qps(&tree, &queries, &base);
+    let scheduled_qps = batch_qps(&tree, &queries, &sched);
+
+    // Fusion row: a degree-8 tree (fanout far below the warp width) with four
+    // queries per block. Warp efficiency is a *model* output — deterministic —
+    // so the before/after pair is asserted by the smoke gate, not just logged.
+    let low_fanout = build(points, 8, &BuildMethod::Hilbert);
+    let fused_opts =
+        KernelOptions { fuse: 4, schedule: QuerySchedule::Hilbert, ..Default::default() };
+    let eff = |opts: &KernelOptions| match psb_batch(&low_fanout, &queries, K, &dev, opts) {
+        Ok(r) => r.report.warp_efficiency,
+        Err(_) => 0.0,
+    };
+    let warp_eff_unfused = eff(&base);
+    let warp_eff_fused = eff(&fused_opts);
+    let fused_qps = batch_qps(&low_fanout, &queries, &fused_opts);
+    Throughput {
+        batch_size: BATCH,
+        unscheduled_qps,
+        scheduled_qps,
+        fused_qps,
+        warp_eff_unfused,
+        warp_eff_fused,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn emit_json(cfg: &Config, rows: &[Row], speedup: Option<f64>) -> String {
+fn emit_json(cfg: &Config, rows: &[Row], speedup: Option<f64>, tp: Option<&Throughput>) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"schema\": \"{}\",", json_escape(SCHEMA));
     let _ = writeln!(s, "  \"scale\": {},", cfg.scale);
     let _ = writeln!(s, "  \"layout\": \"{}\",", if cfg.legacy { "legacy" } else { "arena" });
     let _ = writeln!(s, "  \"k\": {K},");
+    let _ = writeln!(s, "  \"batch_size\": {BATCH},");
     let _ = writeln!(s, "  \"results\": [");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -247,6 +311,23 @@ fn emit_json(cfg: &Config, rows: &[Row], speedup: Option<f64>) -> String {
     if let Some(sp) = speedup {
         let _ = write!(s, ",\n  \"speedup_vs_legacy\": {sp:.4}");
     }
+    if let Some(t) = tp {
+        let _ = write!(
+            s,
+            ",\n  \"throughput\": {{\n    \"workload\": \"uniform-16d/sstree/psb\", \
+             \"batch_size\": {}, \"unscheduled_qps\": {:.3}, \"scheduled_qps\": {:.3}, \
+             \"scheduled_speedup\": {:.4}, \"fused\": {{\"degree\": 8, \"fuse\": 4, \
+             \"qps\": {:.3}, \"warp_efficiency_unfused\": {:.4}, \
+             \"warp_efficiency_fused\": {:.4}}}\n  }}",
+            t.batch_size,
+            t.unscheduled_qps,
+            t.scheduled_qps,
+            t.scheduled_qps / t.unscheduled_qps.max(1e-12),
+            t.fused_qps,
+            t.warp_eff_unfused,
+            t.warp_eff_fused,
+        );
+    }
     let _ = writeln!(s, "\n}}");
     s
 }
@@ -258,6 +339,7 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
         "\"schema\"",
         "\"scale\"",
         "\"layout\"",
+        "\"batch_size\"",
         "\"results\"",
         "\"qps\"",
         "\"p50_us\"",
@@ -269,11 +351,25 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
             return Err(format!("missing required key {key}"));
         }
     }
-    if expect_speedup && !json.contains("\"speedup_vs_legacy\"") {
-        return Err("missing required key \"speedup_vs_legacy\"".to_string());
+    if expect_speedup {
+        for key in ["\"speedup_vs_legacy\"", "\"throughput\"", "\"scheduled_speedup\""] {
+            if !json.contains(key) {
+                return Err(format!("missing required key {key}"));
+            }
+        }
     }
     // Pull every `"qps": N` style numeric field and require finite, nonzero.
-    for field in ["qps", "p50_us", "p99_us", "speedup_vs_legacy"] {
+    for field in [
+        "qps",
+        "p50_us",
+        "p99_us",
+        "speedup_vs_legacy",
+        "unscheduled_qps",
+        "scheduled_qps",
+        "scheduled_speedup",
+        "warp_efficiency_unfused",
+        "warp_efficiency_fused",
+    ] {
         let pat = format!("\"{field}\": ");
         let mut rest = json;
         while let Some(pos) = rest.find(&pat) {
@@ -293,6 +389,7 @@ fn main() {
     let cfg = parse_args();
     let mut rows: Vec<Row> = Vec::new();
     let mut headline: Option<(f64, f64)> = None; // (arena_qps, legacy_qps)
+    let mut throughput: Option<Throughput> = None;
 
     for w in workloads(&cfg) {
         eprintln!("workload {} dims {} ({} points)...", w.name, w.dims, w.points.len());
@@ -326,6 +423,7 @@ fn main() {
             stripped.strip_arena();
             let legacy_qps = headline_qps(&stripped, &w.queries);
             headline = Some((arena_qps, legacy_qps));
+            throughput = Some(throughput_section(&w.points, cfg.seed));
         }
     }
 
@@ -333,7 +431,20 @@ fn main() {
     if let Some((a, l)) = headline {
         eprintln!("headline psb/sstree/uniform-16d: arena {a:.1} qps vs legacy {l:.1} qps");
     }
-    let json = emit_json(&cfg, &rows, speedup);
+    if let Some(t) = &throughput {
+        eprintln!(
+            "throughput psb/sstree/uniform-16d ({} queries/batch): unscheduled {:.1} qps, \
+             scheduled {:.1} qps ({:.2}x); fused(deg-8, F=4) {:.1} qps, warp eff {:.3} -> {:.3}",
+            t.batch_size,
+            t.unscheduled_qps,
+            t.scheduled_qps,
+            t.scheduled_qps / t.unscheduled_qps.max(1e-12),
+            t.fused_qps,
+            t.warp_eff_unfused,
+            t.warp_eff_fused,
+        );
+    }
+    let json = emit_json(&cfg, &rows, speedup, throughput.as_ref());
     if let Err(e) = std::fs::write(&cfg.out, &json) {
         eprintln!("cannot write {}: {e}", cfg.out);
         std::process::exit(1);
@@ -345,6 +456,25 @@ fn main() {
             Ok(()) => eprintln!("smoke: schema OK ({} result rows)", rows.len()),
             Err(e) => {
                 eprintln!("smoke: schema check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        // Throughput gates: the scheduler must never make a batch slower, and
+        // fusion must raise modeled warp efficiency on the low-fanout tree
+        // (the latter is a deterministic model output).
+        if let Some(t) = &throughput {
+            if t.scheduled_qps < t.unscheduled_qps {
+                eprintln!(
+                    "smoke: THROUGHPUT REGRESSION: scheduled {:.1} qps < unscheduled {:.1} qps",
+                    t.scheduled_qps, t.unscheduled_qps
+                );
+                std::process::exit(1);
+            }
+            if t.warp_eff_fused <= t.warp_eff_unfused {
+                eprintln!(
+                    "smoke: FUSION REGRESSION: fused warp efficiency {:.4} <= unfused {:.4}",
+                    t.warp_eff_fused, t.warp_eff_unfused
+                );
                 std::process::exit(1);
             }
         }

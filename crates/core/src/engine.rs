@@ -13,8 +13,8 @@
 
 use psb_geom::PointSet;
 use psb_gpu::{
-    launch_blocks, DeviceConfig, FaultPlan, FaultState, KernelStats, LaunchReport, NoopSink, Phase,
-    PhaseBreakdown, TraceSink,
+    launch_blocks_fused, DeviceConfig, FaultPlan, FaultState, KernelStats, LaunchReport, NoopSink,
+    Phase, PhaseBreakdown, TraceSink,
 };
 use psb_sstree::Neighbor;
 
@@ -22,15 +22,17 @@ use crate::error::{EngineError, KernelError, QueryOutcome};
 use crate::index::GpuIndex;
 use rayon::prelude::*;
 
+use crate::kernels::tpss::tpss_batch;
 use crate::kernels::{
     bnb::bnb_query, bnb::bnb_query_traced, range::range_query_gpu, restart::restart_query,
 };
 use crate::kernels::{
     bnb::bnb_try_query, brute::brute_index_query, brute::brute_index_range, brute::brute_query,
-    psb::psb_query, psb::psb_query_traced, psb::psb_try_query, range::range_try_query,
-    restart::restart_try_query,
+    psb::psb_query, psb::psb_query_replay, psb::psb_query_traced, psb::psb_try_query,
+    psb::psb_try_query_replay, range::range_try_query, restart::restart_try_query,
 };
 use crate::options::KernelOptions;
+use crate::schedule::{hilbert_order, QuerySchedule};
 
 /// Merge per-block counters into one (sums; peak shared memory is a max).
 pub fn merge_stats(blocks: &[KernelStats]) -> KernelStats {
@@ -71,20 +73,70 @@ impl QueryBatchResult {
     }
 }
 
+/// Warps per simulated (pre-fusion) block under these options.
+fn warps_of(cfg: &DeviceConfig, opts: &KernelOptions) -> u32 {
+    opts.threads_per_block.div_ceil(cfg.warp_size)
+}
+
+/// The execution order the options ask for: `None` is submission order,
+/// `Some(perm)` executes `perm[j]` as the `j`-th query (Hilbert schedule).
+pub(crate) fn schedule_order(queries: &PointSet, opts: &KernelOptions) -> Option<Vec<u32>> {
+    match opts.schedule {
+        QuerySchedule::Submission => None,
+        QuerySchedule::Hilbert => Some(hilbert_order(queries)),
+    }
+}
+
 fn run_batch(
     queries: &PointSet,
-    warps_per_block: u32,
     cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
+) -> Result<QueryBatchResult, EngineError> {
+    let order = schedule_order(queries, opts);
+    run_batch_ordered(queries, cfg, opts, order.as_deref(), f)
+}
+
+/// [`run_batch`] with a precomputed execution order (the streaming pipeline
+/// schedules chunk N+1 while chunk N executes, so it hands the permutation
+/// in). Queries execute in scheduled order; neighbors and per-query counters
+/// are un-permuted back to submission order, so every per-query output is
+/// bit-identical to the submission-order engine. Only the launch aggregation
+/// sees the schedule (it groups scheduled neighbors when fusing blocks).
+pub(crate) fn run_batch_ordered(
+    queries: &PointSet,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    order: Option<&[u32]>,
     f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
 ) -> Result<QueryBatchResult, EngineError> {
     if queries.is_empty() {
         return Err(EngineError::EmptyBatch);
     }
-    let results: Vec<(Vec<Neighbor>, KernelStats)> =
-        (0..queries.len()).into_par_iter().map(|i| f(queries.point(i))).collect();
-    let (neighbors, per_block): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    let report = launch_blocks(cfg, warps_per_block, &per_block);
-    let outcomes = vec![QueryOutcome::Clean; neighbors.len()];
+    let n = queries.len();
+    let (neighbors, per_block) = match order {
+        None => {
+            let results: Vec<(Vec<Neighbor>, KernelStats)> =
+                (0..n).into_par_iter().map(|i| f(queries.point(i))).collect();
+            results.into_iter().unzip()
+        }
+        Some(perm) => {
+            debug_assert_eq!(perm.len(), n);
+            let results: Vec<(u32, (Vec<Neighbor>, KernelStats))> =
+                perm.par_iter().map(|&i| (i, f(queries.point(i as usize)))).collect();
+            // Un-permute into submission order. `perm` is a permutation, so
+            // every slot is overwritten exactly once.
+            let mut neighbors = vec![Vec::new(); n];
+            let mut per_block = vec![KernelStats::default(); n];
+            for (i, (nb, st)) in results {
+                neighbors[i as usize] = nb;
+                per_block[i as usize] = st;
+            }
+            (neighbors, per_block)
+        }
+    };
+    let report = launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order);
+    let outcomes = vec![QueryOutcome::Clean; n];
     Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
 
@@ -92,8 +144,8 @@ fn run_batch(
 /// event stream is deterministic and grouped per query.
 fn run_batch_traced(
     queries: &PointSet,
-    warps_per_block: u32,
     cfg: &DeviceConfig,
+    opts: &KernelOptions,
     sink: &mut dyn TraceSink,
     mut f: impl FnMut(&[f32], &mut dyn TraceSink) -> (Vec<Neighbor>, KernelStats),
 ) -> Result<QueryBatchResult, EngineError> {
@@ -107,7 +159,10 @@ fn run_batch_traced(
         neighbors.push(n);
         per_block.push(s);
     }
-    let report = launch_blocks(cfg, warps_per_block, &per_block);
+    // Recording runs always execute (and fuse) in submission order so the
+    // event stream stays grouped per query — the schedule knob is ignored
+    // here, by design.
+    let report = launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, None);
     let outcomes = vec![QueryOutcome::Clean; neighbors.len()];
     Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
@@ -125,8 +180,8 @@ fn run_batch_traced(
 /// to the plain runner and the ladder never advances.
 fn run_batch_recovering(
     queries: &PointSet,
-    warps_per_block: u32,
     cfg: &DeviceConfig,
+    opts: &KernelOptions,
     plan: &FaultPlan,
     attempt: impl Fn(&[f32], Option<FaultState>) -> Result<(Vec<Neighbor>, KernelStats), KernelError>
         + Sync,
@@ -135,38 +190,55 @@ fn run_batch_recovering(
     if queries.is_empty() {
         return Err(EngineError::EmptyBatch);
     }
-    let results: Vec<(Vec<Neighbor>, KernelStats, QueryOutcome)> = (0..queries.len())
-        .into_par_iter()
-        .map(|i| {
-            let q = queries.point(i);
-            let faults = |attempt_no: u32| {
-                if plan.is_noop() {
-                    None
-                } else {
-                    Some(plan.state_for(i as u64, attempt_no))
-                }
-            };
-            match attempt(q, faults(0)) {
-                Ok((n, s)) => (n, s, QueryOutcome::Clean),
-                Err(first) => match attempt(q, faults(1)) {
-                    Ok((n, s)) => (n, s, QueryOutcome::Retried { first }),
-                    Err(retry) => {
-                        let (n, s) = fallback(q);
-                        (n, s, QueryOutcome::Degraded { first, retry })
-                    }
-                },
+    let n_queries = queries.len();
+    let order = schedule_order(queries, opts);
+    // Fault substreams are keyed by *submission* index, so the ladder a query
+    // climbs is independent of where the schedule places it.
+    let ladder = |i: usize| {
+        let q = queries.point(i);
+        let faults = |attempt_no: u32| {
+            if plan.is_noop() {
+                None
+            } else {
+                Some(plan.state_for(i as u64, attempt_no))
             }
-        })
-        .collect();
-    let mut neighbors = Vec::with_capacity(results.len());
-    let mut per_block = Vec::with_capacity(results.len());
-    let mut outcomes = Vec::with_capacity(results.len());
-    for (n, s, o) in results {
-        neighbors.push(n);
-        per_block.push(s);
-        outcomes.push(o);
+        };
+        match attempt(q, faults(0)) {
+            Ok((n, s)) => (n, s, QueryOutcome::Clean),
+            Err(first) => match attempt(q, faults(1)) {
+                Ok((n, s)) => (n, s, QueryOutcome::Retried { first }),
+                Err(retry) => {
+                    let (n, s) = fallback(q);
+                    (n, s, QueryOutcome::Degraded { first, retry })
+                }
+            },
+        }
+    };
+    type LadderResult = (Vec<Neighbor>, KernelStats, QueryOutcome);
+    let mut neighbors = vec![Vec::new(); n_queries];
+    let mut per_block = vec![KernelStats::default(); n_queries];
+    let mut outcomes = vec![QueryOutcome::Clean; n_queries];
+    match &order {
+        None => {
+            let results: Vec<LadderResult> = (0..n_queries).into_par_iter().map(ladder).collect();
+            for (i, (n, s, o)) in results.into_iter().enumerate() {
+                neighbors[i] = n;
+                per_block[i] = s;
+                outcomes[i] = o;
+            }
+        }
+        Some(perm) => {
+            let results: Vec<(u32, LadderResult)> =
+                perm.par_iter().map(|&i| (i, ladder(i as usize))).collect();
+            for (i, (n, s, o)) in results {
+                neighbors[i as usize] = n;
+                per_block[i as usize] = s;
+                outcomes[i as usize] = o;
+            }
+        }
     }
-    let mut report = launch_blocks(cfg, warps_per_block, &per_block);
+    let mut report =
+        launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order.as_deref());
     report.retried_queries =
         outcomes.iter().filter(|o| matches!(o, QueryOutcome::Retried { .. })).count() as u64;
     report.degraded_queries =
@@ -174,7 +246,11 @@ fn run_batch_recovering(
     Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
 
-/// PSB over a batch of queries.
+/// PSB over a batch of queries. Under [`QuerySchedule::Hilbert`] the batch
+/// runs through the throughput kernel (sweep-replay memo) in Hilbert order —
+/// results, per-query counters, and the fuse-1 report are bit-identical to the
+/// submission-order engine (`tests/schedule_parity.rs`), only the wall-clock
+/// host cost drops.
 pub fn psb_batch<T: GpuIndex>(
     tree: &T,
     queries: &PointSet,
@@ -182,8 +258,10 @@ pub fn psb_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch(queries, warps, cfg, |q| psb_query(tree, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, |q| match opts.schedule {
+        QuerySchedule::Submission => psb_query(tree, q, k, cfg, opts),
+        QuerySchedule::Hilbert => psb_query_replay(tree, q, k, cfg, opts),
+    })
 }
 
 /// [`psb_batch`] with every metering call mirrored into `sink`; runs
@@ -197,8 +275,7 @@ pub fn psb_batch_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch_traced(queries, warps, cfg, sink, |q, s| psb_query_traced(tree, q, k, cfg, opts, s))
+    run_batch_traced(queries, cfg, opts, sink, |q, s| psb_query_traced(tree, q, k, cfg, opts, s))
 }
 
 /// [`psb_batch`] under a fault plan, with the retry/degrade recovery ladder.
@@ -212,13 +289,22 @@ pub fn psb_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch_recovering(
         queries,
-        warps,
         cfg,
+        opts,
         plan,
-        |q, faults| psb_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
+        |q, faults| match opts.schedule {
+            // The replay kernel self-disables whenever a fault state is
+            // attached, so the ladder's faulted attempts are bit-identical to
+            // the reference kernel's and only clean attempts take the memo.
+            QuerySchedule::Submission => {
+                psb_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink)
+            }
+            QuerySchedule::Hilbert => {
+                psb_try_query_replay(tree, q, k, cfg, opts, faults, &mut NoopSink)
+            }
+        },
         |q| brute_index_query(tree, q, k, cfg, opts),
     )
 }
@@ -231,8 +317,7 @@ pub fn bnb_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch(queries, warps, cfg, |q| bnb_query(tree, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, |q| bnb_query(tree, q, k, cfg, opts))
 }
 
 /// [`bnb_batch`] with every metering call mirrored into `sink`; runs
@@ -246,8 +331,7 @@ pub fn bnb_batch_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch_traced(queries, warps, cfg, sink, |q, s| bnb_query_traced(tree, q, k, cfg, opts, s))
+    run_batch_traced(queries, cfg, opts, sink, |q, s| bnb_query_traced(tree, q, k, cfg, opts, s))
 }
 
 /// [`bnb_batch`] under a fault plan, with the retry/degrade recovery ladder.
@@ -259,11 +343,10 @@ pub fn bnb_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch_recovering(
         queries,
-        warps,
         cfg,
+        opts,
         plan,
         |q, faults| bnb_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_query(tree, q, k, cfg, opts),
@@ -278,8 +361,7 @@ pub fn range_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch(queries, warps, cfg, |q| range_query_gpu(tree, q, radius, cfg, opts))
+    run_batch(queries, cfg, opts, |q| range_query_gpu(tree, q, radius, cfg, opts))
 }
 
 /// [`range_batch`] under a fault plan, with the retry/degrade recovery ladder.
@@ -293,11 +375,10 @@ pub fn range_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch_recovering(
         queries,
-        warps,
         cfg,
+        opts,
         plan,
         |q, faults| range_try_query(tree, q, radius, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_range(tree, q, radius, cfg, opts),
@@ -312,8 +393,7 @@ pub fn restart_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch(queries, warps, cfg, |q| restart_query(tree, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, |q| restart_query(tree, q, k, cfg, opts))
 }
 
 /// [`restart_batch`] under a fault plan, with the retry/degrade recovery
@@ -326,15 +406,45 @@ pub fn restart_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
     run_batch_recovering(
         queries,
-        warps,
         cfg,
+        opts,
         plan,
         |q, faults| restart_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_query(tree, q, k, cfg, opts),
     )
+}
+
+/// [`tpss_batch`] with the batch rescheduled into Hilbert order before the
+/// task-parallel packer groups queries into blocks, and the neighbor lists
+/// un-permuted back to submission order afterwards.
+///
+/// Unlike the block-per-query engines, TPSS packs queries into warps *by
+/// position*, so rescheduling changes which queries share a block — per-block
+/// counters are therefore reported in scheduled order and are **not**
+/// comparable block-for-block with [`tpss_batch`]'s (the merged totals of a
+/// lockstep simulation legitimately differ when lane groupings change).
+/// Results are exact and identical either way; this wrapper guarantees
+/// neighbors-parity only, by design (DESIGN.md §12).
+pub fn tpss_batch_scheduled<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    threads_per_block: u32,
+) -> (Vec<Vec<Neighbor>>, Vec<KernelStats>) {
+    let perm = hilbert_order(queries);
+    let mut scheduled = PointSet::new(queries.dims());
+    for &i in &perm {
+        scheduled.push(queries.point(i as usize));
+    }
+    let (sched_neighbors, stats) = tpss_batch(tree, &scheduled, k, cfg, threads_per_block);
+    let mut neighbors = vec![Vec::new(); queries.len()];
+    for (j, nb) in sched_neighbors.into_iter().enumerate() {
+        neighbors[perm[j] as usize] = nb;
+    }
+    (neighbors, stats)
 }
 
 /// Brute-force scan over a batch of queries.
@@ -345,8 +455,7 @@ pub fn brute_batch(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    let warps = opts.threads_per_block.div_ceil(cfg.warp_size);
-    run_batch(queries, warps, cfg, |q| brute_query(points, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, |q| brute_query(points, q, k, cfg, opts))
 }
 
 #[cfg(test)]

@@ -76,7 +76,7 @@ fn brute_try_query_with(
     sink: &mut dyn TraceSink,
     scratch: &mut super::Scratch,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    let mut block = super::kernel_block(opts, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_scan(points.len());
     let tile = block.threads() as usize;

@@ -19,13 +19,29 @@ pub mod tpss;
 use std::cell::RefCell;
 
 use psb_geom::DistKernel;
-use psb_gpu::{Block, NodeKind, Phase};
+use psb_gpu::{Block, DeviceConfig, NodeKind, Phase, TraceSink};
 
 use crate::dist_cost;
 use crate::error::KernelError;
 use crate::index::{GpuIndex, SweepScratch};
 use crate::knnlist::GpuKnnList;
 use crate::options::{KernelOptions, NodeLayout};
+
+/// Build the simulated block a kernel launch runs on: `threads_per_block`
+/// threads, mirrored into `sink`, fused [`KernelOptions::fuse`] ways. All
+/// block-structured kernels construct their context here so the fusion knob
+/// applies uniformly.
+pub(crate) fn kernel_block<'s>(
+    opts: &KernelOptions,
+    cfg: &DeviceConfig,
+    sink: &'s mut dyn TraceSink,
+) -> Block<'s> {
+    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    if opts.fuse > 1 {
+        block.fuse(opts.fuse);
+    }
+    block
+}
 
 /// Traversal step budget: generous enough that no valid tree can come close
 /// (branch-and-bound revisits each internal node at most `degree + 1` times),
@@ -206,6 +222,10 @@ pub(crate) struct Scratch {
     pub sweep: SweepScratch,
     pub leaf: Vec<(f32, u32)>,
     pub kth: Vec<f32>,
+    /// The throughput engine's sweep-replay arena (see [`SweepMemo`]). Only
+    /// the scheduled PSB kernel touches it; the reference path leaves it
+    /// untouched, and its capacity persists across the whole batch.
+    pub memo: SweepMemo,
 }
 
 impl Scratch {
@@ -219,6 +239,98 @@ impl Scratch {
         self.leaf.clear();
         self.kth.clear();
     }
+}
+
+/// A [`SweepMemo`] slot's payload, returned by value so the caller holds no
+/// borrow while it meters the replayed work.
+#[derive(Clone, Copy)]
+pub(crate) struct MemoEntry {
+    start: u32,
+    len: u32,
+    /// The node's k-th-MAXDIST bound, when the reference path would have
+    /// computed one (`use_minmax_prune` and at least k children).
+    pub bound: Option<f32>,
+}
+
+/// Per-query memo of phase-2 internal-node sweep values, the throughput
+/// engine's biggest host win (DESIGN.md §12).
+///
+/// PSB's stackless sweep re-descends through the same internal nodes after
+/// every backtrack — on poorly-pruning workloads (high-dimensional uniform
+/// data) each internal node is re-swept tens of times per query, recomputing
+/// the *identical* child MINDISTs and k-th-MAXDIST bound each time (they
+/// depend only on the node and the query). The memo stores the first visit's
+/// values; revisits replay the same deterministic metering
+/// (`par_for(children, cost)` + `par_kth_select`) and reuse the stored bits,
+/// so counters and results are bit-identical to the reference kernel while
+/// the host skips the distance sweep and the selection.
+///
+/// Slots are epoch-stamped: `begin_query` bumps the epoch instead of clearing
+/// the per-node slot array, so a batch of B queries over an N-node tree pays
+/// one O(N) allocation for the whole batch, not B clears.
+#[derive(Default)]
+pub(crate) struct SweepMemo {
+    epoch: u64,
+    slots: Vec<(u64, MemoEntry)>,
+    blob: Vec<f32>,
+}
+
+impl SweepMemo {
+    /// Start a new query: invalidate every slot (epoch bump) and reset the
+    /// value blob, keeping all capacity.
+    pub fn begin_query(&mut self, num_nodes: usize) {
+        self.epoch += 1;
+        self.blob.clear();
+        if self.slots.len() < num_nodes {
+            self.slots.resize(num_nodes, (0, MemoEntry { start: 0, len: 0, bound: None }));
+        }
+    }
+
+    /// This query's memo for node `n`, if stored. Copy-out, so no borrow
+    /// outlives the call.
+    pub fn entry(&self, n: u32) -> Option<MemoEntry> {
+        match self.slots.get(n as usize) {
+            Some(&(epoch, entry)) if epoch == self.epoch => Some(entry),
+            _ => None,
+        }
+    }
+
+    /// The stored child MINDISTs behind an [`entry`](Self::entry).
+    pub fn values(&self, entry: MemoEntry) -> &[f32] {
+        &self.blob[entry.start as usize..(entry.start + entry.len) as usize]
+    }
+
+    /// Store node `n`'s sweep values for the current query.
+    pub fn store(&mut self, n: u32, min_d: &[f32], bound: Option<f32>) {
+        let start = self.blob.len() as u32;
+        self.blob.extend_from_slice(min_d);
+        if let Some(slot) = self.slots.get_mut(n as usize) {
+            *slot = (self.epoch, MemoEntry { start, len: min_d.len() as u32, bound });
+        }
+    }
+}
+
+/// PSB's leftmost-qualifying-child selection (Algorithm 1 lines 16–26), shared
+/// by the reference sweep and the memo-replay path so both meter identically:
+/// one parallel predicate evaluation, a ballot/find-first-set reduction, and
+/// the serial pick.
+pub(crate) fn leftmost_qualifying<T: GpuIndex>(
+    block: &mut Block,
+    tree: &T,
+    kids: std::ops::Range<u32>,
+    min_d: &[f32],
+    pruning: f32,
+    visited: i64,
+) -> Option<u32> {
+    block.par_for(kids.len(), 1, |_| {});
+    block.par_reduce(kids.len(), 1);
+    block.scalar(2);
+    for (i, c) in kids.enumerate() {
+        if min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
+            return Some(c);
+        }
+    }
+    None
 }
 
 thread_local! {

@@ -22,7 +22,7 @@
 //! the pruning distance at skip time — which can only shrink afterwards, so the
 //! skip stays justified and the result is exact.
 
-use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::error::KernelError;
@@ -30,7 +30,7 @@ use crate::index::GpuIndex;
 
 use super::{
     checked_children, checked_leaf_id, checked_node, checked_root, child_distances, fetch_internal,
-    kth_maxdist, process_leaf, Budget, Scratch,
+    kernel_block, kth_maxdist, leftmost_qualifying, process_leaf, Budget, Scratch,
 };
 use crate::knnlist::GpuKnnList;
 use crate::options::KernelOptions;
@@ -83,7 +83,44 @@ pub fn psb_try_query<T: GpuIndex>(
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     super::with_scratch(tree.dims(), |scratch| {
-        psb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch)
+        psb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch, false)
+    })
+}
+
+/// [`psb_query`] through the throughput kernel ([`psb_try_query_replay`]):
+/// trusted-tree entry point for the scheduled engine.
+pub(crate) fn psb_query_replay<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
+    psb_try_query_replay(tree, q, k, cfg, opts, None, &mut NoopSink)
+        .unwrap_or_else(|e| panic!("PSB kernel failed on a trusted tree: {e}"))
+}
+
+/// The throughput engine's PSB kernel ([`psb_try_query`] plus the sweep-replay
+/// memo): phase-2 internal-node revisits replay the first visit's stored
+/// MINDISTs and k-th-MAXDIST bound instead of recomputing them, with identical
+/// metering — results and counters are bit-identical to [`psb_try_query`]
+/// (`tests/schedule_parity.rs`). The memo is bypassed whenever a fault state is
+/// attached: injected bit-flips draw from a per-load RNG stream, so a replayed
+/// value would diverge from the reference kernel's.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn psb_try_query_replay<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    faults: Option<FaultState>,
+    sink: &mut dyn TraceSink,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
+    assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    assert!(k >= 1, "k must be at least 1");
+    super::with_scratch(tree.dims(), |scratch| {
+        psb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch, true)
     })
 }
 
@@ -97,13 +134,21 @@ fn psb_try_query_with<T: GpuIndex>(
     faults: Option<FaultState>,
     sink: &mut dyn TraceSink,
     scratch: &mut Scratch,
+    replay: bool,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    let mut block = kernel_block(opts, cfg, sink);
     block.set_faults(faults);
+    // The memo only serves the fault-free path: injected faults perturb each
+    // computed value through a per-load RNG stream, which a replay would skip.
+    let replay = replay && !block.has_faults();
+    if replay {
+        scratch.memo.begin_query(tree.num_nodes());
+    }
     let mut budget = Budget::for_tree(tree);
     // Static shared memory: the per-child MINDIST/MAXDIST arrays of Algorithm 1
-    // plus a warp-reduction scratch line.
-    let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
+    // plus a warp-reduction scratch line (fused blocks size the line to their
+    // actual thread count).
+    let static_smem = 2 * tree.degree() as u64 * 4 + block.threads() as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
@@ -156,25 +201,43 @@ fn psb_try_query_with<T: GpuIndex>(
             block.set_phase(Phase::Descend);
             let kids = checked_children(tree, n)?;
             fetch_internal(&mut block, tree, n, opts.layout, level);
-            child_distances(&mut block, tree, n, q, opts.use_minmax_prune, false, scratch);
-            if opts.use_minmax_prune && scratch.sweep.max_d.len() >= k {
-                let bound = kth_maxdist(&mut block, &scratch.sweep.max_d, k, &mut scratch.kth);
-                pruning = pruning.min(bound);
-            }
-            // Leftmost-qualifying-child selection. Algorithm 1 writes this as
-            // a serial loop (lines 16–26), but on a real device it is one
-            // parallel predicate evaluation plus a ballot/find-first-set
-            // reduction — metered as such.
-            block.par_for(kids.len(), 1, |_| {});
-            block.par_reduce(kids.len(), 1);
-            block.scalar(2);
-            let mut chosen = None;
-            for (i, c) in kids.clone().enumerate() {
-                if scratch.sweep.min_d[i] < pruning && tree.subtree_max_leaf(c) as i64 > visited {
-                    chosen = Some(c);
-                    break;
+            // The sweep values (child MINDISTs, k-th MAXDIST bound) depend
+            // only on (node, query), so a revisit after a backtrack replays
+            // the first visit's stored values under identical metering
+            // instead of recomputing them.
+            let chosen = match if replay { scratch.memo.entry(n) } else { None } {
+                Some(hit) => {
+                    block.par_for(kids.len(), tree.child_eval_cost(opts.use_minmax_prune), |_| {});
+                    if let Some(bound) = hit.bound {
+                        block.par_kth_select(kids.len(), k);
+                        pruning = pruning.min(bound);
+                    }
+                    let min_d = scratch.memo.values(hit);
+                    leftmost_qualifying(&mut block, tree, kids, min_d, pruning, visited)
                 }
-            }
+                None => {
+                    child_distances(&mut block, tree, n, q, opts.use_minmax_prune, false, scratch);
+                    let bound = if opts.use_minmax_prune && scratch.sweep.max_d.len() >= k {
+                        let b = kth_maxdist(&mut block, &scratch.sweep.max_d, k, &mut scratch.kth);
+                        pruning = pruning.min(b);
+                        Some(b)
+                    } else {
+                        None
+                    };
+                    if replay {
+                        let Scratch { memo, sweep, .. } = &mut *scratch;
+                        memo.store(n, &sweep.min_d, bound);
+                    }
+                    leftmost_qualifying(
+                        &mut block,
+                        tree,
+                        kids,
+                        &scratch.sweep.min_d,
+                        pruning,
+                        visited,
+                    )
+                }
+            };
             match chosen {
                 Some(c) => {
                     n = c;

@@ -12,7 +12,7 @@
 //! Exactness argument is identical to PSB's: the cursor only advances past
 //! leaves that are visited or provably outside the pruning distance.
 
-use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::error::KernelError;
@@ -84,10 +84,10 @@ fn restart_try_query_with<T: GpuIndex>(
     sink: &mut dyn TraceSink,
     scratch: &mut Scratch,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
+    let mut block = super::kernel_block(opts, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
-    let static_smem = 2 * tree.degree() as u64 * 4 + opts.threads_per_block as u64 * 4;
+    let static_smem = 2 * tree.degree() as u64 * 4 + block.threads() as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;

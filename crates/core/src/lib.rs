@@ -28,12 +28,14 @@ pub mod index;
 pub mod kernels;
 pub mod knnlist;
 pub mod options;
+pub mod schedule;
+pub mod stream;
 
 pub use dynamic::DynamicSsTree;
 pub use engine::{
     bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, merge_stats, psb_batch,
     psb_batch_recovering, psb_batch_traced, range_batch, range_batch_recovering, restart_batch,
-    restart_batch_recovering, QueryBatchResult,
+    restart_batch_recovering, tpss_batch_scheduled, QueryBatchResult,
 };
 pub use error::{EngineError, KernelError, QueryOutcome};
 pub use index::{gather_child_sweep, gather_leaf_sweep, GpuIndex, SweepScratch};
@@ -45,6 +47,8 @@ pub use kernels::restart::restart_try_query;
 pub use kernels::tpss::{tpss_batch, tpss_batch_traced, tpss_try_batch};
 pub use knnlist::SharedMemPolicy;
 pub use options::{KernelOptions, NodeLayout};
+pub use schedule::{hilbert_order, hilbert_permutation, QuerySchedule, ScheduleScratch};
+pub use stream::{QueryStream, StreamKernel};
 
 /// Instruction cost of one `dims`-dimensional distance evaluation in the cost
 /// model: a 4-wide FMA loop plus the sqrt/compare tail.

@@ -1,7 +1,8 @@
 //! Kernel launch options, including the ablation switches called out in
-//! DESIGN.md §7.
+//! DESIGN.md §7 and the throughput knobs of §12.
 
 use crate::knnlist::SharedMemPolicy;
+use crate::schedule::QuerySchedule;
 
 /// Simulated memory layout of tree nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -33,6 +34,18 @@ pub struct KernelOptions {
     pub leaf_scan: bool,
     /// Node memory layout (SoA vs AoS ablation).
     pub layout: NodeLayout,
+    /// Batch execution order (DESIGN.md §12). [`QuerySchedule::Hilbert`] runs
+    /// the batch in Hilbert-curve order (and routes PSB through the
+    /// revisit-memoizing throughput kernel) and un-permutes every per-query
+    /// output, so results and counters stay bit-identical to the default
+    /// submission order.
+    pub schedule: QuerySchedule,
+    /// Queries fused per simulated block (1 = one block per query, the
+    /// paper's configuration). With `fuse = F > 1`, F queries partition the
+    /// block's 32 lanes into F lane groups — an opt-in mode for trees whose
+    /// fanout is below the warp width, where a full warp per query idles most
+    /// of its lanes. Must divide the warp size.
+    pub fuse: u32,
 }
 
 impl Default for KernelOptions {
@@ -43,6 +56,8 @@ impl Default for KernelOptions {
             use_minmax_prune: true,
             leaf_scan: true,
             layout: NodeLayout::Soa,
+            schedule: QuerySchedule::Submission,
+            fuse: 1,
         }
     }
 }
@@ -58,5 +73,7 @@ mod tests {
         assert!(o.use_minmax_prune);
         assert!(o.leaf_scan);
         assert_eq!(o.layout, NodeLayout::Soa);
+        assert_eq!(o.schedule, QuerySchedule::Submission);
+        assert_eq!(o.fuse, 1);
     }
 }

@@ -25,9 +25,18 @@ use crate::stats::{KernelStats, MAX_TRACKED_LEVELS};
 use crate::trace::{NodeKind, Phase, TraceEvent, TraceSink};
 
 /// Metering context for one simulated thread block.
+///
+/// With multi-query block fusion ([`Block::fuse`]) a `Block` meters one
+/// query's *lane group* — an even share of a physical block whose 32 warp
+/// lanes are partitioned across F fused queries. All issue accounting then
+/// charges lane slots at the group width, so a query whose fanout fills its
+/// lane group no longer pays for the sibling queries' lanes.
 pub struct Block<'s> {
     threads: u32,
     warp_size: u32,
+    /// Lane slots one issue of this context occupies. Equals `warp_size`
+    /// unfused; `warp_size / F` when the block is fused F ways.
+    lane_width: u32,
     transaction_bytes: u64,
     stats: KernelStats,
     smem_in_use: u64,
@@ -57,6 +66,7 @@ impl<'s> Block<'s> {
         Self {
             threads,
             warp_size: cfg.warp_size,
+            lane_width: cfg.warp_size,
             transaction_bytes: cfg.transaction_bytes,
             stats: KernelStats { blocks: 1, ..Default::default() },
             smem_in_use: 0,
@@ -72,6 +82,45 @@ impl<'s> Block<'s> {
         let mut block = Self::new(threads, cfg);
         block.sink = Some(sink);
         block
+    }
+
+    /// Re-shape this context into one query's lane group of a block fused
+    /// `factor` ways: the physical block's `warp_size` lanes are partitioned
+    /// into `factor` groups of `warp_size / factor` lanes, and this context's
+    /// thread count becomes its even share of the physical block (rounded up
+    /// to whole lane groups). `factor` must divide the warp size; `factor == 1`
+    /// is the identity. Call before any metering — fusion re-bases the slot
+    /// accounting, it does not rewrite history.
+    ///
+    /// Shared memory is *not* divided: each fused query still reserves its own
+    /// node staging and k-best list, and the launch aggregator sums the group
+    /// members' footprints into the physical block's occupancy
+    /// (`launch_blocks_fused`).
+    pub fn fuse(&mut self, factor: u32) {
+        assert!(factor >= 1, "fusion factor must be at least 1");
+        assert!(
+            self.warp_size.is_multiple_of(factor),
+            "fusion factor {factor} must divide the warp size {}",
+            self.warp_size
+        );
+        debug_assert_eq!(
+            (self.stats.compute_issues, self.stats.lane_slots),
+            (0, 0),
+            "fuse() must precede all metering"
+        );
+        if factor == 1 {
+            return;
+        }
+        self.lane_width = self.warp_size / factor;
+        let share = (self.threads / factor).max(1);
+        self.threads = share.div_ceil(self.lane_width) * self.lane_width;
+    }
+
+    /// Lane slots one issue occupies (the warp size, or the lane-group width
+    /// of a fused block).
+    #[inline]
+    pub fn lane_width(&self) -> u32 {
+        self.lane_width
     }
 
     /// Attach (or detach, with `None`) a per-launch fault state. Without one,
@@ -127,10 +176,10 @@ impl<'s> Block<'s> {
         self.threads
     }
 
-    /// Warps in the block.
+    /// Warps in the block (lane groups, when fused).
     #[inline]
     pub fn warps(&self) -> u32 {
-        self.threads / self.warp_size
+        self.threads / self.lane_width
     }
 
     /// Set the traversal phase subsequent metering is attributed to; returns
@@ -156,9 +205,10 @@ impl<'s> Block<'s> {
     }
 
     /// Issue `count` warp instructions with `active` lanes enabled out of a
-    /// whole-warp `slots` capacity. The fundamental metering primitive.
+    /// whole-lane-group `slots` capacity (the full warp unfused, one lane
+    /// group of it fused). The fundamental metering primitive.
     fn issue(&mut self, warps: u64, active: u64, cost: u64) {
-        let slots = warps * self.warp_size as u64 * cost;
+        let slots = warps * self.lane_width as u64 * cost;
         let active = active * cost;
         let issues = warps * cost;
         self.stats.lane_slots += slots;
@@ -180,8 +230,9 @@ impl<'s> Block<'s> {
         let mut remaining = n;
         while remaining > 0 {
             let round = remaining.min(t);
-            // Only warps holding at least one of the `round` items issue.
-            let active_warps = (round as u64).div_ceil(self.warp_size as u64);
+            // Only warps (lane groups) holding at least one of the `round`
+            // items issue.
+            let active_warps = (round as u64).div_ceil(self.lane_width as u64);
             self.issue(active_warps, round as u64, cost_per_item.max(1));
             remaining -= round;
         }
@@ -200,7 +251,7 @@ impl<'s> Block<'s> {
         let mut width = n.next_power_of_two() / 2;
         while width >= 1 {
             let active = width.min(n) as u64;
-            let warps = active.div_ceil(self.warp_size as u64);
+            let warps = active.div_ceil(self.lane_width as u64);
             self.issue(warps, active, cost_per_step.max(1));
             if width == 1 {
                 break;
@@ -225,13 +276,15 @@ impl<'s> Block<'s> {
             let l = (n.next_power_of_two().trailing_zeros()) as u64;
             l * (l + 1) / 2
         };
-        let warps = (n as u64).div_ceil(self.warp_size as u64);
+        let warps = (n as u64).div_ceil(self.lane_width as u64);
         self.issue(warps, n as u64, stages);
     }
 
     /// A single-lane serial section of `instructions` instructions (e.g. the PSB
     /// child-scan loop, lines 16–26 of Algorithm 1): one active lane, whole warp
-    /// occupied. This is where data-parallel kernels lose efficiency.
+    /// (or, fused, whole lane group) occupied. This is where data-parallel
+    /// kernels lose efficiency — and where fusion wins it back, by letting the
+    /// other lane groups of the warp serve other queries' serial sections.
     pub fn scalar(&mut self, instructions: u64) {
         self.issue(1, 1, instructions.max(1));
     }
@@ -603,6 +656,73 @@ mod tests {
         let v = b.fault_f32(1.0);
         assert_ne!(v.to_bits(), 1.0f32.to_bits());
         assert_eq!(b.device_fault(), Some(DeviceFault::EccError));
+    }
+
+    #[test]
+    fn fuse_partitions_lanes_and_raises_low_fanout_efficiency() {
+        // Unfused: 8 items on a 32-wide warp waste 24 lane slots per issue.
+        let mut plain = block(32);
+        plain.par_for(8, 1, |_| {});
+        let p = plain.finish();
+        assert_eq!(p.lane_slots, 32);
+        assert_eq!(p.active_lanes, 8);
+
+        // Fused 4 ways: the query's lane group is 8 wide, so the same 8 items
+        // fill it completely.
+        let mut fused = block(32);
+        fused.fuse(4);
+        assert_eq!(fused.lane_width(), 8);
+        assert_eq!(fused.threads(), 8);
+        fused.par_for(8, 1, |_| {});
+        let f = fused.finish();
+        assert_eq!(f.lane_slots, 8);
+        assert_eq!(f.active_lanes, 8);
+        assert_eq!(f.warp_efficiency(), 1.0);
+        assert!(p.warp_efficiency() < f.warp_efficiency());
+    }
+
+    #[test]
+    fn fuse_one_is_identity() {
+        let mut a = block(64);
+        a.fuse(1);
+        let mut b = block(64);
+        for blk in [&mut a, &mut b] {
+            blk.par_for(100, 2, |_| {});
+            blk.par_reduce(64, 1);
+            blk.scalar(5);
+            blk.sync();
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn fused_scalar_occupies_one_lane_group() {
+        let mut b = block(32);
+        b.fuse(4);
+        b.scalar(10);
+        let s = b.finish();
+        assert_eq!(s.lane_slots, 80); // 10 instructions × 8-lane group
+        assert_eq!(s.active_lanes, 10);
+        assert!((s.warp_efficiency() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the warp size")]
+    fn fuse_must_divide_warp_size() {
+        block(32).fuse(3);
+    }
+
+    #[test]
+    fn fused_block_still_latches_faults() {
+        use crate::fault::FaultPlan;
+        let mut b = block(32);
+        b.fuse(4);
+        b.set_faults(Some(FaultPlan::truncation(1).state_for(7, 0)));
+        b.load_global(128);
+        assert_eq!(b.device_fault(), None);
+        b.load_global(256); // 3 transactions total > 1: latches, stays sticky
+        assert_eq!(b.device_fault(), Some(DeviceFault::TruncatedLoad));
+        assert_eq!(b.device_fault(), Some(DeviceFault::TruncatedLoad));
     }
 
     #[test]

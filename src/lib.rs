@@ -67,11 +67,12 @@ pub mod prelude {
     pub use psb_core::kernels::range::{range_query_gpu, range_query_gpu_traced, range_try_query};
     pub use psb_core::kernels::restart::{restart_query, restart_query_traced, restart_try_query};
     pub use psb_core::{
-        bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, dist_cost, merge_stats,
-        psb_batch, psb_batch_recovering, psb_batch_traced, range_batch, range_batch_recovering,
-        restart_batch, restart_batch_recovering, tpss_batch, tpss_batch_traced, tpss_try_batch,
-        DynamicSsTree, EngineError, KernelError, KernelOptions, NodeLayout, QueryBatchResult,
-        QueryOutcome, SharedMemPolicy,
+        bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, dist_cost, hilbert_order,
+        hilbert_permutation, merge_stats, psb_batch, psb_batch_recovering, psb_batch_traced,
+        range_batch, range_batch_recovering, restart_batch, restart_batch_recovering, tpss_batch,
+        tpss_batch_scheduled, tpss_batch_traced, tpss_try_batch, DynamicSsTree, EngineError,
+        KernelError, KernelOptions, NodeLayout, QueryBatchResult, QueryOutcome, QuerySchedule,
+        QueryStream, ScheduleScratch, SharedMemPolicy, StreamKernel,
     };
     pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, UniformSpec};
     pub use psb_geom::{
@@ -79,9 +80,9 @@ pub mod prelude {
         PointSet, Rect, RitterMode, Sphere,
     };
     pub use psb_gpu::{
-        launch_blocks, Block, DeviceConfig, DeviceFault, FaultPlan, FaultState, JsonlSink,
-        KernelStats, LaunchReport, NodeKind, NoopSink, Phase, PhaseBreakdown, PhaseStats,
-        TraceEvent, TraceSink, VecSink,
+        launch_blocks, launch_blocks_fused, Block, DeviceConfig, DeviceFault, FaultPlan,
+        FaultState, JsonlSink, KernelStats, LaunchReport, NodeKind, NoopSink, Phase,
+        PhaseBreakdown, PhaseStats, TraceEvent, TraceSink, VecSink,
     };
     pub use psb_kdtree::{gpu::knn_task_parallel, knn_cpu, KdTree};
     pub use psb_rtree::{build_rtree, RsTree, RtreeBuildMethod};
