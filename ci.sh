@@ -2,7 +2,7 @@
 # Local CI gate: formatting, lints, full test suite.
 #
 #   ./ci.sh            # everything
-#   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults | bench-smoke)
+#   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults | shard | bench-smoke)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,15 +10,19 @@ stage="${1:-all}"
 
 run_fmt()    { cargo fmt --all -- --check; }
 run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
-# The kernel and tree crates must stay panic-free outside tests: a corrupt
-# tree or a faulted device has to surface as a typed error, never an unwrap.
+# The kernel, tree, and serving crates must stay panic-free outside tests: a
+# corrupt tree or a faulted device has to surface as a typed error (or a
+# demoted replica), never an unwrap.
 # (clippy.toml re-allows unwrap/expect inside #[cfg(test)].)
 run_hardlint() {
-    cargo clippy -p psb-core -p psb-sstree --all-targets -- \
+    cargo clippy -p psb-core -p psb-sstree -p psb-serve --all-targets -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 }
 run_test()   { cargo test --workspace -q; }
 run_faults() { cargo test -p psb --test fault_injection -q; }
+# Sharded serving layer: the router's own unit tests plus the bit-identity /
+# failover acceptance suite.
+run_shard()  { cargo test -p psb-serve -q && cargo test -p psb --test shard_parity -q; }
 # Benchmark harness gate: every criterion bench must compile, and the wall-
 # clock bench binary must complete a tiny workload and emit a BENCH_psb.json
 # whose required keys are present, finite, and nonzero (the binary's --smoke
@@ -39,18 +43,20 @@ case "$stage" in
     hardlint)    run_hardlint ;;
     test)        run_test ;;
     faults)      run_faults ;;
+    shard)       run_shard ;;
     bench-smoke) run_bench_smoke ;;
     all)
         echo "== cargo fmt --check ==" && run_fmt
         echo "== cargo clippy -D warnings ==" && run_clippy
-        echo "== cargo clippy (no unwrap/expect in core+sstree) ==" && run_hardlint
+        echo "== cargo clippy (no unwrap/expect in core+sstree+serve) ==" && run_hardlint
         echo "== cargo test ==" && run_test
         echo "== fault-injection suite ==" && run_faults
+        echo "== sharded serving suite ==" && run_shard
         echo "== bench smoke ==" && run_bench_smoke
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|bench-smoke|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|bench-smoke|all]" >&2
         exit 2
         ;;
 esac

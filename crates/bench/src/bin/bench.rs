@@ -31,9 +31,10 @@ use psb_data::{sample_queries, ClusteredSpec, UniformSpec};
 use psb_geom::PointSet;
 use psb_gpu::DeviceConfig;
 use psb_rtree::{build_rtree, RtreeBuildMethod};
+use psb_serve::{ServeConfig, ShardRouter};
 use psb_sstree::{build, BuildMethod};
 
-const SCHEMA: &str = "psb-bench-v2";
+const SCHEMA: &str = "psb-bench-v3";
 const K: usize = 8;
 /// Queries per batch: the paper's §V-B experiment size. Per-kernel rows and
 /// the throughput section both run full 240-query batches (smoke mode shrinks
@@ -275,11 +276,62 @@ fn throughput_section(points: &PointSet, seed: u64) -> Throughput {
     }
 }
 
+/// One row of the sharded-serving sweep: the 16-dim uniform headline workload
+/// served through a [`ShardRouter`] at shard count `shards`.
+struct ShardRow {
+    shards: usize,
+    qps: f64,
+    prune_rate: f64,
+    /// Merged `nodes_visited` of one served batch: per-shard kernel nodes plus
+    /// one router directory "node" per visited shard.
+    nodes_visited: u64,
+}
+
+/// Serves the batch at S ∈ {1, 2, 4, 8} shards over the same dataset and
+/// queries. Wall clock is best-of-3; pruning and node counts are model
+/// outputs, deterministic across passes.
+fn sharding_section(points: &PointSet, seed: u64) -> Vec<ShardRow> {
+    let dev = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+    let queries = sample_queries(points, BATCH, 0.01, seed ^ q_marker() ^ 0x5A4D);
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| {
+            let mut router = ShardRouter::build(points, &ServeConfig::new(shards), &dev, |ps| {
+                build(ps, 16, &BuildMethod::Hilbert)
+            });
+            let mut best = 0.0f64;
+            let mut result = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let r = router.serve_batch(&queries, K, &opts);
+                let dt = t.elapsed().as_secs_f64();
+                assert!(r.is_ok(), "shard router failed on a fault-free batch");
+                best = best.max(queries.len() as f64 / dt.max(1e-12));
+                result = r.ok();
+            }
+            let result = result.unwrap_or_else(|| unreachable!("three passes ran"));
+            ShardRow {
+                shards,
+                qps: best,
+                prune_rate: result.report.prune_rate(),
+                nodes_visited: result.report.launch.merged.nodes_visited,
+            }
+        })
+        .collect()
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn emit_json(cfg: &Config, rows: &[Row], speedup: Option<f64>, tp: Option<&Throughput>) -> String {
+fn emit_json(
+    cfg: &Config,
+    rows: &[Row],
+    speedup: Option<f64>,
+    tp: Option<&Throughput>,
+    sharding: &[ShardRow],
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"schema\": \"{}\",", json_escape(SCHEMA));
@@ -328,6 +380,23 @@ fn emit_json(cfg: &Config, rows: &[Row], speedup: Option<f64>, tp: Option<&Throu
             t.warp_eff_fused,
         );
     }
+    if !sharding.is_empty() {
+        let _ = write!(
+            s,
+            ",\n  \"sharding\": {{\n    \"workload\": \"uniform-16d/sstree/psb\", \
+             \"batch_size\": {BATCH}, \"rows\": ["
+        );
+        for (i, r) in sharding.iter().enumerate() {
+            let comma = if i + 1 == sharding.len() { "" } else { "," };
+            let _ = write!(
+                s,
+                "\n      {{\"shards\": {}, \"qps\": {:.3}, \"prune_rate\": {:.4}, \
+                 \"nodes_visited\": {}}}{}",
+                r.shards, r.qps, r.prune_rate, r.nodes_visited, comma
+            );
+        }
+        let _ = write!(s, "\n    ]\n  }}");
+    }
     let _ = writeln!(s, "\n}}");
     s
 }
@@ -352,7 +421,14 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
         }
     }
     if expect_speedup {
-        for key in ["\"speedup_vs_legacy\"", "\"throughput\"", "\"scheduled_speedup\""] {
+        for key in [
+            "\"speedup_vs_legacy\"",
+            "\"throughput\"",
+            "\"scheduled_speedup\"",
+            "\"sharding\"",
+            "\"prune_rate\"",
+            "\"nodes_visited\"",
+        ] {
             if !json.contains(key) {
                 return Err(format!("missing required key {key}"));
             }
@@ -390,6 +466,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut headline: Option<(f64, f64)> = None; // (arena_qps, legacy_qps)
     let mut throughput: Option<Throughput> = None;
+    let mut sharding: Vec<ShardRow> = Vec::new();
 
     for w in workloads(&cfg) {
         eprintln!("workload {} dims {} ({} points)...", w.name, w.dims, w.points.len());
@@ -424,6 +501,7 @@ fn main() {
             let legacy_qps = headline_qps(&stripped, &w.queries);
             headline = Some((arena_qps, legacy_qps));
             throughput = Some(throughput_section(&w.points, cfg.seed));
+            sharding = sharding_section(&w.points, cfg.seed);
         }
     }
 
@@ -444,7 +522,13 @@ fn main() {
             t.warp_eff_fused,
         );
     }
-    let json = emit_json(&cfg, &rows, speedup, throughput.as_ref());
+    for r in &sharding {
+        eprintln!(
+            "sharding S={}: {:.1} qps, prune rate {:.3}, {} nodes visited",
+            r.shards, r.qps, r.prune_rate, r.nodes_visited
+        );
+    }
+    let json = emit_json(&cfg, &rows, speedup, throughput.as_ref(), &sharding);
     if let Err(e) = std::fs::write(&cfg.out, &json) {
         eprintln!("cannot write {}: {e}", cfg.out);
         std::process::exit(1);
@@ -476,6 +560,20 @@ fn main() {
                     t.warp_eff_fused, t.warp_eff_unfused
                 );
                 std::process::exit(1);
+            }
+        }
+        // Sharding gate: the router's MINDIST pruning must make sharded
+        // serving cheaper than paying the single-device node bill S times
+        // over. Node counts are deterministic model outputs.
+        if let Some(base) = sharding.iter().find(|r| r.shards == 1) {
+            for r in sharding.iter().filter(|r| r.shards > 1) {
+                if r.nodes_visited >= r.shards as u64 * base.nodes_visited {
+                    eprintln!(
+                        "smoke: SHARDING REGRESSION: S={} visited {} nodes >= {} x S=1 ({})",
+                        r.shards, r.nodes_visited, r.shards, base.nodes_visited
+                    );
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -39,6 +39,8 @@ pub struct TraceSummary {
     pub knn_accepted: u64,
     /// k-best list candidates rejected (out of bound or duplicate).
     pub knn_pruned: u64,
+    /// Serving-layer replica failovers (shard router demotions).
+    pub failovers: u64,
 }
 
 fn bump(v: &mut Vec<u64>, idx: usize) {
@@ -81,6 +83,7 @@ impl TraceSummary {
                     self.knn_accepted += 1;
                 }
             }
+            TraceEvent::Failover { .. } => self.failovers += 1,
         }
     }
 

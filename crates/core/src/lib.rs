@@ -29,6 +29,7 @@ pub mod kernels;
 pub mod knnlist;
 pub mod options;
 pub mod schedule;
+pub mod shard;
 pub mod stream;
 
 pub use dynamic::DynamicSsTree;
@@ -48,6 +49,7 @@ pub use kernels::tpss::{tpss_batch, tpss_batch_traced, tpss_try_batch};
 pub use knnlist::SharedMemPolicy;
 pub use options::{KernelOptions, NodeLayout};
 pub use schedule::{hilbert_order, hilbert_permutation, QuerySchedule, ScheduleScratch};
+pub use shard::{partition, shard_sphere, ShardPlan, ShardPolicy};
 pub use stream::{QueryStream, StreamKernel};
 
 /// Instruction cost of one `dims`-dimensional distance evaluation in the cost

@@ -108,6 +108,9 @@ pub enum TraceEvent {
     /// A candidate offered to the k-best list. `pruned` means the candidate
     /// was rejected (by the current k-th bound, or as a duplicate).
     KnnUpdate { pruned: bool, phase: Phase },
+    /// The serving layer demoted a faulted replica and re-routed the query
+    /// (shard router failover ladder).
+    Failover { shard: u32, replica: u32 },
 }
 
 /// Receiver for [`TraceEvent`]s. Implementations must be passive observers:
@@ -194,6 +197,9 @@ pub fn event_to_jsonl(label: &str, event: &TraceEvent) -> String {
             r#"{{"label":"{label}","ev":"knn_update","pruned":{pruned},"phase":"{}"}}"#,
             phase.name()
         ),
+        TraceEvent::Failover { shard, replica } => {
+            format!(r#"{{"label":"{label}","ev":"failover","shard":{shard},"replica":{replica}}}"#)
+        }
     }
 }
 
@@ -226,6 +232,10 @@ pub fn event_from_jsonl(line: &str) -> Option<(String, TraceEvent)> {
         "knn_update" => TraceEvent::KnnUpdate {
             pruned: json_bool(line, "pruned")?,
             phase: Phase::from_name(&json_str(line, "phase")?)?,
+        },
+        "failover" => TraceEvent::Failover {
+            shard: json_u64(line, "shard")? as u32,
+            replica: json_u64(line, "replica")? as u32,
         },
         _ => return None,
     };
@@ -313,6 +323,7 @@ mod tests {
             TraceEvent::WarpIssue { lane_slots: 64, active_lanes: 17, phase: Phase::Descend },
             TraceEvent::Backtrack { level: 5 },
             TraceEvent::KnnUpdate { pruned: false, phase: Phase::ResultMerge },
+            TraceEvent::Failover { shard: 3, replica: 1 },
         ];
         for ev in events {
             let line = event_to_jsonl("psb", &ev);

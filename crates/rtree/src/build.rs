@@ -81,8 +81,10 @@ fn materialize(points: &PointSet, degree: usize, order: &[u32]) -> RsTree {
 
     // Count nodes per level going up.
     let mut level_sizes = vec![num_leaves];
-    while *level_sizes.last().unwrap() > 1 {
-        level_sizes.push(level_sizes.last().unwrap().div_ceil(degree));
+    let mut top = num_leaves;
+    while top > 1 {
+        top = top.div_ceil(degree);
+        level_sizes.push(top);
     }
     let num_levels = level_sizes.len();
     let total_nodes: usize = level_sizes.iter().sum();

@@ -1,0 +1,324 @@
+//! Sharded serving over mutable per-shard indexes.
+//!
+//! [`DynamicShardRouter`] holds one [`DynamicSsTree`] per shard behind its own
+//! reader-writer lock, with the shard directory (bounding sphere + live count)
+//! in separate, briefly-held metadata locks. Queries take the same
+//! MINDIST-ordered, MAXDIST-bounded path as the static
+//! [`ShardRouter`](crate::ShardRouter) and read-lock **only the shards they
+//! actually visit** — so a rebuild write-locking one shard never blocks a
+//! query that the other shards can answer (either because the rebuilding shard
+//! is pruned, or because the query simply doesn't reach it before the rebuild
+//! finishes).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+
+use psb_core::shard::{partition, shard_sphere, ShardPolicy};
+use psb_core::DynamicSsTree;
+use psb_geom::{dist, PointSet, RitterMode, Sphere};
+use psb_sstree::{BuildMethod, Neighbor};
+
+/// One shard's mutable state: the tree plus the local→global id mapping.
+struct ShardCell {
+    tree: DynamicSsTree,
+    /// Tree-external id → router-global id.
+    to_global: HashMap<u32, u32>,
+}
+
+/// The shard directory entry: everything the router needs to order and prune
+/// shards without touching the shard's tree lock.
+struct ShardMeta {
+    sphere: Sphere,
+    len: usize,
+}
+
+/// A sharded, mutable kNN index with per-shard locking.
+///
+/// All answers are exact over the live point set. Ids are router-global:
+/// initial points keep their dataset positions `0..n`, inserts allocate fresh
+/// ids upward.
+pub struct DynamicShardRouter {
+    cells: Vec<RwLock<ShardCell>>,
+    metas: Vec<Mutex<ShardMeta>>,
+    /// Global id → (shard, tree-external id).
+    owners: Mutex<HashMap<u32, (usize, u32)>>,
+    next_global: Mutex<u32>,
+    dims: usize,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl DynamicShardRouter {
+    /// Partitions `points` into `shards` shards and builds one
+    /// [`DynamicSsTree`] (degree `degree`, Hilbert-packed) per shard.
+    pub fn build(points: &PointSet, shards: usize, policy: &ShardPolicy, degree: usize) -> Self {
+        let plan = partition(points, shards, policy);
+        let mut cells = Vec::with_capacity(shards);
+        let mut metas = Vec::with_capacity(shards);
+        let mut owners = HashMap::with_capacity(points.len());
+        for (s, ids) in plan.assignments.iter().enumerate() {
+            let local = points.gather(ids);
+            let tree = DynamicSsTree::new(&local, degree, BuildMethod::Hilbert);
+            // DynamicSsTree numbers its initial points 0..len in input order,
+            // which is exactly the gather order.
+            let to_global: HashMap<u32, u32> =
+                ids.iter().enumerate().map(|(li, &g)| (li as u32, g)).collect();
+            for (li, &g) in ids.iter().enumerate() {
+                owners.insert(g, (s, li as u32));
+            }
+            let sphere = shard_sphere(points, ids, RitterMode::Parallel);
+            metas.push(Mutex::new(ShardMeta { sphere, len: ids.len() }));
+            cells.push(RwLock::new(ShardCell { tree, to_global }));
+        }
+        Self {
+            cells,
+            metas,
+            owners: Mutex::new(owners),
+            next_global: Mutex::new(points.len() as u32),
+            dims: points.dims(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Live points in shard `s` (directory view; no tree lock taken).
+    pub fn shard_len(&self, s: usize) -> usize {
+        lock(&self.metas[s]).len
+    }
+
+    /// Total live points across shards.
+    pub fn len(&self) -> usize {
+        (0..self.metas.len()).map(|s| self.shard_len(s)).sum()
+    }
+
+    /// Whether no live points remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a point, routing it to the shard whose sphere center is nearest
+    /// (lowest shard index on ties) and growing that shard's sphere to keep it
+    /// an enclosing bound. Returns the new global id.
+    pub fn insert(&mut self, p: &[f32]) -> u32 {
+        assert_eq!(p.len(), self.dims, "dimensionality mismatch");
+        let target = (0..self.metas.len())
+            .map(|s| (dist(p, &lock(&self.metas[s]).sphere.center), s))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, s)| s)
+            .unwrap_or(0);
+        let g = {
+            let mut next = lock(&self.next_global);
+            let g = *next;
+            *next += 1;
+            g
+        };
+        {
+            let mut cell = self.cells[target].write().unwrap_or_else(PoisonError::into_inner);
+            let local = cell.tree.insert(p);
+            cell.to_global.insert(local, g);
+            lock(&self.owners).insert(g, (target, local));
+        }
+        let mut meta = lock(&self.metas[target]);
+        meta.len += 1;
+        let c = dist(p, &meta.sphere.center);
+        meta.sphere.radius = meta.sphere.radius.max(c);
+        g
+    }
+
+    /// Removes a point by global id; returns whether it was alive. The shard
+    /// sphere is left as-is (still enclosing, just conservative).
+    pub fn remove(&mut self, id: u32) -> bool {
+        let Some((s, local)) = lock(&self.owners).remove(&id) else {
+            return false;
+        };
+        let removed = {
+            let mut cell = self.cells[s].write().unwrap_or_else(PoisonError::into_inner);
+            cell.to_global.remove(&local);
+            cell.tree.remove(local)
+        };
+        if removed {
+            lock(&self.metas[s]).len -= 1;
+        }
+        removed
+    }
+
+    /// Rebuilds shard `s`'s packed index, write-locking only that shard: the
+    /// directory and every other shard keep serving.
+    pub fn rebuild_shard(&self, s: usize) {
+        self.cells[s].write().unwrap_or_else(PoisonError::into_inner).tree.rebuild();
+    }
+
+    /// Exact kNN over the live set, global ids. Shards are visited best-first
+    /// by MINDIST to their directory sphere; a shard whose MINDIST exceeds the
+    /// running bound (initialized from the MAXDIST prefix covering `k` points)
+    /// is skipped without touching its tree lock.
+    pub fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(q.len(), self.dims, "dimensionality mismatch");
+        // Snapshot the directory under the brief meta locks.
+        let mut order: Vec<(f32, f32, usize, usize)> = (0..self.metas.len())
+            .map(|s| {
+                let meta = lock(&self.metas[s]);
+                let (lo, hi) = meta.sphere.min_max_dist(q);
+                (lo, hi, s, meta.len)
+            })
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        let mut initial_bound = f32::INFINITY;
+        let mut covered = 0usize;
+        let mut running_max = 0.0f32;
+        for &(_, maxd, _, len) in &order {
+            covered += len;
+            running_max = running_max.max(maxd);
+            if covered >= k {
+                initial_bound = running_max;
+                break;
+            }
+        }
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for &(mindist, _, s, len) in &order {
+            if len == 0 {
+                continue;
+            }
+            let bound =
+                if best.len() >= k { best[k - 1].dist.min(initial_bound) } else { initial_bound };
+            if mindist > bound {
+                continue;
+            }
+            let cell = self.cells[s].read().unwrap_or_else(PoisonError::into_inner);
+            for n in cell.tree.knn(q, k) {
+                let g = cell.to_global.get(&n.id).copied();
+                debug_assert!(g.is_some(), "shard result id without a global mapping");
+                if let Some(g) = g {
+                    best.push(Neighbor { dist: n.dist, id: g });
+                }
+            }
+            best.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            best.truncate(k);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::UniformSpec;
+    use std::sync::mpsc;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Linear-scan oracle over an externally maintained (global id, point)
+    /// mirror.
+    fn oracle(mirror: &[(u32, Vec<f32>)], q: &[f32], k: usize) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> =
+            mirror.iter().map(|(id, p)| Neighbor { dist: dist(q, p), id: *id }).collect();
+        v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        v.truncate(k.min(v.len()));
+        v
+    }
+
+    #[test]
+    fn insert_remove_knn_match_oracle() {
+        let ps = UniformSpec { len: 400, dims: 3, seed: 21 }.generate();
+        let mut r = DynamicShardRouter::build(&ps, 4, &ShardPolicy::HilbertRange, 8);
+        let mut mirror: Vec<(u32, Vec<f32>)> =
+            (0..ps.len()).map(|i| (i as u32, ps.point(i).to_vec())).collect();
+        let extra = UniformSpec { len: 60, dims: 3, seed: 22 }.generate();
+        for i in 0..extra.len() {
+            let g = r.insert(extra.point(i));
+            mirror.push((g, extra.point(i).to_vec()));
+        }
+        for id in [3u32, 77, 150, 401, 420] {
+            assert!(r.remove(id));
+            mirror.retain(|(i, _)| *i != id);
+        }
+        assert!(!r.remove(9999));
+        assert_eq!(r.len(), mirror.len());
+        let queries = UniformSpec { len: 20, dims: 3, seed: 23 }.generate();
+        for qi in 0..queries.len() {
+            let q = queries.point(qi);
+            assert_eq!(r.knn(q, 7), oracle(&mirror, q, 7), "query {qi}");
+        }
+    }
+
+    #[test]
+    fn rebuild_of_one_shard_preserves_answers() {
+        let ps = UniformSpec { len: 300, dims: 4, seed: 31 }.generate();
+        let mut r = DynamicShardRouter::build(&ps, 3, &ShardPolicy::HilbertRange, 8);
+        let extra = UniformSpec { len: 40, dims: 4, seed: 32 }.generate();
+        for i in 0..extra.len() {
+            r.insert(extra.point(i));
+        }
+        let q = ps.point(0).to_vec();
+        let before = r.knn(&q, 9);
+        for s in 0..r.num_shards() {
+            r.rebuild_shard(s);
+        }
+        assert_eq!(r.knn(&q, 9), before, "rebuild changed answers");
+    }
+
+    /// The satellite's non-blocking guarantee: with shard 0's tree
+    /// write-locked (as a rebuild would), a query that prunes shard 0 answers
+    /// correctly without ever waiting on that lock.
+    #[test]
+    fn locked_shard_does_not_block_prunable_queries() {
+        // Two tight, far-apart clusters → two Hilbert shards, one per cluster.
+        let dims = 3;
+        let mut ps = PointSet::new(dims);
+        let a = UniformSpec { len: 100, dims, seed: 41 }.generate();
+        for i in 0..a.len() {
+            ps.push(a.point(i)); // cluster A: the unit-ish cube around origin
+        }
+        for i in 0..a.len() {
+            let far: Vec<f32> = a.point(i).iter().map(|x| x + 1.0e6).collect();
+            ps.push(&far); // cluster B: same shape, a million units away
+        }
+        let r = Arc::new(DynamicShardRouter::build(&ps, 2, &ShardPolicy::HilbertRange, 8));
+        // Identify the shard holding cluster B (query target): it's whichever
+        // sphere center is far from the origin.
+        let b_center = vec![1.0e6_f32; dims];
+        let (locked, target) = {
+            let d0 = dist(&lock(&r.metas[0]).sphere.center, &b_center);
+            let d1 = dist(&lock(&r.metas[1]).sphere.center, &b_center);
+            if d0 < d1 {
+                (1, 0)
+            } else {
+                (0, 1)
+            }
+        };
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (held_tx, held_rx) = mpsc::channel::<()>();
+        let holder = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let _guard = r.cells[locked].write().unwrap_or_else(PoisonError::into_inner);
+                held_tx.send(()).ok();
+                // Hold until released (or a generous timeout backstop).
+                release_rx.recv_timeout(Duration::from_secs(30)).ok();
+            })
+        };
+        held_rx.recv().expect("holder thread started");
+        let q = ps.point(ps.len() - 1).to_vec(); // deep inside cluster B
+        let started = Instant::now();
+        let hits = r.knn(&q, 5);
+        let elapsed = started.elapsed();
+        release_tx.send(()).ok();
+        holder.join().expect("holder join");
+        assert_eq!(hits.len(), 5);
+        // Every hit comes from cluster B's shard half of the id space.
+        let mirror: Vec<(u32, Vec<f32>)> =
+            (0..ps.len()).map(|i| (i as u32, ps.point(i).to_vec())).collect();
+        assert_eq!(hits, oracle(&mirror, &q, 5));
+        assert_eq!(r.shard_len(target), 100);
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "query waited on a locked shard it should have pruned ({elapsed:?})"
+        );
+    }
+}

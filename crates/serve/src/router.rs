@@ -1,0 +1,539 @@
+//! The shard router: MINDIST-ordered shard visits, shard-level pruning,
+//! scatter-gather exact top-k merge, and the replica failover ladder.
+
+use psb_core::knnlist::GpuKnnList;
+use psb_core::shard::{partition, shard_sphere, ShardPolicy};
+use psb_core::{
+    brute_index_query, dist_cost, psb_try_query, EngineError, GpuIndex, KernelError, KernelOptions,
+    QueryOutcome,
+};
+use psb_geom::{PointSet, RitterMode, Sphere};
+use psb_gpu::{
+    launch_blocks, Block, DeviceConfig, FaultPlan, KernelStats, LaunchReport, NodeKind, NoopSink,
+    Phase, TraceEvent, TraceSink,
+};
+use psb_sstree::Neighbor;
+
+/// How a [`ShardRouter`] is laid out: shard count, replication factor, and
+/// the split policy.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of disjoint shards (devices).
+    pub shards: usize,
+    /// Replicas per shard. Every replica indexes the same shard; replica 0 is
+    /// the primary, the rest are failover targets.
+    pub replicas: usize,
+    /// How the dataset is split into shards.
+    pub policy: ShardPolicy,
+    /// Ritter mode for the shard bounding spheres. `Parallel` matches the
+    /// SS-tree builder bit-for-bit.
+    pub ritter: RitterMode,
+}
+
+impl ServeConfig {
+    /// `shards` shards, one replica each, Hilbert-range split, parallel Ritter.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            replicas: 1,
+            policy: ShardPolicy::HilbertRange,
+            ritter: RitterMode::Parallel,
+        }
+    }
+
+    /// Sets the replication factor.
+    pub fn with_replicas(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the split policy.
+    pub fn with_policy(mut self, policy: ShardPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Health of one replica. Demotion latches: once a replica's launch dies with
+/// a typed error it stays demoted until [`ShardRouter::restore_replica`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Serving queries.
+    Healthy,
+    /// Taken out of rotation after a faulted launch.
+    Demoted {
+        /// The error that demoted it.
+        error: KernelError,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Replica {
+    device: DeviceConfig,
+    plan: FaultPlan,
+    state: ReplicaState,
+}
+
+struct ShardEntry<T> {
+    index: T,
+    sphere: Sphere,
+    /// Global dataset position of each local point position, i.e. the shard's
+    /// slice of the [`partition`] assignment. Maps per-shard neighbor ids back
+    /// to global ids during the merge.
+    ids: Vec<u32>,
+    replicas: Vec<Replica>,
+}
+
+/// One failover decision: while serving `query`, `replica` of `shard` died
+/// with `error` and was demoted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FailoverEvent {
+    /// Batch-local query index.
+    pub query: usize,
+    /// Shard whose replica was demoted.
+    pub shard: usize,
+    /// Replica index within the shard.
+    pub replica: usize,
+    /// The typed kernel error.
+    pub error: KernelError,
+}
+
+/// Aggregated serving metrics for one batch.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Device cost-model aggregation over the per-query router blocks (shard
+    /// directory scan + merge) merged with the per-shard kernel counters.
+    pub launch: LaunchReport,
+    /// Per shard: queries that visited it (MINDIST within the bound).
+    pub shard_visits: Vec<u64>,
+    /// Per shard: queries that skipped it (MINDIST above the bound).
+    pub shard_prunes: Vec<u64>,
+    /// Every failover decision of the batch, in query order.
+    pub failovers: Vec<FailoverEvent>,
+}
+
+impl ServeReport {
+    /// Total shard visits across the batch.
+    pub fn shards_visited(&self) -> u64 {
+        self.shard_visits.iter().sum()
+    }
+
+    /// Total shard prunes across the batch.
+    pub fn shards_pruned(&self) -> u64 {
+        self.shard_prunes.iter().sum()
+    }
+
+    /// Fraction of shard decisions that pruned, in `[0, 1]`.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.shards_visited() + self.shards_pruned();
+        if total == 0 {
+            0.0
+        } else {
+            self.shards_pruned() as f64 / total as f64
+        }
+    }
+}
+
+/// Exact results plus serving metrics for one batch.
+#[derive(Clone, Debug)]
+pub struct ServeBatchResult {
+    /// Per-query global neighbor lists, ascending by distance — bit-identical
+    /// to a single-device run over the unsharded tree.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Per-query merged counters (router block + visited shard kernels).
+    pub per_query: Vec<KernelStats>,
+    /// Recovery rung per query: `Clean` (no failover touched it), `Retried`
+    /// (a replica was demoted but a peer answered), `Degraded` (some shard had
+    /// no healthy replica and fell back to the exact brute scan).
+    pub outcomes: Vec<QueryOutcome>,
+    /// Aggregated serving metrics.
+    pub report: ServeReport,
+}
+
+/// Routes batched kNN queries across sharded single-device indexes.
+pub struct ShardRouter<T> {
+    shards: Vec<ShardEntry<T>>,
+    device: DeviceConfig,
+    dims: usize,
+}
+
+impl<T: GpuIndex> ShardRouter<T> {
+    /// Partitions `points` per `cfg`, builds one index per shard with
+    /// `build_index` (over the gathered per-shard [`PointSet`], whose local
+    /// position `i` is global position `assignments[s][i]`), computes each
+    /// shard's Ritter bounding sphere, and provisions `cfg.replicas` simulated
+    /// devices per shard.
+    pub fn build(
+        points: &PointSet,
+        cfg: &ServeConfig,
+        device: &DeviceConfig,
+        build_index: impl Fn(&PointSet) -> T,
+    ) -> Self {
+        assert!(cfg.replicas >= 1, "each shard needs at least one replica");
+        let plan = partition(points, cfg.shards, &cfg.policy);
+        let shards = plan
+            .assignments
+            .iter()
+            .map(|ids| {
+                let local = points.gather(ids);
+                let sphere = shard_sphere(points, ids, cfg.ritter);
+                let index = build_index(&local);
+                assert_eq!(index.num_points(), ids.len(), "index must cover its shard");
+                let replicas = (0..cfg.replicas)
+                    .map(|_| Replica {
+                        device: device.clone(),
+                        plan: FaultPlan::none(),
+                        state: ReplicaState::Healthy,
+                    })
+                    .collect();
+                ShardEntry { index, sphere, ids: ids.clone(), replicas }
+            })
+            .collect();
+        Self { shards, device: device.clone(), dims: points.dims() }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Points owned by shard `s`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.shards[s].ids.len()
+    }
+
+    /// Shard `s`'s bounding sphere.
+    pub fn sphere(&self, s: usize) -> &Sphere {
+        &self.shards[s].sphere
+    }
+
+    /// Arms replica `(s, r)` with a fault plan (the PR-2 injection layer).
+    /// Subsequent launches on that replica run under the plan's deterministic
+    /// per-query substreams.
+    pub fn set_fault_plan(&mut self, s: usize, r: usize, plan: FaultPlan) {
+        self.shards[s].replicas[r].plan = plan;
+    }
+
+    /// Current health of replica `(s, r)`.
+    pub fn replica_state(&self, s: usize, r: usize) -> ReplicaState {
+        self.shards[s].replicas[r].state
+    }
+
+    /// Clears replica `(s, r)`'s latched demotion (and its fault plan):
+    /// operator-initiated recovery after the simulated device is serviced.
+    pub fn restore_replica(&mut self, s: usize, r: usize) {
+        let rep = &mut self.shards[s].replicas[r];
+        rep.plan = FaultPlan::none();
+        rep.state = ReplicaState::Healthy;
+    }
+
+    /// Serves a batch; see [`ShardRouter::serve_batch_traced`].
+    pub fn serve_batch(
+        &mut self,
+        queries: &PointSet,
+        k: usize,
+        opts: &KernelOptions,
+    ) -> Result<ServeBatchResult, EngineError> {
+        self.serve_batch_traced(queries, k, opts, &mut NoopSink)
+    }
+
+    /// Serves a batch of kNN queries, recording router-level trace events
+    /// (shard directory loads, prune decisions, failovers) into `sink`.
+    ///
+    /// Queries run sequentially so replica demotion is deterministic: a
+    /// replica demoted while serving query `i` is already out of rotation for
+    /// query `i + 1`.
+    pub fn serve_batch_traced(
+        &mut self,
+        queries: &PointSet,
+        k: usize,
+        opts: &KernelOptions,
+        sink: &mut dyn TraceSink,
+    ) -> Result<ServeBatchResult, EngineError> {
+        if queries.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        assert!(k >= 1, "k must be at least 1");
+        assert_eq!(queries.dims(), self.dims, "query dimensionality mismatch");
+        let n = queries.len();
+        let mut neighbors = Vec::with_capacity(n);
+        let mut per_query = Vec::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(n);
+        let mut scratch = ServeScratch::new(self.shards.len());
+        for qi in 0..n {
+            let (nb, stats, outcome) =
+                self.serve_one(qi, queries.point(qi), k, opts, &mut scratch, sink);
+            neighbors.push(nb);
+            per_query.push(stats);
+            outcomes.push(outcome);
+        }
+        let warps = opts.threads_per_block.div_ceil(self.device.warp_size);
+        let mut launch = launch_blocks(&self.device, warps, &per_query);
+        launch.retried_queries =
+            outcomes.iter().filter(|o| matches!(o, QueryOutcome::Retried { .. })).count() as u64;
+        launch.degraded_queries =
+            outcomes.iter().filter(|o| matches!(o, QueryOutcome::Degraded { .. })).count() as u64;
+        let ServeScratch { shard_visits, shard_prunes, failovers, .. } = scratch;
+        Ok(ServeBatchResult {
+            neighbors,
+            per_query,
+            outcomes,
+            report: ServeReport { launch, shard_visits, shard_prunes, failovers },
+        })
+    }
+
+    /// One query through the router block: shard directory scan, MINDIST
+    /// ordering, MAXDIST-prefix initial bound, best-first shard visits with
+    /// pruning, replica ladder per visited shard, global merge.
+    fn serve_one(
+        &mut self,
+        qi: usize,
+        q: &[f32],
+        k: usize,
+        opts: &KernelOptions,
+        scratch: &mut ServeScratch,
+        sink: &mut dyn TraceSink,
+    ) -> (Vec<Neighbor>, KernelStats, QueryOutcome) {
+        let s = self.shards.len();
+        let dims = self.dims;
+        let mut block = Block::with_sink(opts.threads_per_block, &self.device, sink);
+        block.set_phase(Phase::Descend);
+        // The shard directory is one SoA record per shard: sphere center
+        // (dims × f32) plus radius — the router's analogue of an internal
+        // node's child-sphere block.
+        block.load_global((s * (dims * 4 + 4)) as u64);
+        block.par_for(s, dist_cost(dims) + 2, |_| {});
+        let order = &mut scratch.order;
+        order.clear();
+        order.extend(self.shards.iter().enumerate().map(|(i, sh)| {
+            let (lo, hi) = sh.sphere.min_max_dist(q);
+            (lo, hi, i)
+        }));
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.2.cmp(&b.2)));
+        // Initial bound: walk the MINDIST order until the visited shards hold
+        // at least k points; the max MAXDIST of that prefix is a sound upper
+        // bound on the true k-th distance (those shards alone contain k points
+        // no farther than it). The scan is one scalar pass over the directory.
+        block.scalar(s as u64);
+        let mut initial_bound = f32::INFINITY;
+        let mut covered = 0usize;
+        let mut running_max = 0.0f32;
+        for &(_, maxd, si) in order.iter() {
+            covered += self.shards[si].ids.len();
+            running_max = running_max.max(maxd);
+            if covered >= k {
+                initial_bound = running_max;
+                break;
+            }
+        }
+        let prev = block.set_phase(Phase::ResultMerge);
+        let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, self.device.smem_per_sm);
+        block.set_phase(prev);
+
+        let mut extra = KernelStats::default();
+        let mut first_err: Option<KernelError> = None;
+        let mut retry_err: Option<KernelError> = None;
+        let mut degraded = false;
+
+        for oi in 0..order.len() {
+            let (mindist, _, si) = scratch.order[oi];
+            block.set_phase(Phase::Descend);
+            block.scalar(1);
+            // The kernels' pruning rule, one level up: strict >, so a shard
+            // exactly on the bound is still visited and ties resolve the same
+            // way as inside a tree.
+            let bound = list.bound().min(initial_bound);
+            if mindist > bound {
+                scratch.shard_prunes[si] += 1;
+                block.emit(|| TraceEvent::KnnUpdate { pruned: true, phase: Phase::Descend });
+                continue;
+            }
+            scratch.shard_visits[si] += 1;
+            block.visit_node(0, NodeKind::Internal);
+
+            // Replica ladder: first healthy replica answers; a replica that
+            // dies is demoted (latched) and the next one is tried.
+            let mut answered: Option<(Vec<Neighbor>, KernelStats)> = None;
+            for ri in 0..self.shards[si].replicas.len() {
+                if matches!(self.shards[si].replicas[ri].state, ReplicaState::Demoted { .. }) {
+                    continue;
+                }
+                let faults = {
+                    let plan = &self.shards[si].replicas[ri].plan;
+                    if plan.is_noop() {
+                        None
+                    } else {
+                        Some(plan.state_for(qi as u64, 0))
+                    }
+                };
+                let result = {
+                    let sh = &self.shards[si];
+                    psb_try_query(
+                        &sh.index,
+                        q,
+                        k,
+                        &sh.replicas[ri].device,
+                        opts,
+                        faults,
+                        &mut NoopSink,
+                    )
+                };
+                match result {
+                    Ok(res) => {
+                        answered = Some(res);
+                        break;
+                    }
+                    Err(e) => {
+                        self.shards[si].replicas[ri].state = ReplicaState::Demoted { error: e };
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        } else if retry_err.is_none() {
+                            retry_err = Some(e);
+                        }
+                        scratch.failovers.push(FailoverEvent {
+                            query: qi,
+                            shard: si,
+                            replica: ri,
+                            error: e,
+                        });
+                        block
+                            .emit(|| TraceEvent::Failover { shard: si as u32, replica: ri as u32 });
+                    }
+                }
+            }
+            let (shard_nb, shard_stats) = match answered {
+                Some(r) => r,
+                None => {
+                    // No healthy replica left. Earlier queries may have done
+                    // the demoting, so harvest the latched errors for the
+                    // outcome, then answer with the exact link-free scan.
+                    degraded = true;
+                    for rep in &self.shards[si].replicas {
+                        if let ReplicaState::Demoted { error } = rep.state {
+                            if first_err.is_none() {
+                                first_err = Some(error);
+                            } else if retry_err.is_none() {
+                                retry_err = Some(error);
+                            }
+                        }
+                    }
+                    brute_index_query(&self.shards[si].index, q, k, &self.device, opts)
+                }
+            };
+            extra.merge(&shard_stats);
+            let prev = block.set_phase(Phase::ResultMerge);
+            for nb in &shard_nb {
+                // Scatter-gather merge: per-shard ids are local positions in
+                // the gathered point set; map back to global ids and offer to
+                // the same k-best list the kernels use.
+                list.offer(&mut block, nb.dist, self.shards[si].ids[nb.id as usize]);
+            }
+            block.set_phase(prev);
+        }
+
+        block.set_phase(Phase::ResultMerge);
+        let neighbors = list.into_sorted();
+        let mut stats = block.finish();
+        stats.merge(&extra);
+        // Like the dynamic-tree engine: many physical launches, one logical
+        // query block.
+        stats.blocks = 1;
+        let outcome = match (degraded, first_err) {
+            (true, Some(first)) => {
+                QueryOutcome::Degraded { first, retry: retry_err.unwrap_or(first) }
+            }
+            (false, Some(first)) => QueryOutcome::Retried { first },
+            (_, None) => QueryOutcome::Clean,
+        };
+        (neighbors, stats, outcome)
+    }
+}
+
+/// Per-batch accumulators plus the reusable MINDIST-order buffer.
+struct ServeScratch {
+    order: Vec<(f32, f32, usize)>,
+    shard_visits: Vec<u64>,
+    shard_prunes: Vec<u64>,
+    failovers: Vec<FailoverEvent>,
+}
+
+impl ServeScratch {
+    fn new(shards: usize) -> Self {
+        Self {
+            order: Vec::with_capacity(shards),
+            shard_visits: vec![0; shards],
+            shard_prunes: vec![0; shards],
+            failovers: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::UniformSpec;
+    use psb_sstree::{BuildMethod, SsTree};
+
+    fn build(ps: &PointSet) -> SsTree {
+        psb_sstree::build(ps, 8, &BuildMethod::Hilbert)
+    }
+
+    fn router(n: usize, dims: usize, cfg: &ServeConfig) -> (PointSet, ShardRouter<SsTree>) {
+        let ps = UniformSpec { len: n, dims, seed: 42 }.generate();
+        let r = ShardRouter::build(&ps, cfg, &DeviceConfig::k40(), build);
+        (ps, r)
+    }
+
+    #[test]
+    fn build_provisions_shards_and_replicas() {
+        let (ps, r) = router(600, 4, &ServeConfig::new(4).with_replicas(2));
+        assert_eq!(r.num_shards(), 4);
+        assert_eq!((0..4).map(|s| r.shard_len(s)).sum::<usize>(), ps.len());
+        for s in 0..4 {
+            for rep in 0..2 {
+                assert_eq!(r.replica_state(s, rep), ReplicaState::Healthy);
+            }
+        }
+    }
+
+    #[test]
+    fn serve_matches_brute_force_oracle() {
+        let (ps, mut r) = router(500, 4, &ServeConfig::new(4));
+        let queries = UniformSpec { len: 12, dims: 4, seed: 7 }.generate();
+        let opts = KernelOptions::default();
+        let out = r.serve_batch(&queries, 5, &opts).expect("serve");
+        let full = build(&ps);
+        for (qi, nb) in out.neighbors.iter().enumerate() {
+            let (oracle, _) =
+                brute_index_query(&full, queries.point(qi), 5, &DeviceConfig::k40(), &opts);
+            assert_eq!(nb, &oracle, "query {qi}");
+        }
+        assert!(out.outcomes.iter().all(QueryOutcome::is_clean));
+        assert!(out.report.failovers.is_empty());
+    }
+
+    #[test]
+    fn pruning_skips_far_shards_without_wrong_answers() {
+        let (_, mut r) = router(800, 4, &ServeConfig::new(8));
+        let queries = UniformSpec { len: 40, dims: 4, seed: 8 }.generate();
+        let out = r.serve_batch(&queries, 4, &KernelOptions::default()).expect("serve");
+        // 8 shards × 40 queries = 320 decisions, every one visit or prune.
+        assert_eq!(out.report.shards_visited() + out.report.shards_pruned(), 320);
+        assert!(out.report.shards_pruned() > 0, "no shard pruning on uniform data");
+        assert!(out.report.prune_rate() > 0.0 && out.report.prune_rate() < 1.0);
+    }
+
+    #[test]
+    fn restore_replica_clears_the_latch() {
+        let (_, mut r) = router(300, 3, &ServeConfig::new(2).with_replicas(2));
+        r.set_fault_plan(0, 0, FaultPlan::truncation(1));
+        let queries = UniformSpec { len: 4, dims: 3, seed: 9 }.generate();
+        let out = r.serve_batch(&queries, 3, &KernelOptions::default()).expect("serve");
+        assert!(matches!(r.replica_state(0, 0), ReplicaState::Demoted { .. }));
+        assert_eq!(out.report.failovers.len(), 1, "latched demotion fails over once");
+        r.restore_replica(0, 0);
+        assert_eq!(r.replica_state(0, 0), ReplicaState::Healthy);
+        let again = r.serve_batch(&queries, 3, &KernelOptions::default()).expect("serve");
+        assert!(again.report.failovers.is_empty(), "restored replica is healthy again");
+    }
+}

@@ -47,6 +47,7 @@
 //! | [`core`] | PSB / branch-and-bound / brute-force GPU kernels + batch engine |
 //! | [`kdtree`] | task-parallel GPU kd-tree baseline |
 //! | [`srtree`] | top-down SR-tree CPU baseline |
+//! | [`serve`] | multi-device sharded serving: MINDIST shard router, exact merge, replica failover |
 
 pub use psb_core as core;
 pub use psb_data as data;
@@ -54,6 +55,7 @@ pub use psb_geom as geom;
 pub use psb_gpu as gpu;
 pub use psb_kdtree as kdtree;
 pub use psb_rtree as rtree;
+pub use psb_serve as serve;
 pub use psb_srtree as srtree;
 pub use psb_sstree as sstree;
 
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use psb_core::kernels::psb::{psb_query, psb_query_traced, psb_try_query};
     pub use psb_core::kernels::range::{range_query_gpu, range_query_gpu_traced, range_try_query};
     pub use psb_core::kernels::restart::{restart_query, restart_query_traced, restart_try_query};
+    pub use psb_core::shard::{partition, shard_sphere, ShardPlan, ShardPolicy};
     pub use psb_core::{
         bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, dist_cost, hilbert_order,
         hilbert_permutation, merge_stats, psb_batch, psb_batch_recovering, psb_batch_traced,
@@ -86,6 +89,10 @@ pub mod prelude {
     };
     pub use psb_kdtree::{gpu::knn_task_parallel, knn_cpu, KdTree};
     pub use psb_rtree::{build_rtree, RsTree, RtreeBuildMethod};
+    pub use psb_serve::{
+        DynamicShardRouter, FailoverEvent, ReplicaState, ServeBatchResult, ServeConfig,
+        ServeReport, ShardRouter,
+    };
     pub use psb_srtree::SrTree;
     pub use psb_sstree::search::{linear_range, range_query};
     pub use psb_sstree::{

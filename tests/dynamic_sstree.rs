@@ -1,0 +1,189 @@
+//! Integration coverage for [`DynamicSsTree`]: insert/delete/rebuild
+//! sequences checked against a brute-force mirror, on both the CPU and the
+//! simulated-GPU query paths, plus a proptest over randomized interleavings.
+//!
+//! The structure's contract is *exactness at every moment*: whatever mix of
+//! delta-buffered inserts, tombstoned deletes, threshold rebuilds, and
+//! explicit rebuilds has happened, `knn`/`knn_gpu` answer identically to a
+//! linear scan of the live set with stable external ids.
+
+use proptest::prelude::*;
+use psb::prelude::*;
+
+/// Linear-scan oracle over an externally maintained (id, point) mirror, with
+/// the structure's own tie rule: ascending `(dist, id)`.
+fn oracle(mirror: &[(u32, Vec<f32>)], q: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut v: Vec<Neighbor> =
+        mirror.iter().map(|(id, p)| Neighbor { dist: dist(q, p), id: *id }).collect();
+    v.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    v.truncate(k.min(v.len()));
+    v
+}
+
+fn check_queries(t: &DynamicSsTree, mirror: &[(u32, Vec<f32>)], queries: &PointSet, k: usize) {
+    let cfg = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+    for qi in 0..queries.len() {
+        let q = queries.point(qi);
+        let want = oracle(mirror, q, k);
+        assert_eq!(t.knn(q, k), want, "cpu knn diverged at query {qi}");
+        let (gpu, stats) = t.knn_gpu(q, k, &cfg, &opts);
+        assert_eq!(gpu, want, "gpu knn diverged at query {qi}");
+        if !mirror.is_empty() {
+            assert!(stats.nodes_visited > 0 || stats.global_bytes > 0);
+        }
+    }
+}
+
+#[test]
+fn insert_delete_sequence_stays_exact() {
+    let ps = ClusteredSpec { clusters: 4, points_per_cluster: 200, dims: 3, sigma: 90.0, seed: 61 }
+        .generate();
+    let mut t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+    let mut mirror: Vec<(u32, Vec<f32>)> =
+        (0..ps.len()).map(|i| (i as u32, ps.point(i).to_vec())).collect();
+    let queries = sample_queries(&ps, 10, 0.01, 62);
+    check_queries(&t, &mirror, &queries, 6);
+
+    // Interleave: insert a fresh clustered wave, delete a stripe of originals.
+    let extra =
+        ClusteredSpec { clusters: 2, points_per_cluster: 50, dims: 3, sigma: 60.0, seed: 63 }
+            .generate();
+    for i in 0..extra.len() {
+        let id = t.insert(extra.point(i));
+        mirror.push((id, extra.point(i).to_vec()));
+        if i % 4 == 0 {
+            let victim = (i * 7) as u32 % ps.len() as u32;
+            let removed = t.remove(victim);
+            assert_eq!(removed, mirror.iter().any(|(id, _)| *id == victim));
+            mirror.retain(|(id, _)| *id != victim);
+        }
+    }
+    assert_eq!(t.len(), mirror.len());
+    check_queries(&t, &mirror, &queries, 6);
+
+    // Removing a dead id is a no-op and reports false.
+    assert!(!t.remove(u32::MAX));
+    assert_eq!(t.len(), mirror.len());
+}
+
+#[test]
+fn churn_past_rebuild_threshold_stays_exact() {
+    // The rebuild threshold is 20% churn: push well past it several times so
+    // multiple automatic rebuilds fire mid-sequence, and verify queries after
+    // every wave. External ids must survive each rebuild.
+    let ps = UniformSpec { len: 500, dims: 4, seed: 71 }.generate();
+    let mut t = DynamicSsTree::new(&ps, 16, BuildMethod::Hilbert);
+    let mut mirror: Vec<(u32, Vec<f32>)> =
+        (0..ps.len()).map(|i| (i as u32, ps.point(i).to_vec())).collect();
+    let queries = sample_queries(&ps, 8, 0.01, 72);
+
+    let waves = UniformSpec { len: 600, dims: 4, seed: 73 }.generate();
+    for wave in 0..4 {
+        for i in (wave * 150)..((wave + 1) * 150) {
+            let id = t.insert(waves.point(i));
+            mirror.push((id, waves.point(i).to_vec()));
+        }
+        // Delete every third point of the previous wave's ids.
+        let cut: Vec<u32> = mirror
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| *id % 3 == 0 && *id >= (wave as u32) * 40)
+            .take(40)
+            .collect();
+        for id in cut {
+            assert!(t.remove(id));
+            mirror.retain(|(i, _)| *i != id);
+        }
+        assert_eq!(t.len(), mirror.len(), "live count drifted after wave {wave}");
+        check_queries(&t, &mirror, &queries, 9);
+    }
+}
+
+#[test]
+fn explicit_rebuild_preserves_ids_and_answers() {
+    let ps = UniformSpec { len: 300, dims: 5, seed: 81 }.generate();
+    let mut t = DynamicSsTree::new(&ps, 8, BuildMethod::Hilbert);
+    let mut mirror: Vec<(u32, Vec<f32>)> =
+        (0..ps.len()).map(|i| (i as u32, ps.point(i).to_vec())).collect();
+    let extra = UniformSpec { len: 30, dims: 5, seed: 82 }.generate();
+    for i in 0..extra.len() {
+        let id = t.insert(extra.point(i));
+        mirror.push((id, extra.point(i).to_vec()));
+    }
+    for id in [0u32, 7, 299, 301] {
+        assert!(t.remove(id));
+        mirror.retain(|(i, _)| *i != id);
+    }
+    let queries = sample_queries(&ps, 8, 0.01, 83);
+    let before: Vec<Vec<Neighbor>> =
+        (0..queries.len()).map(|qi| t.knn(queries.point(qi), 7)).collect();
+    t.rebuild();
+    let after: Vec<Vec<Neighbor>> =
+        (0..queries.len()).map(|qi| t.knn(queries.point(qi), 7)).collect();
+    assert_eq!(before, after, "explicit rebuild changed answers");
+    check_queries(&t, &mirror, &queries, 7);
+}
+
+#[test]
+fn drain_to_empty_and_refill() {
+    let ps = UniformSpec { len: 64, dims: 3, seed: 91 }.generate();
+    let mut t = DynamicSsTree::new(&ps, 8, BuildMethod::Hilbert);
+    for id in 0..64u32 {
+        assert!(t.remove(id));
+    }
+    assert!(t.is_empty());
+    assert_eq!(t.knn(ps.point(0), 3), Vec::new());
+    let mut mirror: Vec<(u32, Vec<f32>)> = Vec::new();
+    for i in 0..ps.len() {
+        let id = t.insert(ps.point(i));
+        mirror.push((id, ps.point(i).to_vec()));
+    }
+    assert_eq!(t.len(), 64);
+    let queries = sample_queries(&ps, 6, 0.02, 92);
+    check_queries(&t, &mirror, &queries, 5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Randomized interleaving of insert / remove / explicit rebuild, verified
+    // against the mirror after every operation batch.
+    #[test]
+    fn random_interleavings_stay_exact(
+        seed in 1u64..10_000,
+        dims in 2usize..6,
+        k in 1usize..10,
+        ops in 20usize..80,
+    ) {
+        let ps = ClusteredSpec {
+            clusters: 3, points_per_cluster: 60, dims, sigma: 100.0, seed,
+        }.generate();
+        let mut t = DynamicSsTree::new(&ps, 8, BuildMethod::Hilbert);
+        let mut mirror: Vec<(u32, Vec<f32>)> =
+            (0..ps.len()).map(|i| (i as u32, ps.point(i).to_vec())).collect();
+        let fresh = UniformSpec { len: ops, dims, seed: seed ^ 0xD1CE }.generate();
+        let queries = sample_queries(&ps, 4, 0.02, seed ^ 0xBEEF);
+        let mut state = seed;
+        for i in 0..ops {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            match state % 4 {
+                0 | 1 => {
+                    let id = t.insert(fresh.point(i));
+                    mirror.push((id, fresh.point(i).to_vec()));
+                }
+                2 => {
+                    if !mirror.is_empty() {
+                        let pos = (state / 7) as usize % mirror.len();
+                        let id = mirror[pos].0;
+                        prop_assert!(t.remove(id));
+                        mirror.retain(|(j, _)| *j != id);
+                    }
+                }
+                _ => t.rebuild(),
+            }
+        }
+        prop_assert_eq!(t.len(), mirror.len());
+        check_queries(&t, &mirror, &queries, k);
+    }
+}
