@@ -2,7 +2,8 @@
 # Local CI gate: formatting, lints, full test suite.
 #
 #   ./ci.sh            # everything
-#   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults | shard | bench-smoke)
+#   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults |
+#                      #            shard | metrics | bench-smoke | bench-compare)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -10,12 +11,13 @@ stage="${1:-all}"
 
 run_fmt()    { cargo fmt --all -- --check; }
 run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
-# The kernel, tree, and serving crates must stay panic-free outside tests: a
-# corrupt tree or a faulted device has to surface as a typed error (or a
-# demoted replica), never an unwrap.
+# The kernel, tree, serving, and metrics crates must stay panic-free outside
+# tests: a corrupt tree or a faulted device has to surface as a typed error
+# (or a demoted replica), never an unwrap — and the observability layer must
+# never be the thing that crashes the process it observes.
 # (clippy.toml re-allows unwrap/expect inside #[cfg(test)].)
 run_hardlint() {
-    cargo clippy -p psb-core -p psb-sstree -p psb-serve --all-targets -- \
+    cargo clippy -p psb-core -p psb-sstree -p psb-serve -p psb-metrics --all-targets -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 }
 run_test()   { cargo test --workspace -q; }
@@ -23,6 +25,13 @@ run_faults() { cargo test -p psb --test fault_injection -q; }
 # Sharded serving layer: the router's own unit tests plus the bit-identity /
 # failover acceptance suite.
 run_shard()  { cargo test -p psb-serve -q && cargo test -p psb --test shard_parity -q; }
+# Telemetry layer: the registry/histogram/span unit+property tests, plus the
+# no-op-parity golden suite pinning that an attached registry never changes
+# neighbors, counters, or reports (DESIGN.md §14).
+run_metrics() {
+    cargo test -p psb-metrics -q
+    cargo test -p psb --test metrics_parity -q
+}
 # Benchmark harness gate: every criterion bench must compile, and the wall-
 # clock bench binary must complete a tiny workload and emit a BENCH_psb.json
 # whose required keys are present, finite, and nonzero (the binary's --smoke
@@ -36,27 +45,44 @@ run_bench_smoke() {
     cargo bench --workspace --no-run
     cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
 }
+# Perf-trajectory gate: the compare mode must parse the committed baseline and
+# a fresh smoke run, and flag regressions. Wall-clock numbers on CI hardware
+# are incomparable to the committed baseline's, so this stage (a) self-compares
+# the committed file at the strict threshold — a structural no-op that must
+# always pass — and (b) diffs baseline vs fresh smoke at an absurd threshold
+# (10000%) purely to exercise row matching end-to-end. Real gating against a
+# same-machine baseline is: bench compare old.json new.json
+run_bench_compare() {
+    cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
+    cargo run --release -p psb-bench --bin bench -- compare BENCH_psb.json BENCH_psb.json
+    cargo run --release -p psb-bench --bin bench -- compare \
+        BENCH_psb.json target/BENCH_smoke.json --threshold 100
+}
 
 case "$stage" in
-    fmt)         run_fmt ;;
-    clippy)      run_clippy ;;
-    hardlint)    run_hardlint ;;
-    test)        run_test ;;
-    faults)      run_faults ;;
-    shard)       run_shard ;;
-    bench-smoke) run_bench_smoke ;;
+    fmt)           run_fmt ;;
+    clippy)        run_clippy ;;
+    hardlint)      run_hardlint ;;
+    test)          run_test ;;
+    faults)        run_faults ;;
+    shard)         run_shard ;;
+    metrics)       run_metrics ;;
+    bench-smoke)   run_bench_smoke ;;
+    bench-compare) run_bench_compare ;;
     all)
         echo "== cargo fmt --check ==" && run_fmt
         echo "== cargo clippy -D warnings ==" && run_clippy
-        echo "== cargo clippy (no unwrap/expect in core+sstree+serve) ==" && run_hardlint
+        echo "== cargo clippy (no unwrap/expect in core+sstree+serve+metrics) ==" && run_hardlint
         echo "== cargo test ==" && run_test
         echo "== fault-injection suite ==" && run_faults
         echo "== sharded serving suite ==" && run_shard
+        echo "== telemetry suite ==" && run_metrics
         echo "== bench smoke ==" && run_bench_smoke
+        echo "== bench compare gate ==" && run_bench_compare
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|bench-smoke|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|metrics|bench-smoke|bench-compare|all]" >&2
         exit 2
         ;;
 esac

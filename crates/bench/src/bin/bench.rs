@@ -10,6 +10,8 @@
 //! cargo run --release -p psb-bench --bin bench                  # arena layout
 //! cargo run --release -p psb-bench --bin bench -- --legacy-layout
 //! cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
+//! cargo run --release -p psb-bench --bin bench -- --metrics target/metrics.prom
+//! cargo run --release -p psb-bench --bin bench -- compare old.json new.json
 //! ```
 //!
 //! The default (arena) run additionally times the headline workload — PSB on
@@ -17,10 +19,23 @@
 //! as `speedup_vs_legacy`. `--smoke` shrinks every workload to seconds-scale,
 //! then self-validates the emitted JSON (required keys present, finite and
 //! nonzero) and exits nonzero if the schema check fails.
+//!
+//! Schema v4 adds a `metrics` section: after the timed rows, the headline
+//! workload is replayed once with a live [`psb_metrics::Registry`] attached
+//! (one scheduled PSB batch through the engine plus one 4-shard served batch)
+//! and the registry's JSON snapshot is embedded verbatim. `--metrics PATH`
+//! additionally writes the Prometheus text dump plus the span tree to `PATH`.
+//! The replay runs *after* every measurement, and the measured sections keep
+//! the detached no-op handle, so instrumentation cannot perturb the rows.
+//!
+//! `bench compare old.json new.json [--threshold F]` is the perf-trajectory
+//! gate: it diffs two BENCH files row-by-row and exits nonzero when any
+//! kernel's qps dropped or p99 rose by more than the threshold (default 10%).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use psb_bench::{compare, parse_bench, render_report};
 use psb_core::kernels::brute::brute_query;
 use psb_core::kernels::psb::psb_query;
 use psb_core::kernels::range::range_query_gpu;
@@ -30,11 +45,12 @@ use psb_core::{psb_batch, GpuIndex, KernelOptions, QuerySchedule};
 use psb_data::{sample_queries, ClusteredSpec, UniformSpec};
 use psb_geom::PointSet;
 use psb_gpu::DeviceConfig;
+use psb_metrics::{render_json, render_prometheus, render_span_tree, MetricsHandle, Registry};
 use psb_rtree::{build_rtree, RtreeBuildMethod};
 use psb_serve::{ServeConfig, ShardRouter};
 use psb_sstree::{build, BuildMethod};
 
-const SCHEMA: &str = "psb-bench-v3";
+const SCHEMA: &str = "psb-bench-v4";
 const K: usize = 8;
 /// Queries per batch: the paper's §V-B experiment size. Per-kernel rows and
 /// the throughput section both run full 240-query batches (smoke mode shrinks
@@ -49,22 +65,26 @@ struct Config {
     smoke: bool,
     seed: u64,
     out: String,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench [--scale F] [--seed S] [--legacy-layout] [--smoke] [--out PATH]");
+    eprintln!(
+        "usage: bench [--scale F] [--seed S] [--legacy-layout] [--smoke] [--out PATH] \
+         [--metrics PATH]\n       bench compare OLD.json NEW.json [--threshold F]"
+    );
     std::process::exit(2);
 }
 
-fn parse_args() -> Config {
+fn parse_args(args: &[String]) -> Config {
     let mut cfg = Config {
         scale: 1.0,
         legacy: false,
         smoke: false,
         seed: 0x2016,
         out: "BENCH_psb.json".to_string(),
+        metrics: None,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -82,11 +102,54 @@ fn parse_args() -> Config {
                 i += 1;
                 cfg.out = args.get(i).cloned().unwrap_or_else(|| usage());
             }
+            "--metrics" => {
+                i += 1;
+                cfg.metrics = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
     cfg
+}
+
+/// `bench compare OLD NEW [--threshold F]`: the perf-trajectory gate. Exits 0
+/// when every matched row is within the threshold, 1 on any regression, 2 on
+/// unusable input.
+fn run_compare(args: &[String]) -> ! {
+    let mut threshold = 0.10f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--threshold" {
+            i += 1;
+            threshold = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+        } else {
+            paths.push(&args[i]);
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let load = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => match parse_bench(&text) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("bench compare: {path}: {e}");
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("bench compare: {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let old = load(paths[0]);
+    let new = load(paths[1]);
+    let regs = compare(&old, &new, threshold);
+    print!("{}", render_report(&old, &new, threshold, &regs));
+    std::process::exit(if regs.is_empty() { 0 } else { 1 });
 }
 
 /// One (workload, dims, index, kernel) measurement row.
@@ -321,6 +384,49 @@ fn sharding_section(points: &PointSet, seed: u64) -> Vec<ShardRow> {
         .collect()
 }
 
+/// Instrumented replay of the headline workload with a live registry: one
+/// Hilbert-scheduled PSB batch through the engine (populates the
+/// `engine/psb/...` span tree and the per-kernel simulator gauges) plus one
+/// 4-shard served batch (populates the `serve.*` counters and latency
+/// histograms). Returns the registry's JSON snapshot for embedding; when
+/// `prom_out` is set, also writes the Prometheus dump plus span tree there.
+///
+/// This runs after every timed section — the measured rows all use the
+/// detached no-op handle, so attaching here cannot perturb them.
+fn metrics_section(points: &PointSet, seed: u64, prom_out: Option<&str>) -> String {
+    let dev = DeviceConfig::k40();
+    let reg = Registry::new();
+    let opts = KernelOptions {
+        metrics: MetricsHandle::attached(&reg),
+        schedule: QuerySchedule::Hilbert,
+        ..Default::default()
+    };
+    let queries = sample_queries(points, BATCH, 0.01, seed ^ q_marker() ^ 0x3E7);
+    let tree = build(points, 16, &BuildMethod::Hilbert);
+    assert!(
+        psb_batch(&tree, &queries, K, &dev, &opts).is_ok(),
+        "metrics replay failed on a trusted tree"
+    );
+    let mut router = ShardRouter::build(points, &ServeConfig::new(4), &dev, |ps| {
+        build(ps, 16, &BuildMethod::Hilbert)
+    });
+    router.attach_metrics(MetricsHandle::attached(&reg));
+    assert!(
+        router.serve_batch(&queries, K, &opts).is_ok(),
+        "metrics replay failed on a fault-free serve"
+    );
+    let snap = reg.snapshot();
+    if let Some(path) = prom_out {
+        let text = format!("{}\n{}", render_prometheus(&snap), render_span_tree(&snap));
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write --metrics {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    render_json(&snap)
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -331,6 +437,7 @@ fn emit_json(
     speedup: Option<f64>,
     tp: Option<&Throughput>,
     sharding: &[ShardRow],
+    metrics_json: Option<&str>,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -397,6 +504,18 @@ fn emit_json(
         }
         let _ = write!(s, "\n    ]\n  }}");
     }
+    if let Some(mj) = metrics_json {
+        // The registry snapshot is already a JSON object; re-indent its lines
+        // two spaces so the embedded section reads like the rest of the file.
+        let _ = write!(s, ",\n  \"metrics\": ");
+        for (i, line) in mj.trim_end().lines().enumerate() {
+            if i == 0 {
+                s.push_str(line);
+            } else {
+                let _ = write!(s, "\n  {line}");
+            }
+        }
+    }
     let _ = writeln!(s, "\n}}");
     s
 }
@@ -428,6 +547,10 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
             "\"sharding\"",
             "\"prune_rate\"",
             "\"nodes_visited\"",
+            "\"metrics\"",
+            "\"counters\"",
+            "\"histograms\"",
+            "\"spans\"",
         ] {
             if !json.contains(key) {
                 return Err(format!("missing required key {key}"));
@@ -462,11 +585,16 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
 }
 
 fn main() {
-    let cfg = parse_args();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("compare") {
+        run_compare(&args[1..]);
+    }
+    let cfg = parse_args(&args);
     let mut rows: Vec<Row> = Vec::new();
     let mut headline: Option<(f64, f64)> = None; // (arena_qps, legacy_qps)
     let mut throughput: Option<Throughput> = None;
     let mut sharding: Vec<ShardRow> = Vec::new();
+    let mut metrics_json: Option<String> = None;
 
     for w in workloads(&cfg) {
         eprintln!("workload {} dims {} ({} points)...", w.name, w.dims, w.points.len());
@@ -502,6 +630,7 @@ fn main() {
             headline = Some((arena_qps, legacy_qps));
             throughput = Some(throughput_section(&w.points, cfg.seed));
             sharding = sharding_section(&w.points, cfg.seed);
+            metrics_json = Some(metrics_section(&w.points, cfg.seed, cfg.metrics.as_deref()));
         }
     }
 
@@ -528,7 +657,8 @@ fn main() {
             r.shards, r.qps, r.prune_rate, r.nodes_visited
         );
     }
-    let json = emit_json(&cfg, &rows, speedup, throughput.as_ref(), &sharding);
+    let json =
+        emit_json(&cfg, &rows, speedup, throughput.as_ref(), &sharding, metrics_json.as_deref());
     if let Err(e) = std::fs::write(&cfg.out, &json) {
         eprintln!("cannot write {}: {e}", cfg.out);
         std::process::exit(1);

@@ -25,6 +25,14 @@
 //! * `--inject SEED` re-runs PSB under a seeded bit-flip [`FaultPlan`] through
 //!   the recovery ladder, prints the clean/retried/degraded split, and checks
 //!   every recovered answer against the CPU linear-scan oracle.
+//!
+//! Metrics:
+//!
+//! * `inspect metrics [flags] [--out metrics.json]` runs the workload with a
+//!   live [`psb_metrics::Registry`] attached (PSB + branch-and-bound through
+//!   the batch engine, then a 4-shard [`psb_serve::ShardRouter`] serve) and
+//!   prints the Prometheus text dump followed by the wall-clock span tree.
+//!   `--out` additionally writes the JSON snapshot.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -35,8 +43,11 @@ use psb_core::{
     restart_batch, tpss_batch, EngineError, KernelOptions, QueryBatchResult,
 };
 use psb_data::{sample_queries, ClusteredSpec};
+use psb_geom::PointSet;
 use psb_gpu::{launch_blocks, DeviceConfig, FaultPlan, JsonlSink, LaunchReport, Phase};
 use psb_kdtree::{gpu::knn_task_parallel, KdTree};
+use psb_metrics::{render_json, render_prometheus, render_span_tree, MetricsHandle, Registry};
+use psb_serve::{ServeConfig, ShardRouter};
 use psb_srtree::SrTree;
 use psb_sstree::{build, BuildMethod};
 
@@ -52,6 +63,8 @@ struct Args {
     record: Option<String>,
     trace: Option<String>,
     inject: Option<u64>,
+    metrics: bool,
+    out: Option<String>,
 }
 
 fn parse() -> Args {
@@ -67,8 +80,14 @@ fn parse() -> Args {
         record: None,
         trace: None,
         inject: None,
+        metrics: false,
+        out: None,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("metrics") {
+        a.metrics = true;
+        argv.remove(0);
+    }
     let mut i = 0;
     while i < argv.len() {
         let val = argv.get(i + 1).cloned().unwrap_or_default();
@@ -84,6 +103,7 @@ fn parse() -> Args {
             "--record" => a.record = Some(val),
             "--trace" => a.trace = Some(val),
             "--inject" => a.inject = Some(val.parse().expect("--inject")),
+            "--out" => a.out = Some(val),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -121,6 +141,63 @@ fn show_phases(name: &str, report: &LaunchReport) {
     );
 }
 
+/// `inspect metrics`: run the configured workload with a live registry and
+/// render every exposition format the telemetry layer offers.
+fn run_metrics(a: &Args) {
+    let cfg = DeviceConfig::k40();
+    let reg = Registry::new();
+    let opts = KernelOptions { metrics: MetricsHandle::attached(&reg), ..Default::default() };
+    let data: PointSet = ClusteredSpec {
+        clusters: a.clusters,
+        points_per_cluster: (a.points / a.clusters).max(1),
+        dims: a.dims,
+        sigma: a.sigma,
+        seed: a.seed,
+    }
+    .generate();
+    let tree = build(&data, a.degree, &BuildMethod::Hilbert);
+    let queries = sample_queries(&data, a.queries, 0.01, a.seed ^ 1);
+    println!(
+        "workload: {} pts x {}d, degree={}, k={}, {} queries (registry attached)\n",
+        data.len(),
+        a.dims,
+        a.degree,
+        a.k,
+        queries.len()
+    );
+    let run = |name: &str, r: Result<QueryBatchResult, EngineError>| {
+        if let Err(e) = r {
+            eprintln!("{name} batch failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    run("psb", psb_batch(&tree, &queries, a.k, &cfg, &opts));
+    run("bnb", bnb_batch(&tree, &queries, a.k, &cfg, &opts));
+    let mut router = ShardRouter::build(&data, &ServeConfig::new(4), &cfg, |ps| {
+        build(ps, a.degree, &BuildMethod::Hilbert)
+    });
+    router.attach_metrics(MetricsHandle::attached(&reg));
+    match router.serve_batch(&queries, a.k, &opts) {
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("serve batch failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let snap = reg.snapshot();
+    println!("--- prometheus ---");
+    print!("{}", render_prometheus(&snap));
+    println!("\n--- span tree (wall clock) ---");
+    print!("{}", render_span_tree(&snap));
+    if let Some(path) = &a.out {
+        if let Err(e) = std::fs::write(path, render_json(&snap)) {
+            eprintln!("cannot write --out {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote JSON snapshot to {path}");
+    }
+}
+
 fn main() {
     let a = parse();
     let cfg = DeviceConfig::k40();
@@ -137,6 +214,11 @@ fn main() {
             std::process::exit(1);
         }
         print!("{}", render_trace_report(&summaries, a.degree));
+        return;
+    }
+
+    if a.metrics {
+        run_metrics(&a);
         return;
     }
 

@@ -1,0 +1,269 @@
+//! BENCH file parsing and the perf-trajectory regression gate.
+//!
+//! `bench compare old.json new.json` loads two `BENCH_psb.json` files (any
+//! schema version that carries the per-kernel `results` rows), matches rows by
+//! `(workload, dims, index, kernel)`, and reports every matched row whose
+//! throughput dropped or whose p99 latency rose by more than the threshold
+//! (default 10%). The binary exits nonzero when any regression is found, which
+//! is what lets `ci.sh bench-compare` gate a branch against the committed
+//! baseline.
+//!
+//! Parsing is deliberately line-oriented: the harness emits one result row per
+//! line, so a full JSON parser is unnecessary (and the workspace is offline —
+//! no serde). Rows that exist in only one file are reported as notes, never as
+//! regressions: shrinking a workload should be an explicit review decision,
+//! not a silent pass *or* a spurious failure.
+
+use std::fmt::Write as _;
+
+/// One per-kernel measurement row parsed back out of a BENCH file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub workload: String,
+    pub dims: usize,
+    pub index: String,
+    pub kernel: String,
+    pub qps: f64,
+    pub p99_us: f64,
+}
+
+impl BenchRow {
+    /// Stable identity used to match rows across the two files.
+    pub fn key(&self) -> String {
+        format!("{}/{}d/{}/{}", self.workload, self.dims, self.index, self.kernel)
+    }
+}
+
+/// The subset of a BENCH file the gate compares.
+#[derive(Clone, Debug, Default)]
+pub struct BenchFile {
+    pub schema: String,
+    pub rows: Vec<BenchRow>,
+}
+
+/// One threshold violation between two matched rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Row identity, `workload/dims/index/kernel`.
+    pub key: String,
+    /// Which metric regressed: `"qps"` or `"p99_us"`.
+    pub metric: &'static str,
+    pub old: f64,
+    pub new: f64,
+    /// Relative change, signed so qps drops and p99 rises are both positive.
+    pub ratio: f64,
+}
+
+/// Extracts the value of `"field": <num>` from a flat JSON object line.
+fn num_field(line: &str, field: &str) -> Option<f64> {
+    let pat = format!("\"{field}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts the value of `"field": "<str>"` from a flat JSON object line.
+fn str_field(line: &str, field: &str) -> Option<String> {
+    let pat = format!("\"{field}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Parses the comparable subset of a BENCH file. Succeeds on any file whose
+/// `results` rows carry the v1+ fields; the schema string is reported but not
+/// enforced, so the gate can diff across schema bumps.
+pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
+    let schema = str_field(json, "schema").ok_or("missing \"schema\" field")?;
+    let mut rows = Vec::new();
+    for line in json.lines() {
+        // A result row is the only line shape with all five of these fields;
+        // the throughput/sharding sections lack `p99_us` or `kernel`.
+        let (Some(workload), Some(index), Some(kernel)) =
+            (str_field(line, "workload"), str_field(line, "index"), str_field(line, "kernel"))
+        else {
+            continue;
+        };
+        let (Some(dims), Some(qps), Some(p99_us)) =
+            (num_field(line, "dims"), num_field(line, "qps"), num_field(line, "p99_us"))
+        else {
+            continue;
+        };
+        rows.push(BenchRow { workload, dims: dims as usize, index, kernel, qps, p99_us });
+    }
+    if rows.is_empty() {
+        return Err("no result rows found (not a BENCH file?)".to_string());
+    }
+    Ok(BenchFile { schema, rows })
+}
+
+/// Compares matched rows; returns every violation of `threshold` (a fraction:
+/// 0.10 means a >10% qps drop or >10% p99 rise fails). Rows present in only
+/// one file are skipped — [`render_report`] lists them as notes.
+pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for o in &old.rows {
+        let Some(n) = new.rows.iter().find(|n| n.key() == o.key()) else { continue };
+        if o.qps > 0.0 && n.qps < o.qps * (1.0 - threshold) {
+            out.push(Regression {
+                key: o.key(),
+                metric: "qps",
+                old: o.qps,
+                new: n.qps,
+                ratio: 1.0 - n.qps / o.qps,
+            });
+        }
+        if o.p99_us > 0.0 && n.p99_us > o.p99_us * (1.0 + threshold) {
+            out.push(Regression {
+                key: o.key(),
+                metric: "p99_us",
+                old: o.p99_us,
+                new: n.p99_us,
+                ratio: n.p99_us / o.p99_us - 1.0,
+            });
+        }
+    }
+    out
+}
+
+/// Human-readable comparison report: regressions first, then unmatched-row
+/// notes, then the verdict line.
+pub fn render_report(
+    old: &BenchFile,
+    new: &BenchFile,
+    threshold: f64,
+    regs: &[Regression],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "bench compare: {} old rows ({}) vs {} new rows ({}), threshold {:.0}%",
+        old.rows.len(),
+        old.schema,
+        new.rows.len(),
+        new.schema,
+        threshold * 100.0
+    );
+    for r in regs {
+        let _ = writeln!(
+            s,
+            "  REGRESSION {:<40} {:>7}: {:.3} -> {:.3} ({:+.1}%)",
+            r.key,
+            r.metric,
+            r.old,
+            r.new,
+            r.ratio * 100.0 * if r.metric == "qps" { -1.0 } else { 1.0 }
+        );
+    }
+    for o in &old.rows {
+        if !new.rows.iter().any(|n| n.key() == o.key()) {
+            let _ = writeln!(s, "  note: row {} missing from new file", o.key());
+        }
+    }
+    for n in &new.rows {
+        if !old.rows.iter().any(|o| o.key() == n.key()) {
+            let _ = writeln!(s, "  note: row {} new (no baseline)", n.key());
+        }
+    }
+    if regs.is_empty() {
+        let _ = writeln!(s, "  OK: no regression beyond {:.0}%", threshold * 100.0);
+    } else {
+        let _ = writeln!(s, "  FAIL: {} regression(s)", regs.len());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(rows: &[(&str, usize, &str, &str, f64, f64)]) -> String {
+        let mut s = String::from("{\n  \"schema\": \"psb-bench-v4\",\n  \"results\": [\n");
+        for (i, (w, d, ix, k, qps, p99)) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "    {{\"workload\": \"{w}\", \"dims\": {d}, \"index\": \"{ix}\", \
+                 \"kernel\": \"{k}\", \"build_ms\": 1.0, \"queries\": 8, \"qps\": {qps:.3}, \
+                 \"p50_us\": 1.0, \"p99_us\": {p99:.3}}}{comma}"
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    #[test]
+    fn parses_rows_back_out_of_emitted_shape() {
+        let json = bench_json(&[
+            ("uniform", 16, "sstree", "psb", 1000.0, 50.0),
+            ("gaussian", 4, "rtree", "bnb", 2000.0, 25.0),
+        ]);
+        let f = parse_bench(&json).unwrap();
+        assert_eq!(f.schema, "psb-bench-v4");
+        assert_eq!(f.rows.len(), 2);
+        assert_eq!(f.rows[0].key(), "uniform/16d/sstree/psb");
+        assert_eq!(f.rows[1].dims, 4);
+        assert_eq!(f.rows[1].qps, 2000.0);
+        assert_eq!(f.rows[1].p99_us, 25.0);
+    }
+
+    #[test]
+    fn rejects_files_without_rows() {
+        assert!(parse_bench("{}").is_err());
+        assert!(parse_bench("{\"schema\": \"psb-bench-v4\"}").is_err());
+    }
+
+    #[test]
+    fn injected_p99_regression_beyond_threshold_fails() {
+        let old = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]));
+        let new = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 60.0)]));
+        let regs = compare(&old.unwrap(), &new.unwrap(), 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "p99_us");
+        assert!(regs[0].ratio > 0.10);
+    }
+
+    #[test]
+    fn qps_drop_beyond_threshold_fails() {
+        let old = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]));
+        let new = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 850.0, 50.0)]));
+        let regs = compare(&old.unwrap(), &new.unwrap(), 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "qps");
+    }
+
+    #[test]
+    fn changes_within_threshold_pass() {
+        let old = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]));
+        let new = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 950.0, 54.0)]));
+        assert!(compare(&old.unwrap(), &new.unwrap(), 0.10).is_empty());
+    }
+
+    #[test]
+    fn self_compare_is_always_clean() {
+        let f = parse_bench(&bench_json(&[
+            ("uniform", 16, "sstree", "psb", 1000.0, 50.0),
+            ("gaussian", 4, "rtree", "brute", 10.0, 9999.0),
+        ]))
+        .unwrap();
+        assert!(compare(&f, &f, 0.0).is_empty());
+    }
+
+    #[test]
+    fn unmatched_rows_are_notes_not_regressions() {
+        let old = parse_bench(&bench_json(&[
+            ("uniform", 16, "sstree", "psb", 1000.0, 50.0),
+            ("uniform", 16, "sstree", "bnb", 500.0, 90.0),
+        ]))
+        .unwrap();
+        let new =
+            parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)])).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(regs.is_empty());
+        let report = render_report(&old, &new, 0.10, &regs);
+        assert!(report.contains("missing from new file"));
+        assert!(report.contains("OK"));
+    }
+}

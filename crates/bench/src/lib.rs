@@ -11,10 +11,12 @@
 //! in minutes on a laptop; the *shapes* (series orderings, crossovers) are
 //! scale-stable. `scale = 1.0` reproduces paper-sized workloads.
 
+pub mod compare;
 pub mod figures;
 pub mod table;
 pub mod trace_report;
 
+pub use compare::{compare, parse_bench, render_report, BenchFile, BenchRow, Regression};
 pub use figures::*;
 pub use table::Table;
 pub use trace_report::{load_trace, render_trace_report, TraceSummary};

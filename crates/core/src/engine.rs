@@ -87,14 +87,35 @@ pub(crate) fn schedule_order(queries: &PointSet, opts: &KernelOptions) -> Option
     }
 }
 
+/// Per-batch telemetry shared by every runner: wall-clock latency histogram,
+/// batch/query counters, and the launch report's simulated figures, all keyed
+/// by the kernel `label`. `started` is `Some` only when a registry is attached
+/// (the no-op path reads no clock).
+fn record_batch(
+    opts: &KernelOptions,
+    label: &str,
+    started: Option<std::time::Instant>,
+    report: &LaunchReport,
+) {
+    let m = &opts.metrics;
+    if let Some(t0) = started {
+        let tag = format!("{{kernel=\"{label}\"}}");
+        m.observe(&format!("engine.batch_us{tag}"), t0.elapsed().as_secs_f64() * 1e6);
+        m.counter(&format!("engine.batches{tag}"), 1);
+        m.counter(&format!("engine.queries{tag}"), report.merged.blocks);
+    }
+    report.record_into(m, label);
+}
+
 fn run_batch(
     queries: &PointSet,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
+    label: &str,
     f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
 ) -> Result<QueryBatchResult, EngineError> {
     let order = schedule_order(queries, opts);
-    run_batch_ordered(queries, cfg, opts, order.as_deref(), f)
+    run_batch_ordered(queries, cfg, opts, order.as_deref(), label, f)
 }
 
 /// [`run_batch`] with a precomputed execution order (the streaming pipeline
@@ -108,13 +129,18 @@ pub(crate) fn run_batch_ordered(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
     order: Option<&[u32]>,
+    label: &str,
     f: impl Fn(&[f32]) -> (Vec<Neighbor>, KernelStats) + Sync,
 ) -> Result<QueryBatchResult, EngineError> {
     if queries.is_empty() {
         return Err(EngineError::EmptyBatch);
     }
+    let m = &opts.metrics;
+    let started = m.is_attached().then(std::time::Instant::now);
+    let _batch_span = m.span("engine");
+    let _kernel_span = m.span(label);
     let n = queries.len();
-    let (neighbors, per_block) = match order {
+    let (neighbors, per_block) = m.time("execute", || match order {
         None => {
             let results: Vec<(Vec<Neighbor>, KernelStats)> =
                 (0..n).into_par_iter().map(|i| f(queries.point(i))).collect();
@@ -134,8 +160,11 @@ pub(crate) fn run_batch_ordered(
             }
             (neighbors, per_block)
         }
-    };
-    let report = launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order);
+    });
+    let report = m.time("aggregate", || {
+        launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order)
+    });
+    record_batch(opts, label, started, &report);
     let outcomes = vec![QueryOutcome::Clean; n];
     Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
@@ -146,23 +175,34 @@ fn run_batch_traced(
     queries: &PointSet,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
+    label: &str,
     sink: &mut dyn TraceSink,
     mut f: impl FnMut(&[f32], &mut dyn TraceSink) -> (Vec<Neighbor>, KernelStats),
 ) -> Result<QueryBatchResult, EngineError> {
     if queries.is_empty() {
         return Err(EngineError::EmptyBatch);
     }
+    let m = &opts.metrics;
+    let started = m.is_attached().then(std::time::Instant::now);
+    let _batch_span = m.span("engine");
+    let _kernel_span = m.span(label);
     let mut neighbors = Vec::with_capacity(queries.len());
     let mut per_block = Vec::with_capacity(queries.len());
-    for i in 0..queries.len() {
-        let (n, s) = f(queries.point(i), sink);
-        neighbors.push(n);
-        per_block.push(s);
+    {
+        let _exec_span = m.span("execute");
+        for i in 0..queries.len() {
+            let (n, s) = f(queries.point(i), sink);
+            neighbors.push(n);
+            per_block.push(s);
+        }
     }
     // Recording runs always execute (and fuse) in submission order so the
     // event stream stays grouped per query — the schedule knob is ignored
     // here, by design.
-    let report = launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, None);
+    let report = m.time("aggregate", || {
+        launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, None)
+    });
+    record_batch(opts, label, started, &report);
     let outcomes = vec![QueryOutcome::Clean; neighbors.len()];
     Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
@@ -182,6 +222,7 @@ fn run_batch_recovering(
     queries: &PointSet,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
+    label: &str,
     plan: &FaultPlan,
     attempt: impl Fn(&[f32], Option<FaultState>) -> Result<(Vec<Neighbor>, KernelStats), KernelError>
         + Sync,
@@ -190,6 +231,10 @@ fn run_batch_recovering(
     if queries.is_empty() {
         return Err(EngineError::EmptyBatch);
     }
+    let m = &opts.metrics;
+    let started = m.is_attached().then(std::time::Instant::now);
+    let _batch_span = m.span("engine");
+    let _kernel_span = m.span(label);
     let n_queries = queries.len();
     let order = schedule_order(queries, opts);
     // Fault substreams are keyed by *submission* index, so the ladder a query
@@ -218,31 +263,37 @@ fn run_batch_recovering(
     let mut neighbors = vec![Vec::new(); n_queries];
     let mut per_block = vec![KernelStats::default(); n_queries];
     let mut outcomes = vec![QueryOutcome::Clean; n_queries];
-    match &order {
-        None => {
-            let results: Vec<LadderResult> = (0..n_queries).into_par_iter().map(ladder).collect();
-            for (i, (n, s, o)) in results.into_iter().enumerate() {
-                neighbors[i] = n;
-                per_block[i] = s;
-                outcomes[i] = o;
+    {
+        let _exec_span = m.span("execute");
+        match &order {
+            None => {
+                let results: Vec<LadderResult> =
+                    (0..n_queries).into_par_iter().map(ladder).collect();
+                for (i, (n, s, o)) in results.into_iter().enumerate() {
+                    neighbors[i] = n;
+                    per_block[i] = s;
+                    outcomes[i] = o;
+                }
             }
-        }
-        Some(perm) => {
-            let results: Vec<(u32, LadderResult)> =
-                perm.par_iter().map(|&i| (i, ladder(i as usize))).collect();
-            for (i, (n, s, o)) in results {
-                neighbors[i as usize] = n;
-                per_block[i as usize] = s;
-                outcomes[i as usize] = o;
+            Some(perm) => {
+                let results: Vec<(u32, LadderResult)> =
+                    perm.par_iter().map(|&i| (i, ladder(i as usize))).collect();
+                for (i, (n, s, o)) in results {
+                    neighbors[i as usize] = n;
+                    per_block[i as usize] = s;
+                    outcomes[i as usize] = o;
+                }
             }
         }
     }
-    let mut report =
-        launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order.as_deref());
+    let mut report = m.time("aggregate", || {
+        launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order.as_deref())
+    });
     report.retried_queries =
         outcomes.iter().filter(|o| matches!(o, QueryOutcome::Retried { .. })).count() as u64;
     report.degraded_queries =
         outcomes.iter().filter(|o| matches!(o, QueryOutcome::Degraded { .. })).count() as u64;
+    record_batch(opts, label, started, &report);
     Ok(QueryBatchResult { neighbors, per_block, outcomes, report })
 }
 
@@ -258,7 +309,7 @@ pub fn psb_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch(queries, cfg, opts, |q| match opts.schedule {
+    run_batch(queries, cfg, opts, "psb", |q| match opts.schedule {
         QuerySchedule::Submission => psb_query(tree, q, k, cfg, opts),
         QuerySchedule::Hilbert => psb_query_replay(tree, q, k, cfg, opts),
     })
@@ -275,7 +326,9 @@ pub fn psb_batch_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch_traced(queries, cfg, opts, sink, |q, s| psb_query_traced(tree, q, k, cfg, opts, s))
+    run_batch_traced(queries, cfg, opts, "psb", sink, |q, s| {
+        psb_query_traced(tree, q, k, cfg, opts, s)
+    })
 }
 
 /// [`psb_batch`] under a fault plan, with the retry/degrade recovery ladder.
@@ -293,6 +346,7 @@ pub fn psb_batch_recovering<T: GpuIndex>(
         queries,
         cfg,
         opts,
+        "psb",
         plan,
         |q, faults| match opts.schedule {
             // The replay kernel self-disables whenever a fault state is
@@ -317,7 +371,7 @@ pub fn bnb_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch(queries, cfg, opts, |q| bnb_query(tree, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, "bnb", |q| bnb_query(tree, q, k, cfg, opts))
 }
 
 /// [`bnb_batch`] with every metering call mirrored into `sink`; runs
@@ -331,7 +385,9 @@ pub fn bnb_batch_traced<T: GpuIndex>(
     opts: &KernelOptions,
     sink: &mut dyn TraceSink,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch_traced(queries, cfg, opts, sink, |q, s| bnb_query_traced(tree, q, k, cfg, opts, s))
+    run_batch_traced(queries, cfg, opts, "bnb", sink, |q, s| {
+        bnb_query_traced(tree, q, k, cfg, opts, s)
+    })
 }
 
 /// [`bnb_batch`] under a fault plan, with the retry/degrade recovery ladder.
@@ -347,6 +403,7 @@ pub fn bnb_batch_recovering<T: GpuIndex>(
         queries,
         cfg,
         opts,
+        "bnb",
         plan,
         |q, faults| bnb_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_query(tree, q, k, cfg, opts),
@@ -361,7 +418,7 @@ pub fn range_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch(queries, cfg, opts, |q| range_query_gpu(tree, q, radius, cfg, opts))
+    run_batch(queries, cfg, opts, "range", |q| range_query_gpu(tree, q, radius, cfg, opts))
 }
 
 /// [`range_batch`] under a fault plan, with the retry/degrade recovery ladder.
@@ -379,6 +436,7 @@ pub fn range_batch_recovering<T: GpuIndex>(
         queries,
         cfg,
         opts,
+        "range",
         plan,
         |q, faults| range_try_query(tree, q, radius, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_range(tree, q, radius, cfg, opts),
@@ -393,7 +451,7 @@ pub fn restart_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch(queries, cfg, opts, |q| restart_query(tree, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, "restart", |q| restart_query(tree, q, k, cfg, opts))
 }
 
 /// [`restart_batch`] under a fault plan, with the retry/degrade recovery
@@ -410,6 +468,7 @@ pub fn restart_batch_recovering<T: GpuIndex>(
         queries,
         cfg,
         opts,
+        "restart",
         plan,
         |q, faults| restart_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_query(tree, q, k, cfg, opts),
@@ -455,7 +514,7 @@ pub fn brute_batch(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
-    run_batch(queries, cfg, opts, |q| brute_query(points, q, k, cfg, opts))
+    run_batch(queries, cfg, opts, "brute", |q| brute_query(points, q, k, cfg, opts))
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Kernel launch options, including the ablation switches called out in
 //! DESIGN.md §7 and the throughput knobs of §12.
 
+use psb_metrics::MetricsHandle;
+
 use crate::knnlist::SharedMemPolicy;
 use crate::schedule::QuerySchedule;
 
@@ -46,6 +48,12 @@ pub struct KernelOptions {
     /// fanout is below the warp width, where a full warp per query idles most
     /// of its lanes. Must divide the warp size.
     pub fuse: u32,
+    /// Telemetry sink for the batch runners: host wall-clock spans, per-batch
+    /// latency histograms, and the launch report's simulated figures all land
+    /// here. The default is the detached no-op handle — no clock is read, no
+    /// lock taken, and every result stays bit-identical to an uninstrumented
+    /// run (`tests/metrics_parity.rs`).
+    pub metrics: MetricsHandle,
 }
 
 impl Default for KernelOptions {
@@ -58,6 +66,7 @@ impl Default for KernelOptions {
             layout: NodeLayout::Soa,
             schedule: QuerySchedule::Submission,
             fuse: 1,
+            metrics: MetricsHandle::noop(),
         }
     }
 }
@@ -75,5 +84,6 @@ mod tests {
         assert_eq!(o.layout, NodeLayout::Soa);
         assert_eq!(o.schedule, QuerySchedule::Submission);
         assert_eq!(o.fuse, 1);
+        assert!(!o.metrics.is_attached(), "telemetry is opt-in");
     }
 }

@@ -83,6 +83,13 @@ pub struct QueryStream<'t, T: GpuIndex> {
     /// Completed chunk results awaiting [`poll`](Self::poll), oldest first.
     done: VecDeque<QueryBatchResult>,
     submitted: u64,
+    /// Cumulative wall time spent computing chunk schedules (the stage that a
+    /// real device overlaps with the in-flight launch). Only accumulated when
+    /// `opts.metrics` is attached; nanoseconds.
+    staging_ns: u64,
+    /// Cumulative wall time spent executing chunks; nanoseconds, gated the
+    /// same way.
+    execute_ns: u64,
 }
 
 impl<'t, T: GpuIndex> QueryStream<'t, T> {
@@ -115,6 +122,8 @@ impl<'t, T: GpuIndex> QueryStream<'t, T> {
             sched: ScheduleScratch::default(),
             done: VecDeque::new(),
             submitted: 0,
+            staging_ns: 0,
+            execute_ns: 0,
         }
     }
 
@@ -170,37 +179,75 @@ impl<'t, T: GpuIndex> QueryStream<'t, T> {
             &mut self.pending,
             PointSet::with_capacity(self.tree.dims(), self.chunk),
         );
+        let m = &self.opts.metrics;
+        let started = m.is_attached().then(std::time::Instant::now);
         let order = match self.opts.schedule {
             QuerySchedule::Submission => None,
             QuerySchedule::Hilbert => Some(hilbert_permutation(&chunk, &mut self.sched)),
         };
+        if let Some(t0) = started {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.staging_ns = self.staging_ns.saturating_add(ns);
+            self.opts.metrics.observe("stream.stage_us", ns as f64 / 1e3);
+        }
         if let Some((prev, prev_order)) = self.staged.replace((chunk, order)) {
             self.execute(prev, prev_order);
         }
     }
 
+    /// Publish the pipeline-overlap view after a chunk executes: how much of
+    /// the cumulative staging (scheduling) time fits under the cumulative
+    /// execution time. 1.0 means scheduling hides completely behind in-flight
+    /// chunks on a real device; values below 1.0 mean the host-side sort is
+    /// the bottleneck.
+    fn record_overlap(&self) {
+        let m = &self.opts.metrics;
+        m.gauge("stream.staging_us", self.staging_ns as f64 / 1e3);
+        m.gauge("stream.execute_us", self.execute_ns as f64 / 1e3);
+        let overlap = if self.staging_ns == 0 {
+            1.0
+        } else {
+            (self.execute_ns as f64 / self.staging_ns as f64).min(1.0)
+        };
+        m.gauge("stream.overlap_ratio", overlap);
+    }
+
     fn execute(&mut self, chunk: PointSet, order: Option<Vec<u32>>) {
         let (tree, cfg, opts) = (self.tree, &self.cfg, &self.opts);
         let ord = order.as_deref();
+        let started = opts.metrics.is_attached().then(std::time::Instant::now);
         let result = match self.kernel {
             StreamKernel::Psb { k } => {
-                run_batch_ordered(&chunk, cfg, opts, ord, |q| match opts.schedule {
+                run_batch_ordered(&chunk, cfg, opts, ord, "psb", |q| match opts.schedule {
                     QuerySchedule::Submission => psb_query(tree, q, k, cfg, opts),
                     QuerySchedule::Hilbert => psb_query_replay(tree, q, k, cfg, opts),
                 })
             }
-            StreamKernel::Bnb { k } => {
-                run_batch_ordered(&chunk, cfg, opts, ord, |q| bnb_query(tree, q, k, cfg, opts))
-            }
-            StreamKernel::Restart { k } => {
-                run_batch_ordered(&chunk, cfg, opts, ord, |q| restart_query(tree, q, k, cfg, opts))
-            }
-            StreamKernel::Range { radius } => run_batch_ordered(&chunk, cfg, opts, ord, |q| {
-                range_query_gpu(tree, q, radius, cfg, opts)
+            StreamKernel::Bnb { k } => run_batch_ordered(&chunk, cfg, opts, ord, "bnb", |q| {
+                bnb_query(tree, q, k, cfg, opts)
             }),
+            StreamKernel::Restart { k } => {
+                run_batch_ordered(&chunk, cfg, opts, ord, "restart", |q| {
+                    restart_query(tree, q, k, cfg, opts)
+                })
+            }
+            StreamKernel::Range { radius } => {
+                run_batch_ordered(&chunk, cfg, opts, ord, "range", |q| {
+                    range_query_gpu(tree, q, radius, cfg, opts)
+                })
+            }
         };
         // Chunks are only ever staged non-empty, so the launch cannot fail.
         let result = result.unwrap_or_else(|e| panic!("non-empty chunk failed to launch: {e}"));
+        if let Some(t0) = started {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.execute_ns = self.execute_ns.saturating_add(ns);
+            let m = &self.opts.metrics;
+            m.observe("stream.chunk_us", ns as f64 / 1e3);
+            m.counter("stream.chunks", 1);
+            m.counter("stream.queries", result.neighbors.len() as u64);
+            self.record_overlap();
+        }
         self.done.push_back(result);
         if let Some(perm) = order {
             self.sched.recycle(perm);
@@ -308,6 +355,42 @@ mod tests {
             let chunks = push_all(&mut stream, &queries);
             assert_eq!(chunks.iter().map(|c| c.neighbors.len()).sum::<usize>(), queries.len());
         }
+    }
+
+    #[test]
+    fn attached_stream_records_chunks_and_overlap() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let reg = psb_metrics::Registry::new();
+        let opts = KernelOptions {
+            schedule: QuerySchedule::Hilbert,
+            metrics: psb_metrics::MetricsHandle::attached(&reg),
+            ..Default::default()
+        };
+        let mut stream =
+            QueryStream::with_chunk_size(&tree, StreamKernel::Psb { k: 3 }, cfg, opts, 8);
+        let chunks = push_all(&mut stream, &queries);
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert_eq!(counter("stream.chunks"), chunks.len() as u64);
+        assert_eq!(counter("stream.queries"), queries.len() as u64);
+        let overlap = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "stream.overlap_ratio")
+            .map(|(_, v)| *v)
+            .expect("overlap gauge");
+        assert!((0.0..=1.0).contains(&overlap), "overlap {overlap}");
+        // The chunk latency histogram saw every chunk.
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "stream.chunk_us")
+            .map(|(_, h)| *h)
+            .expect("chunk histogram");
+        assert_eq!(hist.count, chunks.len() as u64);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   `max(Σ cycles / slots, max block cycles)`;
 //! * **warp efficiency** and **accessed bytes**, merged across the batch.
 
+use psb_metrics::MetricsHandle;
+
 use crate::config::DeviceConfig;
 use crate::stats::KernelStats;
 use crate::trace::Phase;
@@ -77,6 +79,33 @@ impl LaunchReport {
     /// aggregation; calling this repeatedly costs a copy, not a recompute.
     pub fn phase_breakdown(&self) -> [PhaseBreakdown; Phase::COUNT] {
         self.breakdown
+    }
+
+    /// Records this report into a metrics registry under the kernel `label`
+    /// (e.g. `"psb"`, `"autoropes"`). The *simulated* figures land as `sim.*`
+    /// gauges and counters so they sit next to the host-side wall-clock data
+    /// in one snapshot; a no-op handle makes this a single branch.
+    pub fn record_into(&self, m: &MetricsHandle, label: &str) {
+        if !m.is_attached() {
+            return;
+        }
+        let tag = format!("{{kernel=\"{label}\"}}");
+        m.gauge(&format!("sim.avg_response_ms{tag}"), self.avg_response_ms);
+        m.gauge(&format!("sim.max_response_ms{tag}"), self.max_response_ms);
+        m.gauge(&format!("sim.makespan_ms{tag}"), self.makespan_ms);
+        m.gauge(&format!("sim.warp_efficiency{tag}"), self.warp_efficiency);
+        m.gauge(&format!("sim.avg_accessed_mb{tag}"), self.avg_accessed_mb);
+        m.gauge(&format!("sim.occupancy{tag}"), self.occupancy as f64);
+        m.counter(&format!("sim.queries{tag}"), self.merged.blocks);
+        m.counter(&format!("sim.physical_blocks{tag}"), self.physical_blocks);
+        m.counter(&format!("sim.global_bytes{tag}"), self.merged.global_bytes);
+        m.counter(&format!("sim.global_transactions{tag}"), self.merged.global_transactions);
+        m.counter(&format!("sim.stream_transactions{tag}"), self.merged.stream_transactions);
+        m.counter(&format!("sim.compute_issues{tag}"), self.merged.compute_issues);
+        m.counter(&format!("sim.nodes_visited{tag}"), self.merged.nodes_visited);
+        m.counter(&format!("sim.backtracks{tag}"), self.merged.backtracks);
+        m.counter(&format!("sim.retried_queries{tag}"), self.retried_queries);
+        m.counter(&format!("sim.degraded_queries{tag}"), self.degraded_queries);
     }
 }
 

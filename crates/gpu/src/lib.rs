@@ -50,6 +50,7 @@ pub use block::Block;
 pub use config::DeviceConfig;
 pub use fault::{DeviceFault, FaultPlan, FaultState};
 pub use launch::{launch_blocks, launch_blocks_fused, LaunchReport, PhaseBreakdown};
+pub use psb_metrics::{MetricsHandle, Registry};
 pub use stats::{KernelStats, PhaseStats, MAX_TRACKED_LEVELS};
 pub use task::{op_phase, run_task_parallel, run_task_parallel_traced, LaneStep};
 pub use trace::{

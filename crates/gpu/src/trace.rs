@@ -325,10 +325,44 @@ mod tests {
             TraceEvent::KnnUpdate { pruned: false, phase: Phase::ResultMerge },
             TraceEvent::Failover { shard: 3, replica: 1 },
         ];
+        // Exhaustiveness witness: this match has no wildcard arm, so adding a
+        // TraceEvent variant fails to compile until it gets an arm here — and
+        // the arm's slot stays zero until an exemplar joins the list above. A
+        // new variant cannot silently skip the serde round-trip.
+        let mut covered = [0u32; 6];
+        for ev in &events {
+            match ev {
+                TraceEvent::NodeVisit { .. } => covered[0] += 1,
+                TraceEvent::GlobalLoad { .. } => covered[1] += 1,
+                TraceEvent::WarpIssue { .. } => covered[2] += 1,
+                TraceEvent::Backtrack { .. } => covered[3] += 1,
+                TraceEvent::KnnUpdate { .. } => covered[4] += 1,
+                TraceEvent::Failover { .. } => covered[5] += 1,
+            }
+        }
+        assert!(
+            covered.iter().all(|&c| c >= 1),
+            "every TraceEvent variant needs a round-trip exemplar: {covered:?}"
+        );
         for ev in events {
             let line = event_to_jsonl("psb", &ev);
             let (label, back) = event_from_jsonl(&line).expect(&line);
             assert_eq!(label, "psb");
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn failover_roundtrips_extreme_ids() {
+        // The serving layer's failover events carry shard/replica ids that a
+        // large deployment can push high; the u32 extremes must survive serde.
+        for ev in [
+            TraceEvent::Failover { shard: 0, replica: 0 },
+            TraceEvent::Failover { shard: u32::MAX, replica: u32::MAX },
+        ] {
+            let line = event_to_jsonl("serve", &ev);
+            let (label, back) = event_from_jsonl(&line).expect(&line);
+            assert_eq!(label, "serve");
             assert_eq!(back, ev);
         }
     }

@@ -1,0 +1,244 @@
+//! Exposition formats: Prometheus text, JSON snapshot, human span tree.
+
+use std::fmt::Write as _;
+
+use crate::registry::Snapshot;
+
+/// Splits a registry key into `(name, labels)`: `"a.b{shard=\"3\"}"` →
+/// `("a.b", Some("shard=\"3\""))`.
+fn split_labels(key: &str) -> (&str, Option<&str>) {
+    match (key.find('{'), key.ends_with('}')) {
+        (Some(brace), true) => (&key[..brace], Some(&key[brace + 1..key.len() - 1])),
+        _ => (key, None),
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; everything else becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+fn prom_line(out: &mut String, key: &str, suffix: &str, extra_label: Option<&str>, value: &str) {
+    let (name, labels) = split_labels(key);
+    let _ = write!(out, "{}{}", prom_name(name), suffix);
+    match (labels, extra_label) {
+        (Some(l), Some(e)) => {
+            let _ = write!(out, "{{{l},{e}}}");
+        }
+        (Some(l), None) => {
+            let _ = write!(out, "{{{l}}}");
+        }
+        (None, Some(e)) => {
+            let _ = write!(out, "{{{e}}}");
+        }
+        (None, None) => {}
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. Histograms
+/// render as summaries (`_count`, `_sum`, and `quantile` series); spans render
+/// as `psb_span_total_ms` / `psb_span_self_ms` / `psb_span_count` series
+/// labeled by path.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (key, v) in &snap.counters {
+        let (name, _) = split_labels(key);
+        let _ = writeln!(out, "# TYPE {} counter", prom_name(name));
+        prom_line(&mut out, key, "", None, &v.to_string());
+    }
+    for (key, v) in &snap.gauges {
+        let (name, _) = split_labels(key);
+        let _ = writeln!(out, "# TYPE {} gauge", prom_name(name));
+        prom_line(&mut out, key, "", None, &format!("{v}"));
+    }
+    for (key, h) in &snap.histograms {
+        let (name, _) = split_labels(key);
+        let _ = writeln!(out, "# TYPE {} summary", prom_name(name));
+        for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99), ("0.999", h.p999)] {
+            prom_line(&mut out, key, "", Some(&format!("quantile=\"{q}\"")), &format!("{v}"));
+        }
+        prom_line(&mut out, key, "_sum", None, &format!("{}", h.sum));
+        prom_line(&mut out, key, "_count", None, &h.count.to_string());
+    }
+    for (path, s) in &snap.spans {
+        let label = format!("path=\"{path}\"");
+        prom_line(&mut out, "psb_span_total_ms", "", Some(&label), &format!("{}", s.total_ms()));
+        prom_line(&mut out, "psb_span_self_ms", "", Some(&label), &format!("{}", s.self_ms()));
+        prom_line(&mut out, "psb_span_count", "", Some(&label), &s.count.to_string());
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// JSON-safe float: `NaN`/`±inf` have no JSON literal, so they render as 0
+/// (the registry never produces them for counters; a histogram of zero
+/// observations reports zeros anyway).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a snapshot as one JSON object:
+/// `{"counters": {...}, "gauges": {...}, "histograms": {...}, "spans": [...]}`.
+/// Keys appear in registry (sorted) order; the output is deterministic.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"counters\": {");
+    for (i, (k, v)) in snap.counters.iter().enumerate() {
+        let comma = if i + 1 == snap.counters.len() { "" } else { "," };
+        let _ = write!(s, "\n    \"{}\": {v}{comma}", json_escape(k));
+    }
+    s.push_str(if snap.counters.is_empty() { "},\n" } else { "\n  },\n" });
+    s.push_str("  \"gauges\": {");
+    for (i, (k, v)) in snap.gauges.iter().enumerate() {
+        let comma = if i + 1 == snap.gauges.len() { "" } else { "," };
+        let _ = write!(s, "\n    \"{}\": {}{comma}", json_escape(k), json_num(*v));
+    }
+    s.push_str(if snap.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+    s.push_str("  \"histograms\": {");
+    for (i, (k, h)) in snap.histograms.iter().enumerate() {
+        let comma = if i + 1 == snap.histograms.len() { "" } else { "," };
+        let _ = write!(
+            s,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \
+             \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}{comma}",
+            json_escape(k),
+            h.count,
+            json_num(h.sum),
+            json_num(h.mean()),
+            json_num(h.p50),
+            json_num(h.p90),
+            json_num(h.p99),
+            json_num(h.p999),
+            json_num(h.max),
+        );
+    }
+    s.push_str(if snap.histograms.is_empty() { "},\n" } else { "\n  },\n" });
+    s.push_str("  \"spans\": [");
+    for (i, (path, st)) in snap.spans.iter().enumerate() {
+        let comma = if i + 1 == snap.spans.len() { "" } else { "," };
+        let _ = write!(
+            s,
+            "\n    {{\"path\": \"{}\", \"count\": {}, \"total_ms\": {}, \"self_ms\": {}}}{comma}",
+            json_escape(path),
+            st.count,
+            json_num(st.total_ms()),
+            json_num(st.self_ms()),
+        );
+    }
+    s.push_str(if snap.spans.is_empty() { "]\n}" } else { "\n  ]\n}" });
+    s.push('\n');
+    s
+}
+
+/// Renders the span table as an indented parent/child tree:
+///
+/// ```text
+/// engine                total 12.3 ms  self 0.4 ms  x2
+///   execute             total 11.9 ms  self 11.9 ms  x2
+/// ```
+///
+/// Paths sort lexicographically in the snapshot, so a parent always precedes
+/// its children and indentation by path depth reconstructs the tree.
+pub fn render_span_tree(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if snap.spans.is_empty() {
+        out.push_str("(no spans recorded)\n");
+        return out;
+    }
+    let width = snap
+        .spans
+        .iter()
+        .map(|(p, _)| 2 * p.matches('/').count() + p.rsplit('/').next().unwrap_or(p).len())
+        .max()
+        .unwrap_or(20)
+        .max(20);
+    for (path, s) in &snap.spans {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            out,
+            "{:indent$}{:<pad$} total {:>9.3} ms  self {:>9.3} ms  x{}",
+            "",
+            leaf,
+            s.total_ms(),
+            s.self_ms(),
+            s.count,
+            indent = 2 * depth,
+            pad = width - 2 * depth,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsHandle, Registry};
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        let m = MetricsHandle::attached(&reg);
+        m.counter("serve.queries", 12);
+        m.counter("serve.shard_visits{shard=\"0\"}", 7);
+        m.gauge("serve.prune_rate", 0.25);
+        m.observe("serve.query_us", 100.0);
+        m.observe("serve.query_us", 250.0);
+        {
+            let _a = m.span("engine");
+            let _b = m.span("execute");
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn prometheus_renders_all_families() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE serve_queries counter"), "{text}");
+        assert!(text.contains("serve_queries 12"), "{text}");
+        assert!(text.contains("serve_shard_visits{shard=\"0\"} 7"), "{text}");
+        assert!(text.contains("# TYPE serve_prune_rate gauge"), "{text}");
+        assert!(text.contains("serve_query_us{quantile=\"0.99\"}"), "{text}");
+        assert!(text.contains("serve_query_us_count 2"), "{text}");
+        assert!(text.contains("psb_span_total_ms{path=\"engine/execute\"}"), "{text}");
+    }
+
+    #[test]
+    fn json_is_deterministic_and_structured() {
+        let a = render_json(&sample());
+        assert!(a.contains("\"serve.queries\": 12"), "{a}");
+        assert!(a.contains("\"counters\""), "{a}");
+        assert!(a.contains("\"p999\""), "{a}");
+        assert!(a.contains("\"path\": \"engine/execute\""), "{a}");
+        // Deterministic for the deterministic parts (spans carry wall time, so
+        // compare only the counter/gauge prefix).
+        let b = render_json(&sample());
+        let cut = |s: &str| s.split("\"spans\"").next().unwrap_or("").to_string();
+        assert_eq!(cut(&a), cut(&b));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_output() {
+        let empty = Snapshot::default();
+        let json = render_json(&empty);
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        assert!(json.contains("\"spans\": []"), "{json}");
+        assert_eq!(render_prometheus(&empty), "");
+        assert!(render_span_tree(&empty).contains("no spans"));
+    }
+
+    #[test]
+    fn span_tree_indents_children() {
+        let tree = render_span_tree(&sample());
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("engine "), "{tree}");
+        assert!(lines[1].starts_with("  execute"), "{tree}");
+    }
+}

@@ -1,0 +1,151 @@
+//! RAII scoped-span wall-clock profiler.
+//!
+//! `metrics.span("router")` opens a span; dropping the guard records the
+//! elapsed wall time into the registry's span table. Nesting is tracked with a
+//! per-thread stack: a span opened while another is open on the same thread
+//! records under the path `parent/child`, and its elapsed time is subtracted
+//! from the parent's *self* time — so the snapshot carries an aggregated
+//! parent/child tree with both total (inclusive) and self (exclusive) time per
+//! path.
+//!
+//! Guards must drop in LIFO order on their thread, which RAII scoping
+//! guarantees; a guard that somehow outlives its parent records under a stale
+//! path but can never corrupt the stack (frames are matched by depth).
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// One open span on this thread's stack.
+struct Frame {
+    /// Full `/`-joined path of the span.
+    path: String,
+    /// Wall-clock nanoseconds spent in already-closed children.
+    child_ns: u64,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard returned by [`MetricsHandle::span`](crate::MetricsHandle::span).
+/// Records on drop; the detached (no-op) variant reads no clock and touches no
+/// thread-local state at all.
+pub struct SpanGuard {
+    /// `None` for the no-op guard.
+    armed: Option<(Arc<Registry>, Instant, usize)>,
+}
+
+impl SpanGuard {
+    pub(crate) fn enter(registry: Option<Arc<Registry>>, name: &str) -> SpanGuard {
+        let Some(registry) = registry else {
+            return SpanGuard { armed: None };
+        };
+        let depth = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{}/{name}", parent.path),
+                None => name.to_string(),
+            };
+            stack.push(Frame { path, child_ns: 0 });
+            stack.len()
+        });
+        SpanGuard { armed: Some((registry, Instant::now(), depth)) }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((registry, start, depth)) = self.armed.take() else {
+            return;
+        };
+        let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop LIFO, so our frame is the top; if an unscoped drop
+            // left deeper frames behind, close ours without touching them.
+            if stack.len() < depth {
+                return; // our frame was already discarded by a parent's drop
+            }
+            stack.truncate(depth);
+            let frame = match stack.pop() {
+                Some(f) => f,
+                None => return,
+            };
+            registry.span_record(&frame.path, elapsed_ns, frame.child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns = parent.child_ns.saturating_add(elapsed_ns);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsHandle;
+
+    #[test]
+    fn nested_spans_build_paths_and_split_self_time() {
+        let reg = Registry::new();
+        let m = MetricsHandle::attached(&reg);
+        {
+            let _outer = m.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = m.span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let snap = reg.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, ["outer", "outer/inner"]);
+        let outer = snap.spans[0].1;
+        let inner = snap.spans[1].1;
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns, "parent total includes child");
+        assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+        assert_eq!(inner.self_ns, inner.total_ns, "leaf span is all self time");
+    }
+
+    #[test]
+    fn repeated_spans_aggregate() {
+        let reg = Registry::new();
+        let m = MetricsHandle::attached(&reg);
+        for _ in 0..5 {
+            m.time("tick", || {});
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].1.count, 5);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_nest() {
+        let reg = Registry::new();
+        let m = MetricsHandle::attached(&reg);
+        let _outer = m.span("outer");
+        let worker = {
+            let m = m.clone();
+            std::thread::spawn(move || {
+                let _s = m.span("worker");
+            })
+        };
+        worker.join().expect("worker");
+        let snap = reg.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|(p, _)| p.as_str()).collect();
+        // The worker's span is a root on its own thread, not "outer/worker".
+        assert!(paths.contains(&"worker"), "paths: {paths:?}");
+    }
+
+    #[test]
+    fn noop_span_is_inert() {
+        let m = MetricsHandle::noop();
+        let g = m.span("anything");
+        drop(g);
+        assert!(m.snapshot().spans.is_empty());
+    }
+}

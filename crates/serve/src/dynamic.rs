@@ -16,6 +16,7 @@ use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 use psb_core::shard::{partition, shard_sphere, ShardPolicy};
 use psb_core::DynamicSsTree;
 use psb_geom::{dist, PointSet, RitterMode, Sphere};
+use psb_metrics::MetricsHandle;
 use psb_sstree::{BuildMethod, Neighbor};
 
 /// One shard's mutable state: the tree plus the local→global id mapping.
@@ -44,6 +45,9 @@ pub struct DynamicShardRouter {
     owners: Mutex<HashMap<u32, (usize, u32)>>,
     next_global: Mutex<u32>,
     dims: usize,
+    /// Telemetry sink (detached by default): rebuild durations, per-query
+    /// latency, and shard visit/prune counters.
+    metrics: MetricsHandle,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -78,7 +82,15 @@ impl DynamicShardRouter {
             owners: Mutex::new(owners),
             next_global: Mutex::new(points.len() as u32),
             dims: points.dims(),
+            metrics: MetricsHandle::noop(),
         }
+    }
+
+    /// Attaches a metrics registry: rebuilds record their wall-clock duration
+    /// (`serve.rebuild_us`), queries their latency (`serve.dyn_query_us`) and
+    /// per-shard visit/prune counters.
+    pub fn attach_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
     }
 
     /// Number of shards.
@@ -148,9 +160,17 @@ impl DynamicShardRouter {
     }
 
     /// Rebuilds shard `s`'s packed index, write-locking only that shard: the
-    /// directory and every other shard keep serving.
+    /// directory and every other shard keep serving. The duration (lock wait
+    /// included — that wait is what an operator watching rebuild latency
+    /// cares about) lands in the `serve.rebuild_us` histogram when a registry
+    /// is attached.
     pub fn rebuild_shard(&self, s: usize) {
+        let started = self.metrics.is_attached().then(std::time::Instant::now);
         self.cells[s].write().unwrap_or_else(PoisonError::into_inner).tree.rebuild();
+        if let Some(t0) = started {
+            self.metrics.observe("serve.rebuild_us", t0.elapsed().as_secs_f64() * 1e6);
+            self.metrics.counter(&format!("serve.rebuilds{{shard=\"{s}\"}}"), 1);
+        }
     }
 
     /// Exact kNN over the live set, global ids. Shards are visited best-first
@@ -160,6 +180,8 @@ impl DynamicShardRouter {
     pub fn knn(&self, q: &[f32], k: usize) -> Vec<Neighbor> {
         assert!(k >= 1, "k must be at least 1");
         assert_eq!(q.len(), self.dims, "dimensionality mismatch");
+        let m = &self.metrics;
+        let started = m.is_attached().then(std::time::Instant::now);
         // Snapshot the directory under the brief meta locks.
         let mut order: Vec<(f32, f32, usize, usize)> = (0..self.metas.len())
             .map(|s| {
@@ -188,7 +210,13 @@ impl DynamicShardRouter {
             let bound =
                 if best.len() >= k { best[k - 1].dist.min(initial_bound) } else { initial_bound };
             if mindist > bound {
+                if started.is_some() {
+                    m.counter(&format!("serve.dyn_shard_prunes{{shard=\"{s}\"}}"), 1);
+                }
                 continue;
+            }
+            if started.is_some() {
+                m.counter(&format!("serve.dyn_shard_visits{{shard=\"{s}\"}}"), 1);
             }
             let cell = self.cells[s].read().unwrap_or_else(PoisonError::into_inner);
             for n in cell.tree.knn(q, k) {
@@ -200,6 +228,10 @@ impl DynamicShardRouter {
             }
             best.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
             best.truncate(k);
+        }
+        if let Some(t0) = started {
+            m.observe("serve.dyn_query_us", t0.elapsed().as_secs_f64() * 1e6);
+            m.counter("serve.dyn_queries", 1);
         }
         best
     }
@@ -261,6 +293,46 @@ mod tests {
             r.rebuild_shard(s);
         }
         assert_eq!(r.knn(&q, 9), before, "rebuild changed answers");
+    }
+
+    #[test]
+    fn attached_registry_sees_rebuilds_and_queries() {
+        let ps = UniformSpec { len: 300, dims: 3, seed: 51 }.generate();
+        let mut r = DynamicShardRouter::build(&ps, 3, &ShardPolicy::HilbertRange, 8);
+        let reg = psb_metrics::Registry::new();
+        r.attach_metrics(MetricsHandle::attached(&reg));
+        let before = r.knn(ps.point(0), 5);
+        for s in 0..r.num_shards() {
+            r.rebuild_shard(s);
+        }
+        assert_eq!(r.knn(ps.point(0), 5), before);
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        assert_eq!(counter("serve.dyn_queries"), 2);
+        let rebuilds: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("serve.rebuilds{"))
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(rebuilds, 3);
+        let hist = |name: &str| {
+            snap.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| *h).expect(name)
+        };
+        assert_eq!(hist("serve.rebuild_us").count, 3);
+        assert_eq!(hist("serve.dyn_query_us").count, 2);
+        // Every shard decision was counted, visit or prune.
+        let decisions: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| {
+                k.starts_with("serve.dyn_shard_visits{") || k.starts_with("serve.dyn_shard_prunes{")
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(decisions, 2 * r.num_shards() as u64);
     }
 
     /// The satellite's non-blocking guarantee: with shard 0's tree

@@ -24,6 +24,7 @@ mod dynamic;
 mod router;
 
 pub use dynamic::DynamicShardRouter;
+pub use psb_metrics::{MetricsHandle, Registry};
 pub use router::{
     FailoverEvent, ReplicaState, ServeBatchResult, ServeConfig, ServeReport, ShardRouter,
 };

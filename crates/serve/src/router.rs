@@ -12,6 +12,7 @@ use psb_gpu::{
     launch_blocks, Block, DeviceConfig, FaultPlan, KernelStats, LaunchReport, NodeKind, NoopSink,
     Phase, TraceEvent, TraceSink,
 };
+use psb_metrics::MetricsHandle;
 use psb_sstree::Neighbor;
 
 /// How a [`ShardRouter`] is laid out: shard count, replication factor, and
@@ -123,7 +124,8 @@ impl ServeReport {
         self.shard_prunes.iter().sum()
     }
 
-    /// Fraction of shard decisions that pruned, in `[0, 1]`.
+    /// Fraction of shard decisions that pruned, in `[0, 1]`. A report with no
+    /// shard decisions at all reports `0.0`, never `NaN`.
     pub fn prune_rate(&self) -> f64 {
         let total = self.shards_visited() + self.shards_pruned();
         if total == 0 {
@@ -131,6 +133,29 @@ impl ServeReport {
         } else {
             self.shards_pruned() as f64 / total as f64
         }
+    }
+
+    /// Records this report into a metrics registry — the single bridge from
+    /// serving results to telemetry. Every counter is derived from the report
+    /// fields alone (per-shard visits/prunes, the failover list, the launch
+    /// report's retry/degrade tallies), so the registry can never drift from
+    /// what the report says. No-op when `m` is detached.
+    pub fn record_into(&self, m: &MetricsHandle) {
+        if !m.is_attached() {
+            return;
+        }
+        for (s, &v) in self.shard_visits.iter().enumerate() {
+            m.counter(&format!("serve.shard_visits{{shard=\"{s}\"}}"), v);
+        }
+        for (s, &v) in self.shard_prunes.iter().enumerate() {
+            m.counter(&format!("serve.shard_prunes{{shard=\"{s}\"}}"), v);
+        }
+        m.counter("serve.queries", self.launch.merged.blocks);
+        m.counter("serve.failovers", self.failovers.len() as u64);
+        m.counter("serve.retried_queries", self.launch.retried_queries);
+        m.counter("serve.degraded_queries", self.launch.degraded_queries);
+        m.gauge("serve.prune_rate", self.prune_rate());
+        self.launch.record_into(m, "serve");
     }
 }
 
@@ -155,6 +180,9 @@ pub struct ShardRouter<T> {
     shards: Vec<ShardEntry<T>>,
     device: DeviceConfig,
     dims: usize,
+    /// Telemetry sink; the detached default records nothing and costs one
+    /// branch per batch.
+    metrics: MetricsHandle,
 }
 
 impl<T: GpuIndex> ShardRouter<T> {
@@ -189,7 +217,20 @@ impl<T: GpuIndex> ShardRouter<T> {
                 ShardEntry { index, sphere, ids: ids.clone(), replicas }
             })
             .collect();
-        Self { shards, device: device.clone(), dims: points.dims() }
+        Self { shards, device: device.clone(), dims: points.dims(), metrics: MetricsHandle::noop() }
+    }
+
+    /// Attaches a metrics registry: subsequent batches record per-shard
+    /// visit/prune counters, failover/degrade tallies, per-query and per-batch
+    /// latency histograms, and the launch report's simulated figures.
+    pub fn attach_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
+    }
+
+    /// The router's current metrics handle (detached unless
+    /// [`ShardRouter::attach_metrics`] was called).
+    pub fn metrics(&self) -> &MetricsHandle {
+        &self.metrics
     }
 
     /// Number of shards.
@@ -255,31 +296,41 @@ impl<T: GpuIndex> ShardRouter<T> {
         }
         assert!(k >= 1, "k must be at least 1");
         assert_eq!(queries.dims(), self.dims, "query dimensionality mismatch");
+        // serve_one borrows `self` mutably, so work through a clone of the
+        // handle (an `Option<Arc>` — the clone is two words).
+        let m = self.metrics.clone();
+        let batch_started = m.is_attached().then(std::time::Instant::now);
+        let _span = m.span("serve");
         let n = queries.len();
         let mut neighbors = Vec::with_capacity(n);
         let mut per_query = Vec::with_capacity(n);
         let mut outcomes = Vec::with_capacity(n);
         let mut scratch = ServeScratch::new(self.shards.len());
         for qi in 0..n {
+            let query_started = m.is_attached().then(std::time::Instant::now);
             let (nb, stats, outcome) =
                 self.serve_one(qi, queries.point(qi), k, opts, &mut scratch, sink);
+            if let Some(t0) = query_started {
+                m.observe("serve.query_us", t0.elapsed().as_secs_f64() * 1e6);
+            }
             neighbors.push(nb);
             per_query.push(stats);
             outcomes.push(outcome);
         }
         let warps = opts.threads_per_block.div_ceil(self.device.warp_size);
-        let mut launch = launch_blocks(&self.device, warps, &per_query);
+        let mut launch = m.time("aggregate", || launch_blocks(&self.device, warps, &per_query));
         launch.retried_queries =
             outcomes.iter().filter(|o| matches!(o, QueryOutcome::Retried { .. })).count() as u64;
         launch.degraded_queries =
             outcomes.iter().filter(|o| matches!(o, QueryOutcome::Degraded { .. })).count() as u64;
         let ServeScratch { shard_visits, shard_prunes, failovers, .. } = scratch;
-        Ok(ServeBatchResult {
-            neighbors,
-            per_query,
-            outcomes,
-            report: ServeReport { launch, shard_visits, shard_prunes, failovers },
-        })
+        let report = ServeReport { launch, shard_visits, shard_prunes, failovers };
+        if let Some(t0) = batch_started {
+            m.observe("serve.batch_us", t0.elapsed().as_secs_f64() * 1e6);
+            m.counter("serve.batches", 1);
+        }
+        report.record_into(&m);
+        Ok(ServeBatchResult { neighbors, per_query, outcomes, report })
     }
 
     /// One query through the router block: shard directory scan, MINDIST
@@ -521,6 +572,84 @@ mod tests {
         assert_eq!(out.report.shards_visited() + out.report.shards_pruned(), 320);
         assert!(out.report.shards_pruned() > 0, "no shard pruning on uniform data");
         assert!(out.report.prune_rate() > 0.0 && out.report.prune_rate() < 1.0);
+    }
+
+    #[test]
+    fn prune_rate_is_zero_not_nan_with_no_shard_decisions() {
+        // A report whose batch made zero visit/prune decisions (e.g. a router
+        // with no shards to decide over) must report 0.0, not 0/0 = NaN.
+        let launch = launch_blocks(&DeviceConfig::k40(), 1, &[KernelStats::default()]);
+        let report = ServeReport {
+            launch,
+            shard_visits: vec![0; 4],
+            shard_prunes: vec![0; 4],
+            failovers: Vec::new(),
+        };
+        assert_eq!(report.shards_visited(), 0);
+        assert_eq!(report.shards_pruned(), 0);
+        let rate = report.prune_rate();
+        assert!(!rate.is_nan(), "prune_rate must never be NaN");
+        assert_eq!(rate, 0.0);
+        // And it feeds the registry as a clean 0.0 gauge.
+        let reg = psb_metrics::Registry::new();
+        report.record_into(&MetricsHandle::attached(&reg));
+        let snap = reg.snapshot();
+        let gauge = snap.gauges.iter().find(|(k, _)| k == "serve.prune_rate").map(|(_, v)| *v);
+        assert_eq!(gauge, Some(0.0));
+    }
+
+    #[test]
+    fn empty_batch_serve_is_a_typed_error() {
+        let (_, mut r) = router(200, 3, &ServeConfig::new(2));
+        let empty = PointSet::new(3);
+        assert!(matches!(
+            r.serve_batch(&empty, 3, &KernelOptions::default()),
+            Err(EngineError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn attached_registry_matches_the_report_exactly() {
+        // Satellite: the registry is fed from the report (one source of
+        // truth), so every counter must equal the report field it came from.
+        let (_, mut r) = router(600, 4, &ServeConfig::new(4).with_replicas(2));
+        r.set_fault_plan(0, 0, FaultPlan::truncation(1));
+        let reg = psb_metrics::Registry::new();
+        r.attach_metrics(MetricsHandle::attached(&reg));
+        let queries = UniformSpec { len: 10, dims: 4, seed: 17 }.generate();
+        let out = r.serve_batch(&queries, 4, &KernelOptions::default()).expect("serve");
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v).unwrap_or(0)
+        };
+        for s in 0..4 {
+            assert_eq!(
+                counter(&format!("serve.shard_visits{{shard=\"{s}\"}}")),
+                out.report.shard_visits[s],
+                "shard {s} visits"
+            );
+            assert_eq!(
+                counter(&format!("serve.shard_prunes{{shard=\"{s}\"}}")),
+                out.report.shard_prunes[s],
+                "shard {s} prunes"
+            );
+        }
+        assert_eq!(counter("serve.queries"), queries.len() as u64);
+        assert_eq!(counter("serve.failovers"), out.report.failovers.len() as u64);
+        assert_eq!(counter("serve.retried_queries"), out.report.launch.retried_queries);
+        assert_eq!(counter("serve.degraded_queries"), out.report.launch.degraded_queries);
+        assert_eq!(counter("serve.batches"), 1);
+        let gauge =
+            |name: &str| snap.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v).expect(name);
+        assert_eq!(gauge("serve.prune_rate"), out.report.prune_rate());
+        // Latency histograms saw every query and the batch.
+        let hist = |name: &str| {
+            snap.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| *h).expect(name)
+        };
+        assert_eq!(hist("serve.query_us").count, queries.len() as u64);
+        assert_eq!(hist("serve.batch_us").count, 1);
+        // The batch span landed in the wall-clock tree.
+        assert!(snap.spans.iter().any(|(p, _)| p == "serve"), "missing serve span");
     }
 
     #[test]

@@ -48,12 +48,14 @@
 //! | [`kdtree`] | task-parallel GPU kd-tree baseline |
 //! | [`srtree`] | top-down SR-tree CPU baseline |
 //! | [`serve`] | multi-device sharded serving: MINDIST shard router, exact merge, replica failover |
+//! | [`metrics`] | serving-grade telemetry: counters/gauges/histograms, wall-clock span tree, Prometheus + JSON exposition |
 
 pub use psb_core as core;
 pub use psb_data as data;
 pub use psb_geom as geom;
 pub use psb_gpu as gpu;
 pub use psb_kdtree as kdtree;
+pub use psb_metrics as metrics;
 pub use psb_rtree as rtree;
 pub use psb_serve as serve;
 pub use psb_srtree as srtree;
@@ -88,6 +90,10 @@ pub mod prelude {
         PhaseBreakdown, PhaseStats, TraceEvent, TraceSink, VecSink,
     };
     pub use psb_kdtree::{gpu::knn_task_parallel, knn_cpu, KdTree};
+    pub use psb_metrics::{
+        render_json, render_prometheus, render_span_tree, Histogram, HistogramSummary,
+        MetricsHandle, Registry, Snapshot, SpanStat,
+    };
     pub use psb_rtree::{build_rtree, RsTree, RtreeBuildMethod};
     pub use psb_serve::{
         DynamicShardRouter, FailoverEvent, ReplicaState, ServeBatchResult, ServeConfig,
