@@ -3,7 +3,8 @@
 #
 #   ./ci.sh            # everything
 #   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults |
-#                      #            shard | metrics | bench-smoke | bench-compare)
+#                      #            shard | chaos | metrics | bench-smoke |
+#                      #            bench-compare)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +26,18 @@ run_faults() { cargo test -p psb --test fault_injection -q; }
 # Sharded serving layer: the router's own unit tests plus the bit-identity /
 # failover acceptance suite.
 run_shard()  { cargo test -p psb-serve -q && cargo test -p psb --test shard_parity -q; }
+# Resilience layer: the chaos soak (fault injection + deadline pressure +
+# quota shedding + breaker trips at once; zero panics, every query resolving
+# to exactly one typed outcome, bit-deterministic replay), the admission
+# property tests, and the golden-parity suite pinning that the transparent
+# front-end is bit-identical to the bare router. The admission/deadline
+# modules themselves sit inside psb-serve, so hardlint's no-unwrap wall
+# already covers them.
+run_chaos() {
+    cargo test -p psb --test chaos -q
+    cargo test -p psb --test admission -q
+    cargo test -p psb --test resilience_parity -q
+}
 # Telemetry layer: the registry/histogram/span unit+property tests, plus the
 # no-op-parity golden suite pinning that an attached registry never changes
 # neighbors, counters, or reports (DESIGN.md §14).
@@ -66,6 +79,7 @@ case "$stage" in
     test)          run_test ;;
     faults)        run_faults ;;
     shard)         run_shard ;;
+    chaos)         run_chaos ;;
     metrics)       run_metrics ;;
     bench-smoke)   run_bench_smoke ;;
     bench-compare) run_bench_compare ;;
@@ -76,13 +90,14 @@ case "$stage" in
         echo "== cargo test ==" && run_test
         echo "== fault-injection suite ==" && run_faults
         echo "== sharded serving suite ==" && run_shard
+        echo "== resilience chaos suite ==" && run_chaos
         echo "== telemetry suite ==" && run_metrics
         echo "== bench smoke ==" && run_bench_smoke
         echo "== bench compare gate ==" && run_bench_compare
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|metrics|bench-smoke|bench-compare|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|bench-smoke|bench-compare|all]" >&2
         exit 2
         ;;
 esac

@@ -3,10 +3,23 @@
 //! `bench compare old.json new.json` loads two `BENCH_psb.json` files (any
 //! schema version that carries the per-kernel `results` rows), matches rows by
 //! `(workload, dims, index, kernel)`, and reports every matched row whose
-//! throughput dropped or whose p99 latency rose by more than the threshold
-//! (default 10%). The binary exits nonzero when any regression is found, which
-//! is what lets `ci.sh bench-compare` gate a branch against the committed
-//! baseline.
+//! throughput dropped or whose p99/p99.9 latency rose by more than the
+//! threshold (default 10%). The binary exits nonzero when any regression is
+//! found, which is what lets `ci.sh bench-compare` gate a branch against the
+//! committed baseline.
+//!
+//! Two optional gates ride on newer schemas and degrade gracefully on older
+//! files (a field present in only one file is simply not compared):
+//!
+//! * **p99.9** (`p999_us`, schema v5+) — the tail-latency row field, gated
+//!   exactly like p99.
+//! * **serving outcome mix** (schema v5+) — the five outcome fractions of the
+//!   pressured resilience replay. These are deterministic model outputs, so
+//!   the gate is *absolute*: a degradation fraction (retried / degraded /
+//!   deadline-degraded / rejected) that rose by more than `threshold` fraction
+//!   points, or a clean fraction that fell by more, fails. A mix shift means
+//!   the front-end started shedding or degrading queries it used to answer
+//!   exactly — a serving regression even when every latency row got faster.
 //!
 //! Parsing is deliberately line-oriented: the harness emits one result row per
 //! line, so a full JSON parser is unnecessary (and the workspace is offline —
@@ -25,6 +38,8 @@ pub struct BenchRow {
     pub kernel: String,
     pub qps: f64,
     pub p99_us: f64,
+    /// Tail latency, schema v5+; `None` on older files (not compared then).
+    pub p999_us: Option<f64>,
 }
 
 impl BenchRow {
@@ -34,23 +49,41 @@ impl BenchRow {
     }
 }
 
+/// The serving outcome mix (schema v5+): what fraction of the pressured
+/// resilience replay resolved to each typed outcome. Deterministic model
+/// outputs — comparable exactly, unlike wall-clock rows.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServingMix {
+    pub clean_frac: f64,
+    pub retried_frac: f64,
+    pub degraded_frac: f64,
+    pub deadline_degraded_frac: f64,
+    pub rejected_frac: f64,
+}
+
 /// The subset of a BENCH file the gate compares.
 #[derive(Clone, Debug, Default)]
 pub struct BenchFile {
     pub schema: String,
     pub rows: Vec<BenchRow>,
+    /// Present on schema v5+ files that carry a `serving` section.
+    pub serving: Option<ServingMix>,
 }
 
 /// One threshold violation between two matched rows.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
-    /// Row identity, `workload/dims/index/kernel`.
+    /// Row identity, `workload/dims/index/kernel` — or `"serving"` for an
+    /// outcome-mix violation.
     pub key: String,
-    /// Which metric regressed: `"qps"` or `"p99_us"`.
+    /// Which metric regressed: `"qps"`, `"p99_us"`, `"p999_us"`, or one of
+    /// the `*_frac` outcome-mix fields.
     pub metric: &'static str,
     pub old: f64,
     pub new: f64,
-    /// Relative change, signed so qps drops and p99 rises are both positive.
+    /// Change magnitude, signed so every regression direction is positive:
+    /// relative for qps/latency, **absolute fraction points** for the
+    /// outcome-mix fields.
     pub ratio: f64,
 }
 
@@ -78,7 +111,26 @@ fn str_field(line: &str, field: &str) -> Option<String> {
 pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     let schema = str_field(json, "schema").ok_or("missing \"schema\" field")?;
     let mut rows = Vec::new();
+    let mut serving = None;
     for line in json.lines() {
+        // The serving outcome mix is emitted on a single line carrying all
+        // five fractions; nothing else in the file has `clean_frac`.
+        if let (Some(clean), Some(retried), Some(degraded), Some(deadline), Some(rejected)) = (
+            num_field(line, "clean_frac"),
+            num_field(line, "retried_frac"),
+            num_field(line, "degraded_frac"),
+            num_field(line, "deadline_degraded_frac"),
+            num_field(line, "rejected_frac"),
+        ) {
+            serving = Some(ServingMix {
+                clean_frac: clean,
+                retried_frac: retried,
+                degraded_frac: degraded,
+                deadline_degraded_frac: deadline,
+                rejected_frac: rejected,
+            });
+            continue;
+        }
         // A result row is the only line shape with all five of these fields;
         // the throughput/sharding sections lack `p99_us` or `kernel`.
         let (Some(workload), Some(index), Some(kernel)) =
@@ -91,12 +143,13 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
         else {
             continue;
         };
-        rows.push(BenchRow { workload, dims: dims as usize, index, kernel, qps, p99_us });
+        let p999_us = num_field(line, "p999_us");
+        rows.push(BenchRow { workload, dims: dims as usize, index, kernel, qps, p99_us, p999_us });
     }
     if rows.is_empty() {
         return Err("no result rows found (not a BENCH file?)".to_string());
     }
-    Ok(BenchFile { schema, rows })
+    Ok(BenchFile { schema, rows, serving })
 }
 
 /// Compares matched rows; returns every violation of `threshold` (a fraction:
@@ -122,6 +175,48 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Vec<Regressi
                 old: o.p99_us,
                 new: n.p99_us,
                 ratio: n.p99_us / o.p99_us - 1.0,
+            });
+        }
+        if let (Some(op), Some(np)) = (o.p999_us, n.p999_us) {
+            if op > 0.0 && np > op * (1.0 + threshold) {
+                out.push(Regression {
+                    key: o.key(),
+                    metric: "p999_us",
+                    old: op,
+                    new: np,
+                    ratio: np / op - 1.0,
+                });
+            }
+        }
+    }
+    if let (Some(om), Some(nm)) = (&old.serving, &new.serving) {
+        // Absolute gate: the mix fractions are deterministic model outputs,
+        // so any shift beyond `threshold` fraction points toward degradation
+        // is a behavior change, not machine noise.
+        let degrading: [(&'static str, f64, f64); 4] = [
+            ("retried_frac", om.retried_frac, nm.retried_frac),
+            ("degraded_frac", om.degraded_frac, nm.degraded_frac),
+            ("deadline_degraded_frac", om.deadline_degraded_frac, nm.deadline_degraded_frac),
+            ("rejected_frac", om.rejected_frac, nm.rejected_frac),
+        ];
+        for (metric, o, n) in degrading {
+            if n > o + threshold {
+                out.push(Regression {
+                    key: "serving".into(),
+                    metric,
+                    old: o,
+                    new: n,
+                    ratio: n - o,
+                });
+            }
+        }
+        if nm.clean_frac < om.clean_frac - threshold {
+            out.push(Regression {
+                key: "serving".into(),
+                metric: "clean_frac",
+                old: om.clean_frac,
+                new: nm.clean_frac,
+                ratio: om.clean_frac - nm.clean_frac,
             });
         }
     }
@@ -167,6 +262,15 @@ pub fn render_report(
             let _ = writeln!(s, "  note: row {} new (no baseline)", n.key());
         }
     }
+    match (&old.serving, &new.serving) {
+        (Some(_), None) => {
+            let _ = writeln!(s, "  note: serving outcome mix missing from new file");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(s, "  note: serving outcome mix new (no baseline)");
+        }
+        _ => {}
+    }
     if regs.is_empty() {
         let _ = writeln!(s, "  OK: no regression beyond {:.0}%", threshold * 100.0);
     } else {
@@ -179,19 +283,37 @@ pub fn render_report(
 mod tests {
     use super::*;
 
+    /// Emits the v5 row shape (with `p999_us` = 2 × p99).
     fn bench_json(rows: &[(&str, usize, &str, &str, f64, f64)]) -> String {
-        let mut s = String::from("{\n  \"schema\": \"psb-bench-v4\",\n  \"results\": [\n");
+        let mut s = String::from("{\n  \"schema\": \"psb-bench-v5\",\n  \"results\": [\n");
         for (i, (w, d, ix, k, qps, p99)) in rows.iter().enumerate() {
             let comma = if i + 1 == rows.len() { "" } else { "," };
             let _ = writeln!(
                 s,
                 "    {{\"workload\": \"{w}\", \"dims\": {d}, \"index\": \"{ix}\", \
                  \"kernel\": \"{k}\", \"build_ms\": 1.0, \"queries\": 8, \"qps\": {qps:.3}, \
-                 \"p50_us\": 1.0, \"p99_us\": {p99:.3}}}{comma}"
+                 \"p50_us\": 1.0, \"p99_us\": {p99:.3}, \"p999_us\": {:.3}}}{comma}",
+                p99 * 2.0
             );
         }
         s.push_str("  ]\n}\n");
         s
+    }
+
+    /// Appends a serving section with the given outcome mix to a bench file.
+    fn with_serving(json: &str, mix: &ServingMix) -> String {
+        let body = json.trim_end().trim_end_matches('}');
+        format!(
+            "{body},\n  \"serving\": {{\n    \"batch_size\": 240, \"shards\": 4, \
+             \"qps\": 100.0, \"cache_hit_frac\": 0.1,\n    \"outcome_mix\": \
+             {{\"clean_frac\": {:.4}, \"retried_frac\": {:.4}, \"degraded_frac\": {:.4}, \
+             \"deadline_degraded_frac\": {:.4}, \"rejected_frac\": {:.4}}}\n  }}\n}}\n",
+            mix.clean_frac,
+            mix.retried_frac,
+            mix.degraded_frac,
+            mix.deadline_degraded_frac,
+            mix.rejected_frac
+        )
     }
 
     #[test]
@@ -201,12 +323,31 @@ mod tests {
             ("gaussian", 4, "rtree", "bnb", 2000.0, 25.0),
         ]);
         let f = parse_bench(&json).unwrap();
-        assert_eq!(f.schema, "psb-bench-v4");
+        assert_eq!(f.schema, "psb-bench-v5");
         assert_eq!(f.rows.len(), 2);
         assert_eq!(f.rows[0].key(), "uniform/16d/sstree/psb");
         assert_eq!(f.rows[1].dims, 4);
         assert_eq!(f.rows[1].qps, 2000.0);
         assert_eq!(f.rows[1].p99_us, 25.0);
+        assert_eq!(f.rows[1].p999_us, Some(50.0));
+        assert!(f.serving.is_none());
+    }
+
+    #[test]
+    fn v4_files_without_p999_still_parse_and_compare() {
+        // The committed baseline may predate the tail field: rows parse with
+        // `p999_us: None` and the p999 gate silently does not apply.
+        let v4 = "{\n  \"schema\": \"psb-bench-v4\",\n  \"results\": [\n    \
+                  {\"workload\": \"uniform\", \"dims\": 16, \"index\": \"sstree\", \
+                  \"kernel\": \"psb\", \"build_ms\": 1.0, \"queries\": 8, \"qps\": 1000.0, \
+                  \"p50_us\": 1.0, \"p99_us\": 50.0}\n  ]\n}\n";
+        let old = parse_bench(v4).unwrap();
+        assert_eq!(old.rows[0].p999_us, None);
+        let new =
+            parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)])).unwrap();
+        assert!(compare(&old, &new, 0.10).is_empty());
+        let report = render_report(&old, &new, 0.10, &[]);
+        assert!(report.contains("OK"));
     }
 
     #[test]
@@ -220,9 +361,11 @@ mod tests {
         let old = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]));
         let new = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 60.0)]));
         let regs = compare(&old.unwrap(), &new.unwrap(), 0.10);
-        assert_eq!(regs.len(), 1);
+        // The helper derives p999 from p99, so the tail gate trips alongside.
+        assert_eq!(regs.len(), 2);
         assert_eq!(regs[0].metric, "p99_us");
         assert!(regs[0].ratio > 0.10);
+        assert_eq!(regs[1].metric, "p999_us");
     }
 
     #[test]
@@ -249,6 +392,53 @@ mod tests {
         ]))
         .unwrap();
         assert!(compare(&f, &f, 0.0).is_empty());
+    }
+
+    #[test]
+    fn p999_regression_beyond_threshold_fails() {
+        // Same qps and p99 — only the tail moved. The injected p999 (2 × p99
+        // via the helper) rises from 100 to 140.
+        let old = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]));
+        let new = parse_bench(&bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 70.0)]));
+        let regs = compare(&old.unwrap(), &new.unwrap(), 0.10);
+        assert_eq!(regs.len(), 2, "p99 and p999 both moved: {regs:?}");
+        assert!(regs.iter().any(|r| r.metric == "p999_us" && r.old == 100.0 && r.new == 140.0));
+    }
+
+    #[test]
+    fn outcome_mix_shift_toward_degradation_fails() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let om = ServingMix {
+            clean_frac: 0.70,
+            retried_frac: 0.05,
+            degraded_frac: 0.02,
+            deadline_degraded_frac: 0.13,
+            rejected_frac: 0.10,
+        };
+        let nm = ServingMix { clean_frac: 0.50, rejected_frac: 0.30, ..om };
+        let old = parse_bench(&with_serving(&base, &om)).unwrap();
+        assert_eq!(old.serving, Some(om), "serving section must parse back out");
+        let new = parse_bench(&with_serving(&base, &nm)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert_eq!(regs.len(), 2, "rejected rose and clean fell: {regs:?}");
+        assert!(regs.iter().any(|r| r.metric == "rejected_frac" && r.key == "serving"));
+        assert!(regs.iter().any(|r| r.metric == "clean_frac"));
+        // Within-threshold drift passes.
+        let drift = ServingMix { clean_frac: 0.65, rejected_frac: 0.15, ..om };
+        let ok = parse_bench(&with_serving(&base, &drift)).unwrap();
+        assert!(compare(&old, &ok, 0.10).is_empty());
+    }
+
+    #[test]
+    fn serving_section_in_one_file_is_a_note_not_a_regression() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let om = ServingMix { clean_frac: 1.0, ..ServingMix::default() };
+        let old = parse_bench(&base).unwrap();
+        let new = parse_bench(&with_serving(&base, &om)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(regs.is_empty());
+        let report = render_report(&old, &new, 0.10, &regs);
+        assert!(report.contains("serving outcome mix new"));
     }
 
     #[test]

@@ -85,20 +85,41 @@ impl From<DeviceFault> for KernelError {
 pub enum EngineError {
     /// The query batch was empty — there is nothing to launch.
     EmptyBatch,
+    /// A serving-layer router holds no shards — there is nowhere to route.
+    NoShards,
+    /// A shard layout asked for more shards than there are points to spread
+    /// over them (every shard must own at least one point).
+    TooManyShards {
+        /// Shards requested.
+        shards: usize,
+        /// Points available.
+        points: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::EmptyBatch => write!(f, "empty query batch"),
+            EngineError::NoShards => write!(f, "router has no shards"),
+            EngineError::TooManyShards { shards, points } => {
+                write!(f, "cannot split {points} points into {shards} non-empty shards")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-/// How one query in a recovering batch was answered. Results are exact in
-/// every case — the variants only describe what it cost to get them.
+/// How one query in a recovering batch (or the serving layer) was answered.
+///
+/// `Clean`, `Retried` and `Degraded` are exact in every case — those variants
+/// only describe what it cost to get the exact answer. `DeadlineDegraded` is
+/// the one marked best-effort rung: the serving front-end stopped consulting
+/// shards (a blown deadline budget, or an open per-shard circuit breaker) and
+/// returned the best answer the visited subset could give. A best-effort
+/// result is always *marked* as such — a blown deadline never produces a
+/// silent partial answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueryOutcome {
     /// First launch succeeded.
@@ -115,11 +136,28 @@ pub enum QueryOutcome {
         /// The error the retry died with.
         retry: KernelError,
     },
+    /// The serving layer answered best-effort: it skipped shards it would
+    /// otherwise have consulted — because the query's deadline budget ran out
+    /// mid-visit, or because a shard's circuit breaker was open — and the
+    /// result is exact over the `visited` shards only.
+    DeadlineDegraded {
+        /// Shards whose results are reflected in the answer.
+        visited: u32,
+        /// Shards skipped: not yet examined when the budget blew, or routed
+        /// around while their breaker was open.
+        skipped: u32,
+    },
 }
 
 impl QueryOutcome {
     /// Whether this query needed any recovery at all.
     pub fn is_clean(&self) -> bool {
         matches!(self, QueryOutcome::Clean)
+    }
+
+    /// Whether the answer is exact over the full dataset. Everything except
+    /// [`QueryOutcome::DeadlineDegraded`] is.
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, QueryOutcome::DeadlineDegraded { .. })
     }
 }

@@ -16,11 +16,13 @@ pub mod io;
 pub mod noaa;
 pub mod normal;
 pub mod queries;
+pub mod skewed;
 pub mod uniform;
 
 pub use gaussian::ClusteredSpec;
 pub use noaa::NoaaSpec;
 pub use queries::sample_queries;
+pub use skewed::SkewedQuerySpec;
 pub use uniform::UniformSpec;
 
 /// Side length of the synthetic coordinate space. The paper sweeps cluster

@@ -1,0 +1,607 @@
+//! Admission control for the serving front-end: bounded submission queue,
+//! per-tenant token-bucket quotas, per-shard circuit breakers, and the
+//! exact-result query cache.
+//!
+//! Everything here runs on a **logical clock**: one tick per submitted query.
+//! Token buckets refill per tick and breaker backoffs are measured in ticks,
+//! so every admission decision, breaker transition, and shed is a pure
+//! function of the submission sequence — reproducible in tests and in the
+//! chaos soak, with no wall-clock in the control path. (Deadlines are the one
+//! place wall-clock is allowed, and only opt-in; see
+//! [`crate::deadline`].)
+//!
+//! The load-shedding contract: an overloaded front-end rejects with a typed
+//! [`RejectReason`] instead of queueing unboundedly, and a rejected query is
+//! never silently dropped — it resolves to
+//! [`ServeOutcome::Rejected`](crate::ServeOutcome::Rejected) with empty
+//! results.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use psb_sstree::Neighbor;
+
+/// Tenant identity for quota accounting. Tenant `0` is the default tenant.
+pub type TenantId = u32;
+
+/// Why a query was rejected at admission instead of executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded submission queue was full when the query arrived; the
+    /// query was shed rather than queued unboundedly.
+    QueueFull {
+        /// Queue depth at arrival.
+        depth: usize,
+        /// The configured bound it hit.
+        capacity: usize,
+    },
+    /// The tenant's token bucket was empty in this refill window.
+    QuotaExhausted {
+        /// The tenant whose quota ran out.
+        tenant: TenantId,
+    },
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, capacity } => {
+                write!(f, "submission queue full ({depth}/{capacity})")
+            }
+            RejectReason::QuotaExhausted { tenant } => {
+                write!(f, "tenant {tenant} quota exhausted")
+            }
+        }
+    }
+}
+
+/// A tenant's token-bucket quota: at most `burst` queries at once, refilling
+/// at `refill_per_tick` tokens per logical tick. Over any window of `w` ticks
+/// a tenant is admitted at most `burst + w * refill_per_tick` queries — the
+/// invariant `tests/admission.rs` proves by property.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Bucket capacity (and initial fill).
+    pub burst: u64,
+    /// Tokens added per logical tick, capped at `burst`.
+    pub refill_per_tick: u64,
+}
+
+/// One tenant's live token bucket.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    cfg: QuotaConfig,
+    tokens: u64,
+    last_tick: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full at tick `now`.
+    pub fn new(cfg: QuotaConfig, now: u64) -> Self {
+        Self { cfg, tokens: cfg.burst, last_tick: now }
+    }
+
+    fn refill(&mut self, now: u64) {
+        if now > self.last_tick {
+            let added = (now - self.last_tick).saturating_mul(self.cfg.refill_per_tick);
+            self.tokens = self.tokens.saturating_add(added).min(self.cfg.burst);
+            self.last_tick = now;
+        }
+    }
+
+    /// Takes one token at tick `now` if available.
+    pub fn try_take(&mut self, now: u64) -> bool {
+        self.refill(now);
+        if self.tokens > 0 {
+            self.tokens -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: u64) -> u64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Admission-control configuration. The default is fully transparent — an
+/// unbounded queue and no quotas — which is what the golden-parity tests pin:
+/// an unconstrained front-end admits everything.
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// Most queries the submission queue holds at once; arrivals beyond it
+    /// are shed with [`RejectReason::QueueFull`]. `usize::MAX` = unbounded.
+    pub queue_capacity: usize,
+    /// Quota applied to tenants without an explicit
+    /// [`AdmissionControl::set_quota`] entry. `None` = unmetered.
+    pub default_quota: Option<QuotaConfig>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self { queue_capacity: usize::MAX, default_quota: None }
+    }
+}
+
+/// The admission controller: a bounded submission queue plus per-tenant
+/// token buckets, all on the logical tick clock.
+#[derive(Debug, Default)]
+pub struct AdmissionControl {
+    cfg: AdmissionConfig,
+    quotas: BTreeMap<TenantId, QuotaConfig>,
+    buckets: BTreeMap<TenantId, TokenBucket>,
+    depth: usize,
+    peak_depth: usize,
+    admitted: u64,
+    shed_queue: u64,
+    shed_quota: u64,
+}
+
+impl AdmissionControl {
+    /// A controller with the given config and no per-tenant overrides.
+    pub fn new(cfg: AdmissionConfig) -> Self {
+        Self { cfg, ..Default::default() }
+    }
+
+    /// Sets (or replaces) one tenant's quota. Replacing resets the tenant's
+    /// bucket to full at its next admission.
+    pub fn set_quota(&mut self, tenant: TenantId, quota: QuotaConfig) {
+        self.quotas.insert(tenant, quota);
+        self.buckets.remove(&tenant);
+    }
+
+    fn quota_for(&self, tenant: TenantId) -> Option<QuotaConfig> {
+        self.quotas.get(&tenant).copied().or(self.cfg.default_quota)
+    }
+
+    /// One query arrives at tick `now`: first the queue bound, then the
+    /// tenant's bucket. On `Ok` the query occupies a queue slot until
+    /// [`AdmissionControl::complete`].
+    pub fn try_admit(&mut self, tenant: TenantId, now: u64) -> Result<(), RejectReason> {
+        if self.depth >= self.cfg.queue_capacity {
+            self.shed_queue += 1;
+            return Err(RejectReason::QueueFull {
+                depth: self.depth,
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        if let Some(quota) = self.quota_for(tenant) {
+            let bucket = self.buckets.entry(tenant).or_insert_with(|| TokenBucket::new(quota, now));
+            if !bucket.try_take(now) {
+                self.shed_quota += 1;
+                return Err(RejectReason::QuotaExhausted { tenant });
+            }
+        }
+        self.depth += 1;
+        self.peak_depth = self.peak_depth.max(self.depth);
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// One admitted query finished executing; its queue slot frees up.
+    pub fn complete(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Queries currently occupying queue slots.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Deepest the queue has been.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Total queries admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Queries shed by the queue bound.
+    pub fn shed_queue(&self) -> u64 {
+        self.shed_queue
+    }
+
+    /// Queries rejected by a tenant quota.
+    pub fn shed_quota(&self) -> u64 {
+        self.shed_quota
+    }
+}
+
+/// Circuit-breaker tuning for one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker. `u32::MAX` disables it.
+    pub failure_threshold: u32,
+    /// Ticks the breaker stays open the first time; doubles on every reopen.
+    pub backoff_base: u64,
+    /// Backoff ceiling in ticks.
+    pub backoff_max: u64,
+    /// Consecutive half-open probe successes required to close.
+    pub half_open_probes: u32,
+}
+
+impl BreakerConfig {
+    /// A breaker that never opens — the golden-parity default: with breakers
+    /// effectively closed forever, the front-end routes exactly like the bare
+    /// router even under faults.
+    pub fn disabled() -> Self {
+        Self { failure_threshold: u32::MAX, backoff_base: 1, backoff_max: 1, half_open_probes: 1 }
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Where a breaker is in its state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; consecutive failures are being counted.
+    Closed,
+    /// The shard is being routed around until the backoff elapses.
+    Open,
+    /// Backoff elapsed; probe traffic is allowed through. Probe successes
+    /// close the breaker, a probe failure reopens it with doubled backoff.
+    HalfOpen,
+}
+
+/// One shard's circuit breaker. All transitions are driven by the logical
+/// tick clock plus explicit success/failure reports from the replica ladder —
+/// fully deterministic under a seeded fault plan.
+#[derive(Clone, Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until: u64,
+    backoff: u64,
+    probe_successes: u32,
+    opened_total: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with its backoff at the base.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: 0,
+            backoff: cfg.backoff_base.max(1),
+            probe_successes: 0,
+            opened_total: 0,
+        }
+    }
+
+    /// Current state (without advancing the open→half-open transition).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has opened.
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total
+    }
+
+    /// Whether traffic may reach the shard at tick `now`. An open breaker
+    /// whose backoff has elapsed transitions to half-open here and admits the
+    /// probe.
+    pub fn allows(&mut self, now: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now >= self.open_until {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_successes = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// The shard answered through a healthy replica.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probe_successes += 1;
+                if self.probe_successes >= self.cfg.half_open_probes.max(1) {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.backoff = self.cfg.backoff_base.max(1);
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The shard failed: a replica launch died (one failover event), or the
+    /// whole ladder was exhausted and the query paid the brute fallback.
+    pub fn on_failure(&mut self, now: u64) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+                if self.consecutive_failures >= self.cfg.failure_threshold {
+                    self.trip(now);
+                }
+            }
+            // A failed probe reopens immediately with doubled backoff.
+            BreakerState::HalfOpen => self.trip(now),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: u64) {
+        self.state = BreakerState::Open;
+        self.open_until = now.saturating_add(self.backoff);
+        self.backoff = self.backoff.saturating_mul(2).min(self.cfg.backoff_max.max(1));
+        self.consecutive_failures = 0;
+        self.opened_total += 1;
+    }
+}
+
+/// Key of one cached result: the query's exact f32 bit pattern plus `k`. The
+/// epoch is not part of the key because an epoch change clears the whole
+/// cache (see [`QueryCache::advance_epoch`]) — logically the key is
+/// `(query_bits, k, epoch)` with only current-epoch entries resident.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct CacheKey {
+    q_bits: Vec<u32>,
+    k: usize,
+}
+
+impl CacheKey {
+    fn new(q: &[f32], k: usize) -> Self {
+        Self { q_bits: q.iter().map(|x| x.to_bits()).collect(), k }
+    }
+}
+
+/// Exact-result query cache, keyed on `(query_bits, k, epoch)`.
+///
+/// Only exact outcomes are cacheable (the resilience layer never inserts a
+/// deadline-degraded result), so a hit is bit-identical to re-running the
+/// query — provided the epoch matches. Any index mutation or rebuild bumps
+/// the epoch, and [`QueryCache::advance_epoch`] invalidates everything from
+/// older epochs. FIFO eviction keeps the cache bounded and deterministic.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    capacity: usize,
+    epoch: u64,
+    map: HashMap<CacheKey, Vec<Neighbor>>,
+    fifo: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` results. Capacity 0 disables it.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, ..Default::default() }
+    }
+
+    /// Whether the cache can ever hold anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The epoch the resident entries belong to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Moves the cache to `epoch`, dropping every resident entry if it
+    /// changed — the invalidation rule: a rebuild (or any mutation) bumps the
+    /// owning router's epoch, and results computed under an older epoch are
+    /// never served again.
+    pub fn advance_epoch(&mut self, epoch: u64) {
+        if epoch != self.epoch {
+            if !self.map.is_empty() {
+                self.invalidations += 1;
+            }
+            self.map.clear();
+            self.fifo.clear();
+            self.epoch = epoch;
+        }
+    }
+
+    /// Looks up `(q, k)` in the current epoch.
+    pub fn get(&mut self, q: &[f32], k: usize) -> Option<Vec<Neighbor>> {
+        if !self.is_enabled() {
+            return None;
+        }
+        match self.map.get(&CacheKey::new(q, k)) {
+            Some(hit) => {
+                self.hits += 1;
+                Some(hit.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores an exact result for `(q, k)` in the current epoch, evicting the
+    /// oldest entry when full.
+    pub fn insert(&mut self, q: &[f32], k: usize, neighbors: &[Neighbor]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let key = CacheKey::new(q, k);
+        if self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            match self.fifo.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                    self.evictions += 1;
+                }
+                None => break,
+            }
+        }
+        self.fifo.push_back(key.clone());
+        self.map.insert(key, neighbors.to_vec());
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, evictions, invalidations)` since construction.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.invalidations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_burst_then_refill() {
+        let mut b = TokenBucket::new(QuotaConfig { burst: 3, refill_per_tick: 1 }, 0);
+        assert!(b.try_take(0) && b.try_take(0) && b.try_take(0));
+        assert!(!b.try_take(0), "burst exhausted");
+        assert!(b.try_take(2), "two ticks refill two tokens");
+        assert!(b.try_take(2));
+        assert!(!b.try_take(2));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut b = TokenBucket::new(QuotaConfig { burst: 2, refill_per_tick: 10 }, 0);
+        assert_eq!(b.available(1000), 2, "refill caps at burst");
+    }
+
+    #[test]
+    fn queue_bound_sheds_with_typed_reason() {
+        let mut ac =
+            AdmissionControl::new(AdmissionConfig { queue_capacity: 2, default_quota: None });
+        assert!(ac.try_admit(0, 0).is_ok());
+        assert!(ac.try_admit(0, 0).is_ok());
+        assert_eq!(ac.try_admit(0, 0), Err(RejectReason::QueueFull { depth: 2, capacity: 2 }),);
+        ac.complete();
+        assert!(ac.try_admit(0, 1).is_ok(), "a completed query frees its slot");
+        assert_eq!(ac.peak_depth(), 2);
+        assert_eq!(ac.shed_queue(), 1);
+    }
+
+    #[test]
+    fn per_tenant_quota_is_isolated() {
+        let mut ac = AdmissionControl::new(AdmissionConfig::default());
+        ac.set_quota(1, QuotaConfig { burst: 1, refill_per_tick: 0 });
+        assert!(ac.try_admit(1, 0).is_ok());
+        assert_eq!(ac.try_admit(1, 0), Err(RejectReason::QuotaExhausted { tenant: 1 }));
+        // Tenant 2 has no quota and is unmetered.
+        for _ in 0..10 {
+            assert!(ac.try_admit(2, 0).is_ok());
+        }
+        assert_eq!(ac.shed_quota(), 1);
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_backs_off_exponentially() {
+        let cfg = BreakerConfig {
+            failure_threshold: 2,
+            backoff_base: 4,
+            backoff_max: 16,
+            half_open_probes: 1,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.on_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed, "one failure below threshold");
+        b.on_failure(1);
+        assert_eq!(b.state(), BreakerState::Open, "threshold trips the breaker");
+        assert!(!b.allows(2), "open during backoff");
+        assert!(b.allows(5), "backoff elapsed: half-open probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Failed probe: reopen with doubled backoff (8 ticks).
+        b.on_failure(5);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allows(12), "doubled backoff still running");
+        assert!(b.allows(13), "8-tick backoff elapsed");
+        // Successful probe closes and resets the backoff to base.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.opened_total(), 2);
+        b.on_failure(20);
+        b.on_failure(20);
+        assert!(!b.allows(23), "backoff reset to base (4 ticks) after close");
+        assert!(b.allows(24));
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            backoff_base: 1,
+            backoff_max: 1,
+            half_open_probes: 1,
+        });
+        b.on_failure(0);
+        b.on_success();
+        b.on_failure(1);
+        assert_eq!(b.state(), BreakerState::Closed, "non-consecutive failures never trip");
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let mut b = CircuitBreaker::new(BreakerConfig::disabled());
+        for t in 0..10_000u64 {
+            b.on_failure(t);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(10_000));
+    }
+
+    #[test]
+    fn cache_round_trips_and_epoch_invalidates() {
+        let mut c = QueryCache::new(4);
+        let q = [1.0f32, 2.0, 3.0];
+        let hit = vec![Neighbor { dist: 0.5, id: 7 }];
+        assert!(c.get(&q, 3).is_none());
+        c.insert(&q, 3, &hit);
+        assert_eq!(c.get(&q, 3).as_deref(), Some(hit.as_slice()));
+        assert!(c.get(&q, 4).is_none(), "k is part of the key");
+        c.advance_epoch(1);
+        assert!(c.get(&q, 3).is_none(), "epoch bump invalidates");
+        assert_eq!(c.stats().3, 1, "one invalidation recorded");
+    }
+
+    #[test]
+    fn cache_evicts_fifo_at_capacity() {
+        let mut c = QueryCache::new(2);
+        for i in 0..3 {
+            c.insert(&[i as f32], 1, &[Neighbor { dist: 0.0, id: i }]);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&[0.0f32], 1).is_none(), "oldest entry evicted");
+        assert!(c.get(&[2.0f32], 1).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_inert() {
+        let mut c = QueryCache::new(0);
+        c.insert(&[1.0f32], 1, &[Neighbor { dist: 0.0, id: 0 }]);
+        assert!(c.get(&[1.0f32], 1).is_none());
+        assert!(c.is_empty());
+    }
+}

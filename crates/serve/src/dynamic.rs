@@ -11,6 +11,7 @@
 //! finishes).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
 
 use psb_core::shard::{partition, shard_sphere, ShardPolicy};
@@ -18,6 +19,8 @@ use psb_core::DynamicSsTree;
 use psb_geom::{dist, PointSet, RitterMode, Sphere};
 use psb_metrics::MetricsHandle;
 use psb_sstree::{BuildMethod, Neighbor};
+
+use crate::admission::QueryCache;
 
 /// One shard's mutable state: the tree plus the local→global id mapping.
 struct ShardCell {
@@ -45,6 +48,13 @@ pub struct DynamicShardRouter {
     owners: Mutex<HashMap<u32, (usize, u32)>>,
     next_global: Mutex<u32>,
     dims: usize,
+    /// Index epoch: bumped by every mutation (insert/remove/rebuild). The
+    /// attached query cache only serves results computed under the current
+    /// epoch, so a rebuild can never leak a stale answer.
+    epoch: AtomicU64,
+    /// Optional exact-result cache keyed on `(query_bits, k, epoch)`;
+    /// disabled (capacity 0) until [`DynamicShardRouter::attach_cache`].
+    cache: Mutex<QueryCache>,
     /// Telemetry sink (detached by default): rebuild durations, per-query
     /// latency, and shard visit/prune counters.
     metrics: MetricsHandle,
@@ -82,8 +92,31 @@ impl DynamicShardRouter {
             owners: Mutex::new(owners),
             next_global: Mutex::new(points.len() as u32),
             dims: points.dims(),
+            epoch: AtomicU64::new(0),
+            cache: Mutex::new(QueryCache::new(0)),
             metrics: MetricsHandle::noop(),
         }
+    }
+
+    /// Attaches an exact-result query cache of `capacity` entries (0 turns it
+    /// back off). Entries are keyed on `(query_bits, k, epoch)` — any insert,
+    /// remove, or shard rebuild bumps the epoch and invalidates everything.
+    pub fn attach_cache(&mut self, capacity: usize) {
+        *lock(&self.cache) = QueryCache::new(capacity);
+    }
+
+    /// The current index epoch (mutation counter).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// `(hits, misses, evictions, invalidations)` of the attached cache.
+    pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
+        lock(&self.cache).stats()
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Attaches a metrics registry: rebuilds record their wall-clock duration
@@ -135,10 +168,13 @@ impl DynamicShardRouter {
             cell.to_global.insert(local, g);
             lock(&self.owners).insert(g, (target, local));
         }
-        let mut meta = lock(&self.metas[target]);
-        meta.len += 1;
-        let c = dist(p, &meta.sphere.center);
-        meta.sphere.radius = meta.sphere.radius.max(c);
+        {
+            let mut meta = lock(&self.metas[target]);
+            meta.len += 1;
+            let c = dist(p, &meta.sphere.center);
+            meta.sphere.radius = meta.sphere.radius.max(c);
+        }
+        self.bump_epoch();
         g
     }
 
@@ -155,6 +191,7 @@ impl DynamicShardRouter {
         };
         if removed {
             lock(&self.metas[s]).len -= 1;
+            self.bump_epoch();
         }
         removed
     }
@@ -167,6 +204,9 @@ impl DynamicShardRouter {
     pub fn rebuild_shard(&self, s: usize) {
         let started = self.metrics.is_attached().then(std::time::Instant::now);
         self.cells[s].write().unwrap_or_else(PoisonError::into_inner).tree.rebuild();
+        // A rebuild doesn't change the live set, but it is the canonical
+        // invalidation event: anything cached before it must not outlive it.
+        self.bump_epoch();
         if let Some(t0) = started {
             self.metrics.observe("serve.rebuild_us", t0.elapsed().as_secs_f64() * 1e6);
             self.metrics.counter(&format!("serve.rebuilds{{shard=\"{s}\"}}"), 1);
@@ -182,6 +222,24 @@ impl DynamicShardRouter {
         assert_eq!(q.len(), self.dims, "dimensionality mismatch");
         let m = &self.metrics;
         let started = m.is_attached().then(std::time::Instant::now);
+        // Exact-result cache: only current-epoch entries are servable, so a
+        // hit is bit-identical to recomputing against the live set.
+        {
+            let mut cache = lock(&self.cache);
+            if cache.is_enabled() {
+                cache.advance_epoch(self.epoch());
+                if let Some(hit) = cache.get(q, k) {
+                    if started.is_some() {
+                        m.counter("serve.dyn_cache_hits", 1);
+                    }
+                    return hit;
+                }
+                if started.is_some() {
+                    m.counter("serve.dyn_cache_misses", 1);
+                }
+            }
+        }
+        let epoch_at_start = self.epoch();
         // Snapshot the directory under the brief meta locks.
         let mut order: Vec<(f32, f32, usize, usize)> = (0..self.metas.len())
             .map(|s| {
@@ -228,6 +286,15 @@ impl DynamicShardRouter {
             }
             best.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
             best.truncate(k);
+        }
+        {
+            // Cache the answer only if no mutation landed while we computed
+            // it — a result from epoch N must never be filed under epoch N+1.
+            let mut cache = lock(&self.cache);
+            if cache.is_enabled() && self.epoch() == epoch_at_start {
+                cache.advance_epoch(epoch_at_start);
+                cache.insert(q, k, &best);
+            }
         }
         if let Some(t0) = started {
             m.observe("serve.dyn_query_us", t0.elapsed().as_secs_f64() * 1e6);

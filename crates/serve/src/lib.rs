@@ -19,12 +19,32 @@
 //! [`DynamicShardRouter`] is the mutable-index variant: per-shard
 //! [`DynamicSsTree`](psb_core::DynamicSsTree)s behind per-shard locks, so a
 //! rebuild of one shard never blocks queries that other shards can answer.
+//!
+//! [`ResilientRouter`] is the production front-end around the static router:
+//! admission control with per-tenant token-bucket quotas and typed load
+//! shedding, deadline budgets checked between shard visits, per-shard circuit
+//! breakers that route around sick shards, and an exact-result query cache
+//! (see DESIGN.md §15). With [`ResilienceConfig::default`] it is bit-identical
+//! to the bare router — resilience features only change results when
+//! explicitly turned on, and even then every degrade is a *marked* outcome.
 
+pub mod admission;
+pub mod deadline;
 mod dynamic;
+mod resilient;
 mod router;
 
+pub use admission::{
+    AdmissionConfig, AdmissionControl, BreakerConfig, BreakerState, CircuitBreaker, QueryCache,
+    QuotaConfig, RejectReason, TenantId, TokenBucket,
+};
+pub use deadline::{DeadlineBudget, DeadlineClock};
 pub use dynamic::DynamicShardRouter;
 pub use psb_metrics::{MetricsHandle, Registry};
+pub use resilient::{
+    OutcomeTally, RequestMeta, ResilienceConfig, ResilienceReport, ResilientBatchResult,
+    ResilientRouter, ServeOutcome,
+};
 pub use router::{
     FailoverEvent, ReplicaState, ServeBatchResult, ServeConfig, ServeReport, ShardRouter,
 };

@@ -1,0 +1,423 @@
+//! The resilience front-end: admission control, deadline-aware execution,
+//! per-shard circuit breakers, and the exact-result cache, wrapped around a
+//! [`ShardRouter`].
+//!
+//! [`ResilientRouter`] decides *which* queries run (admission + quotas),
+//! *how long* they may run (deadline budgets, checked between shard visits),
+//! and *what happens* when a shard is sick (circuit breakers that route
+//! around it via the MINDIST skip bound). Every submitted query resolves to
+//! exactly one typed [`ServeOutcome`]:
+//!
+//! | outcome                          | exact? | meaning |
+//! |----------------------------------|--------|---------|
+//! | `Executed(Clean)`                | yes    | answered, no recovery |
+//! | `Executed(Retried { .. })`       | yes    | a replica died, a peer answered |
+//! | `Executed(Degraded { .. })`      | yes    | ladder exhausted, brute fallback |
+//! | `Executed(DeadlineDegraded)`     | marked | shards skipped (deadline/breaker) |
+//! | `Rejected(reason)`               | —      | shed at admission, never ran |
+//!
+//! The golden-parity discipline: [`ResilienceConfig::default`] is fully
+//! transparent — unbounded queue, no quotas, breakers disabled, cache off, no
+//! deadline — and under it every batch is **bit-identical** to the bare
+//! [`ShardRouter`], faults or not. Pressure is always opt-in.
+
+use psb_core::{EngineError, GpuIndex, KernelOptions, QueryOutcome};
+use psb_geom::PointSet;
+use psb_gpu::{launch_blocks, KernelStats, NoopSink};
+use psb_metrics::MetricsHandle;
+use psb_sstree::Neighbor;
+
+use crate::admission::{
+    AdmissionConfig, AdmissionControl, BreakerConfig, BreakerState, CircuitBreaker, QueryCache,
+    QuotaConfig, RejectReason, TenantId,
+};
+use crate::deadline::{DeadlineBudget, DeadlineClock};
+use crate::router::{QueryConstraints, ServeReport, ServeScratch, ShardRouter, ShardSignal};
+
+/// Tuning for the whole resilience layer. The default is transparent: the
+/// front-end admits everything, runs everything to exact completion, and
+/// caches nothing.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceConfig {
+    /// Submission queue bound and default tenant quota.
+    pub admission: AdmissionConfig,
+    /// Circuit-breaker tuning applied to every shard
+    /// ([`BreakerConfig::disabled`] by default).
+    pub breaker: BreakerConfig,
+    /// Exact-result cache capacity; 0 disables the cache.
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: DeadlineBudget,
+}
+
+/// Per-request metadata a caller submits alongside each query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// Tenant for quota accounting (0 = default tenant).
+    pub tenant: TenantId,
+    /// This request's deadline; `None` falls back to
+    /// [`ResilienceConfig::default_deadline`].
+    pub deadline: Option<DeadlineBudget>,
+}
+
+impl RequestMeta {
+    /// A request from `tenant` with no deadline of its own.
+    pub fn tenant(tenant: TenantId) -> Self {
+        Self { tenant, deadline: None }
+    }
+
+    /// Sets an explicit deadline for this request.
+    pub fn with_deadline(mut self, deadline: DeadlineBudget) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// How one submitted query resolved at the front-end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// The query ran; the inner [`QueryOutcome`] says which recovery rung
+    /// answered it. Cache hits surface as `Executed(Clean)` (the cached
+    /// answer was exact when computed and the epoch still matches).
+    Executed(QueryOutcome),
+    /// Shed at admission with a typed reason; the query never executed and
+    /// its neighbor list is empty.
+    Rejected(RejectReason),
+}
+
+impl ServeOutcome {
+    /// Whether the answer is exact over the full dataset.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, ServeOutcome::Executed(o) if o.is_exact())
+    }
+
+    /// Whether the query was shed at admission.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, ServeOutcome::Rejected(_))
+    }
+}
+
+/// The five-bucket outcome tally the chaos soak and the bench gates pin:
+/// every submitted query lands in exactly one bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// `Executed(Clean)`.
+    pub clean: u64,
+    /// `Executed(Retried)`.
+    pub retried: u64,
+    /// `Executed(Degraded)` — exact via the brute fallback.
+    pub degraded: u64,
+    /// `Executed(DeadlineDegraded)` — marked best-effort.
+    pub deadline_degraded: u64,
+    /// `Rejected` at admission.
+    pub rejected: u64,
+}
+
+impl OutcomeTally {
+    /// Buckets a batch's outcomes.
+    pub fn from_outcomes(outcomes: &[ServeOutcome]) -> Self {
+        let mut t = Self::default();
+        for o in outcomes {
+            match o {
+                ServeOutcome::Executed(QueryOutcome::Clean) => t.clean += 1,
+                ServeOutcome::Executed(QueryOutcome::Retried { .. }) => t.retried += 1,
+                ServeOutcome::Executed(QueryOutcome::Degraded { .. }) => t.degraded += 1,
+                ServeOutcome::Executed(QueryOutcome::DeadlineDegraded { .. }) => {
+                    t.deadline_degraded += 1
+                }
+                ServeOutcome::Rejected(_) => t.rejected += 1,
+            }
+        }
+        t
+    }
+
+    /// Sum over all five buckets — must equal the submitted query count.
+    pub fn total(&self) -> u64 {
+        self.clean + self.retried + self.degraded + self.deadline_degraded + self.rejected
+    }
+}
+
+/// Front-end accounting for one batch, alongside the router-level
+/// [`ServeReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Queries submitted (admitted + rejected).
+    pub submitted: u64,
+    /// Queries past admission (executed or cache-served).
+    pub admitted: u64,
+    /// Shed by the queue bound.
+    pub rejected_queue: u64,
+    /// Shed by a tenant quota.
+    pub rejected_quota: u64,
+    /// Answered from the exact-result cache without touching the router.
+    pub cache_hits: u64,
+    /// Queries that resolved to the marked best-effort rung.
+    pub deadline_degraded: u64,
+    /// Shard visits skipped because a breaker was open (batch total).
+    pub breaker_skips: u64,
+    /// Shard visits skipped because a deadline blew (batch total).
+    pub deadline_skips: u64,
+    /// Breaker open transitions during this batch.
+    pub breaker_opened: u64,
+    /// Deepest the submission queue got during this batch.
+    pub peak_queue_depth: usize,
+}
+
+/// Results plus both accounting layers for one batch through the front-end.
+#[derive(Clone, Debug)]
+pub struct ResilientBatchResult {
+    /// Per-query neighbor lists; empty for rejected queries.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Per-query counters; all-zero for rejected queries and cache hits.
+    pub per_query: Vec<KernelStats>,
+    /// Exactly one typed outcome per submitted query.
+    pub outcomes: Vec<ServeOutcome>,
+    /// Router-level accounting over the executed queries.
+    pub report: ServeReport,
+    /// Front-end accounting.
+    pub resilience: ResilienceReport,
+}
+
+impl ResilientBatchResult {
+    /// The five-bucket outcome tally for this batch.
+    pub fn tally(&self) -> OutcomeTally {
+        OutcomeTally::from_outcomes(&self.outcomes)
+    }
+}
+
+/// The resilience front-end around a [`ShardRouter`].
+pub struct ResilientRouter<T> {
+    router: ShardRouter<T>,
+    admission: AdmissionControl,
+    breakers: Vec<CircuitBreaker>,
+    cache: QueryCache,
+    default_deadline: DeadlineBudget,
+    /// Logical clock: one tick per submitted query, across batches.
+    tick: u64,
+    /// Cache epoch; bumped by [`ResilientRouter::invalidate_cache`].
+    epoch: u64,
+    metrics: MetricsHandle,
+}
+
+impl<T: GpuIndex> ResilientRouter<T> {
+    /// Wraps `router` under `cfg`. The wrapped router's shards each get one
+    /// breaker.
+    pub fn new(router: ShardRouter<T>, cfg: ResilienceConfig) -> Self {
+        let shards = router.num_shards();
+        Self {
+            router,
+            admission: AdmissionControl::new(cfg.admission),
+            breakers: (0..shards).map(|_| CircuitBreaker::new(cfg.breaker)).collect(),
+            cache: QueryCache::new(cfg.cache_capacity),
+            default_deadline: cfg.default_deadline,
+            tick: 0,
+            epoch: 0,
+            metrics: MetricsHandle::noop(),
+        }
+    }
+
+    /// The wrapped router.
+    pub fn inner(&self) -> &ShardRouter<T> {
+        &self.router
+    }
+
+    /// The wrapped router, mutably — fault plans and replica restores go
+    /// through here.
+    pub fn inner_mut(&mut self) -> &mut ShardRouter<T> {
+        &mut self.router
+    }
+
+    /// Attaches a metrics registry: queue depth gauges, shed/deadline-miss
+    /// counters, per-tenant latency histograms, plus everything the wrapped
+    /// report records.
+    pub fn attach_metrics(&mut self, metrics: MetricsHandle) {
+        self.metrics = metrics;
+    }
+
+    /// Sets (or replaces) one tenant's token-bucket quota.
+    pub fn set_quota(&mut self, tenant: TenantId, quota: QuotaConfig) {
+        self.admission.set_quota(tenant, quota);
+    }
+
+    /// Current state of shard `s`'s breaker.
+    pub fn breaker_state(&self, s: usize) -> BreakerState {
+        self.breakers[s].state()
+    }
+
+    /// The logical tick clock (one tick per submitted query).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// `(hits, misses, evictions, invalidations)` of the exact-result cache.
+    pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Drops every cached result by bumping the cache epoch. The static
+    /// router's dataset never mutates, so this only matters after operator
+    /// interventions (e.g. replacing the wrapped router's fault plans is
+    /// harmless — results are exact either way — but the hook is here for
+    /// symmetry with [`DynamicShardRouter`](crate::DynamicShardRouter), whose
+    /// rebuilds invalidate automatically).
+    pub fn invalidate_cache(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Serves one batch through admission → cache → constrained router.
+    ///
+    /// `requests` carries per-query tenant and deadline; pass `&[]` for
+    /// all-default metadata, otherwise it must be one entry per query.
+    /// Queries run sequentially in submission order (one logical tick each),
+    /// so quota refills, breaker transitions, and replica demotions are
+    /// deterministic.
+    pub fn serve_batch(
+        &mut self,
+        queries: &PointSet,
+        k: usize,
+        opts: &KernelOptions,
+        requests: &[RequestMeta],
+    ) -> Result<ResilientBatchResult, EngineError> {
+        if self.router.num_shards() == 0 {
+            return Err(EngineError::NoShards);
+        }
+        if queries.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        assert!(
+            requests.is_empty() || requests.len() == queries.len(),
+            "requests must be empty or one per query"
+        );
+        assert_eq!(queries.dims(), self.router.dims(), "query dimensionality mismatch");
+        let m = self.metrics.clone();
+        let _span = m.span("resilient_serve");
+        let n = queries.len();
+        let shards = self.router.num_shards();
+        let mut neighbors = Vec::with_capacity(n);
+        let mut per_query = Vec::with_capacity(n);
+        let mut outcomes = Vec::with_capacity(n);
+        let mut scratch = ServeScratch::new(shards);
+        let mut skip = vec![false; shards];
+        let mut executed_stats: Vec<KernelStats> = Vec::new();
+        let mut res = ResilienceReport { submitted: n as u64, ..Default::default() };
+        let opened_before: u64 = self.breakers.iter().map(CircuitBreaker::opened_total).sum();
+
+        for qi in 0..n {
+            self.tick += 1;
+            let meta = requests.get(qi).copied().unwrap_or_default();
+            let query_started = m.is_attached().then(std::time::Instant::now);
+
+            // 1. Admission: the queue bound, then the tenant's bucket.
+            if let Err(reason) = self.admission.try_admit(meta.tenant, self.tick) {
+                match reason {
+                    RejectReason::QueueFull { .. } => res.rejected_queue += 1,
+                    RejectReason::QuotaExhausted { .. } => res.rejected_quota += 1,
+                }
+                neighbors.push(Vec::new());
+                per_query.push(KernelStats::default());
+                outcomes.push(ServeOutcome::Rejected(reason));
+                continue;
+            }
+            res.admitted += 1;
+
+            // 2. Exact-result cache, scoped to the current epoch.
+            self.cache.advance_epoch(self.epoch);
+            if let Some(hit) = self.cache.get(queries.point(qi), k) {
+                neighbors.push(hit);
+                per_query.push(KernelStats::default());
+                outcomes.push(ServeOutcome::Executed(QueryOutcome::Clean));
+                res.cache_hits += 1;
+                self.admission.complete();
+                if let Some(t0) = query_started {
+                    let us = t0.elapsed().as_secs_f64() * 1e6;
+                    m.observe(&format!("serve.tenant_us{{tenant=\"{}\"}}", meta.tenant), us);
+                }
+                continue;
+            }
+
+            // 3. Constrained execution: breaker skip mask + deadline clock.
+            for (s, slot) in skip.iter_mut().enumerate() {
+                *slot = !self.breakers[s].allows(self.tick);
+            }
+            let budget = meta.deadline.unwrap_or(self.default_deadline);
+            let mut clock = DeadlineClock::start(budget);
+            let (nb, stats, outcome) = self.router.serve_one_constrained(
+                qi,
+                queries.point(qi),
+                k,
+                opts,
+                &mut scratch,
+                QueryConstraints { skip: Some(&skip), deadline: Some(&mut clock) },
+                &mut NoopSink,
+            );
+
+            // 4. Feed the breakers each visited shard's verdict.
+            for &(s, signal) in &scratch.visited_now {
+                match signal {
+                    ShardSignal::Ok => self.breakers[s].on_success(),
+                    ShardSignal::Fail => self.breakers[s].on_failure(self.tick),
+                    ShardSignal::Neutral => {}
+                }
+            }
+            res.breaker_skips += scratch.breaker_skips;
+            res.deadline_skips += scratch.deadline_skips;
+            if !outcome.is_exact() {
+                res.deadline_degraded += 1;
+            } else {
+                // 5. Only exact answers are cacheable.
+                self.cache.insert(queries.point(qi), k, &nb);
+            }
+            executed_stats.push(stats);
+            neighbors.push(nb);
+            per_query.push(stats);
+            outcomes.push(ServeOutcome::Executed(outcome));
+            self.admission.complete();
+            if let Some(t0) = query_started {
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                m.observe(&format!("serve.tenant_us{{tenant=\"{}\"}}", meta.tenant), us);
+            }
+        }
+
+        res.peak_queue_depth = self.admission.peak_depth();
+        let opened_after: u64 = self.breakers.iter().map(CircuitBreaker::opened_total).sum();
+        res.breaker_opened = opened_after - opened_before;
+
+        // Router-level aggregation over the queries that actually launched.
+        // An all-rejected/all-cached batch aggregates one zero block so the
+        // cost model has something to price; its counters are all zero.
+        let warps = opts.threads_per_block.div_ceil(self.router.device().warp_size).max(1);
+        let device = self.router.device().clone();
+        let mut launch = if executed_stats.is_empty() {
+            launch_blocks(&device, warps, &[KernelStats::default()])
+        } else {
+            launch_blocks(&device, warps, &executed_stats)
+        };
+        launch.retried_queries = outcomes
+            .iter()
+            .filter(|o| matches!(o, ServeOutcome::Executed(QueryOutcome::Retried { .. })))
+            .count() as u64;
+        launch.degraded_queries = outcomes
+            .iter()
+            .filter(|o| matches!(o, ServeOutcome::Executed(QueryOutcome::Degraded { .. })))
+            .count() as u64;
+        let ServeScratch { shard_visits, shard_prunes, failovers, .. } = scratch;
+        let report = ServeReport { launch, shard_visits, shard_prunes, failovers };
+
+        if m.is_attached() {
+            report.record_into(&m);
+            m.counter("serve.submitted", res.submitted);
+            m.counter("serve.admitted", res.admitted);
+            m.counter("serve.shed_queue", res.rejected_queue);
+            m.counter("serve.shed_quota", res.rejected_quota);
+            m.counter("serve.cache_hits", res.cache_hits);
+            m.counter("serve.deadline_miss", res.deadline_degraded);
+            m.counter("serve.breaker_skips", res.breaker_skips);
+            m.counter("serve.deadline_skips", res.deadline_skips);
+            m.counter("serve.breaker_opened", res.breaker_opened);
+            m.gauge("serve.queue_depth", self.admission.depth() as f64);
+            m.gauge("serve.queue_peak_depth", res.peak_queue_depth as f64);
+        }
+
+        Ok(ResilientBatchResult { neighbors, per_query, outcomes, report, resilience: res })
+    }
+}

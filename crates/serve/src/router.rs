@@ -1,6 +1,7 @@
 //! The shard router: MINDIST-ordered shard visits, shard-level pruning,
 //! scatter-gather exact top-k merge, and the replica failover ladder.
 
+use crate::deadline::DeadlineClock;
 use psb_core::knnlist::GpuKnnList;
 use psb_core::shard::{partition, shard_sphere, ShardPolicy};
 use psb_core::{
@@ -191,12 +192,36 @@ impl<T: GpuIndex> ShardRouter<T> {
     /// position `i` is global position `assignments[s][i]`), computes each
     /// shard's Ritter bounding sphere, and provisions `cfg.replicas` simulated
     /// devices per shard.
+    ///
+    /// Panics on an invalid layout; [`ShardRouter::try_build`] is the typed
+    /// variant.
     pub fn build(
         points: &PointSet,
         cfg: &ServeConfig,
         device: &DeviceConfig,
         build_index: impl Fn(&PointSet) -> T,
     ) -> Self {
+        match Self::try_build(points, cfg, device, build_index) {
+            Ok(r) => r,
+            Err(e) => panic!("invalid serve layout: {e}"),
+        }
+    }
+
+    /// Like [`ShardRouter::build`], but an impossible layout — zero shards, or
+    /// more shards than points to spread over them — is a typed
+    /// [`EngineError`] instead of a panic.
+    pub fn try_build(
+        points: &PointSet,
+        cfg: &ServeConfig,
+        device: &DeviceConfig,
+        build_index: impl Fn(&PointSet) -> T,
+    ) -> Result<Self, EngineError> {
+        if cfg.shards == 0 {
+            return Err(EngineError::NoShards);
+        }
+        if cfg.shards > points.len() {
+            return Err(EngineError::TooManyShards { shards: cfg.shards, points: points.len() });
+        }
         assert!(cfg.replicas >= 1, "each shard needs at least one replica");
         let plan = partition(points, cfg.shards, &cfg.policy);
         let shards = plan
@@ -217,7 +242,22 @@ impl<T: GpuIndex> ShardRouter<T> {
                 ShardEntry { index, sphere, ids: ids.clone(), replicas }
             })
             .collect();
-        Self { shards, device: device.clone(), dims: points.dims(), metrics: MetricsHandle::noop() }
+        Ok(Self {
+            shards,
+            device: device.clone(),
+            dims: points.dims(),
+            metrics: MetricsHandle::noop(),
+        })
+    }
+
+    /// The simulated device the router prices its blocks on.
+    pub(crate) fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Query dimensionality the router was built for.
+    pub fn dims(&self) -> usize {
+        self.dims
     }
 
     /// Attaches a metrics registry: subsequent batches record per-shard
@@ -291,6 +331,9 @@ impl<T: GpuIndex> ShardRouter<T> {
         opts: &KernelOptions,
         sink: &mut dyn TraceSink,
     ) -> Result<ServeBatchResult, EngineError> {
+        if self.shards.is_empty() {
+            return Err(EngineError::NoShards);
+        }
         if queries.is_empty() {
             return Err(EngineError::EmptyBatch);
         }
@@ -345,8 +388,42 @@ impl<T: GpuIndex> ShardRouter<T> {
         scratch: &mut ServeScratch,
         sink: &mut dyn TraceSink,
     ) -> (Vec<Neighbor>, KernelStats, QueryOutcome) {
+        self.serve_one_constrained(
+            qi,
+            q,
+            k,
+            opts,
+            scratch,
+            QueryConstraints { skip: None, deadline: None },
+            sink,
+        )
+    }
+
+    /// [`ShardRouter::serve_one`] with the resilience layer's constraints
+    /// threaded through: an optional per-shard skip mask (open circuit
+    /// breakers) and an optional deadline clock charged per shard visit.
+    ///
+    /// With both constraints absent this is *exactly* `serve_one` — every
+    /// check is behind the `Option`s, which is how the golden-parity
+    /// discipline survives: the unconstrained resilient path runs the same
+    /// instructions as the bare router.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn serve_one_constrained(
+        &mut self,
+        qi: usize,
+        q: &[f32],
+        k: usize,
+        opts: &KernelOptions,
+        scratch: &mut ServeScratch,
+        mut constraints: QueryConstraints<'_>,
+        sink: &mut dyn TraceSink,
+    ) -> (Vec<Neighbor>, KernelStats, QueryOutcome) {
+        scratch.begin_query();
         let s = self.shards.len();
         let dims = self.dims;
+        let warps = opts.threads_per_block.div_ceil(self.device.warp_size).max(1);
+        let skip_mask = constraints.skip;
+        let is_skipped = |si: usize| skip_mask.is_some_and(|m| m[si]);
         let mut block = Block::with_sink(opts.threads_per_block, &self.device, sink);
         block.set_phase(Phase::Descend);
         // The shard directory is one SoA record per shard: sphere center
@@ -365,11 +442,16 @@ impl<T: GpuIndex> ShardRouter<T> {
         // at least k points; the max MAXDIST of that prefix is a sound upper
         // bound on the true k-th distance (those shards alone contain k points
         // no farther than it). The scan is one scalar pass over the directory.
+        // Shards behind an open breaker won't be consulted, so they must not
+        // contribute to the bound either.
         block.scalar(s as u64);
         let mut initial_bound = f32::INFINITY;
         let mut covered = 0usize;
         let mut running_max = 0.0f32;
         for &(_, maxd, si) in order.iter() {
+            if is_skipped(si) {
+                continue;
+            }
             covered += self.shards[si].ids.len();
             running_max = running_max.max(maxd);
             if covered >= k {
@@ -385,9 +467,55 @@ impl<T: GpuIndex> ShardRouter<T> {
         let mut first_err: Option<KernelError> = None;
         let mut retry_err: Option<KernelError> = None;
         let mut degraded = false;
+        let mut visited = 0u32;
 
         for oi in 0..order.len() {
             let (mindist, _, si) = scratch.order[oi];
+            // Deadline checkpoint, *between* shard visits: a blown budget
+            // settles every remaining directory entry right here — prune what
+            // the bound already rules out (exactness unharmed), mark the rest
+            // skipped — and, if nothing was visited yet, pays for one exact
+            // brute scan over the nearest live shard so the answer is never
+            // empty-handed.
+            if constraints.deadline.as_ref().is_some_and(|c| c.blown()) {
+                let brute_pos = if visited == 0 {
+                    (oi..scratch.order.len()).find(|&j| !is_skipped(scratch.order[j].2))
+                } else {
+                    None
+                };
+                if let Some(pos) = brute_pos {
+                    let sj = scratch.order[pos].2;
+                    scratch.shard_visits[sj] += 1;
+                    block.visit_node(0, NodeKind::Internal);
+                    let (nb, st) =
+                        brute_index_query(&self.shards[sj].index, q, k, &self.device, opts);
+                    extra.merge(&st);
+                    let prev = block.set_phase(Phase::ResultMerge);
+                    for n in &nb {
+                        list.offer(&mut block, n.dist, self.shards[sj].ids[n.id as usize]);
+                    }
+                    block.set_phase(prev);
+                    visited += 1;
+                    // The shard itself is healthy — a deadline economy says
+                    // nothing about its device, so the breaker hears nothing.
+                    scratch.visited_now.push((sj, ShardSignal::Neutral));
+                }
+                for j in oi..scratch.order.len() {
+                    if Some(j) == brute_pos {
+                        continue;
+                    }
+                    let (md, _, sj) = scratch.order[j];
+                    let bound = list.bound().min(initial_bound);
+                    if md > bound {
+                        scratch.shard_prunes[sj] += 1;
+                    } else if is_skipped(sj) {
+                        scratch.breaker_skips += 1;
+                    } else {
+                        scratch.deadline_skips += 1;
+                    }
+                }
+                break;
+            }
             block.set_phase(Phase::Descend);
             block.scalar(1);
             // The kernels' pruning rule, one level up: strict >, so a shard
@@ -399,8 +527,15 @@ impl<T: GpuIndex> ShardRouter<T> {
                 block.emit(|| TraceEvent::KnnUpdate { pruned: true, phase: Phase::Descend });
                 continue;
             }
+            // Open breaker: the bound says this shard matters, but it is being
+            // routed around — a marked degrade, counted apart from prunes.
+            if is_skipped(si) {
+                scratch.breaker_skips += 1;
+                continue;
+            }
             scratch.shard_visits[si] += 1;
             block.visit_node(0, NodeKind::Internal);
+            let failovers_before = scratch.failovers.len();
 
             // Replica ladder: first healthy replica answers; a replica that
             // dies is demoted (latched) and the next one is tried.
@@ -452,6 +587,7 @@ impl<T: GpuIndex> ShardRouter<T> {
                     }
                 }
             }
+            let exhausted = answered.is_none();
             let (shard_nb, shard_stats) = match answered {
                 Some(r) => r,
                 None => {
@@ -471,6 +607,19 @@ impl<T: GpuIndex> ShardRouter<T> {
                     brute_index_query(&self.shards[si].index, q, k, &self.device, opts)
                 }
             };
+            visited += 1;
+            // The breaker's per-visit verdict on this shard: a clean replica
+            // answer is a success; a demotion during the visit or a ladder
+            // with no healthy rung is a failure.
+            let signal = if exhausted || scratch.failovers.len() > failovers_before {
+                ShardSignal::Fail
+            } else {
+                ShardSignal::Ok
+            };
+            scratch.visited_now.push((si, signal));
+            if let Some(clock) = constraints.deadline.as_deref_mut() {
+                clock.charge(&shard_stats, &self.device, warps);
+            }
             extra.merge(&shard_stats);
             let prev = block.set_phase(Phase::ResultMerge);
             for nb in &shard_nb {
@@ -489,33 +638,82 @@ impl<T: GpuIndex> ShardRouter<T> {
         // Like the dynamic-tree engine: many physical launches, one logical
         // query block.
         stats.blocks = 1;
-        let outcome = match (degraded, first_err) {
-            (true, Some(first)) => {
-                QueryOutcome::Degraded { first, retry: retry_err.unwrap_or(first) }
+        let skipped = scratch.breaker_skips + scratch.deadline_skips;
+        let outcome = if skipped > 0 {
+            // Any shard skipped past the pruning rule makes the answer
+            // best-effort — marked, never a silent partial.
+            QueryOutcome::DeadlineDegraded { visited, skipped: skipped as u32 }
+        } else {
+            match (degraded, first_err) {
+                (true, Some(first)) => {
+                    QueryOutcome::Degraded { first, retry: retry_err.unwrap_or(first) }
+                }
+                (false, Some(first)) => QueryOutcome::Retried { first },
+                (_, None) => QueryOutcome::Clean,
             }
-            (false, Some(first)) => QueryOutcome::Retried { first },
-            (_, None) => QueryOutcome::Clean,
         };
         (neighbors, stats, outcome)
     }
 }
 
-/// Per-batch accumulators plus the reusable MINDIST-order buffer.
-struct ServeScratch {
-    order: Vec<(f32, f32, usize)>,
-    shard_visits: Vec<u64>,
-    shard_prunes: Vec<u64>,
-    failovers: Vec<FailoverEvent>,
+/// The per-visit verdict [`ShardRouter::serve_one_constrained`] hands the
+/// resilience layer for each shard it consulted, in visit order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ShardSignal {
+    /// A replica answered with no demotion during the visit.
+    Ok,
+    /// The visit demoted a replica, or found the whole ladder exhausted.
+    Fail,
+    /// The shard was consulted without exercising its devices (the
+    /// blown-deadline brute rung) — the breaker hears nothing.
+    Neutral,
+}
+
+/// The resilience layer's per-query inputs to the router:
+/// both default to absent, and absent means "behave exactly like the bare
+/// router".
+pub(crate) struct QueryConstraints<'a> {
+    /// `skip[s]` routes around shard `s` (its circuit breaker is open).
+    pub(crate) skip: Option<&'a [bool]>,
+    /// Deadline clock, charged per visited shard and checked between visits.
+    pub(crate) deadline: Option<&'a mut DeadlineClock>,
+}
+
+/// Per-batch accumulators plus the reusable MINDIST-order buffer. The
+/// `visited_now` / `breaker_skips` / `deadline_skips` fields are *per-query*
+/// (cleared by [`ServeScratch::begin_query`]); everything else accumulates
+/// over the batch.
+pub(crate) struct ServeScratch {
+    pub(crate) order: Vec<(f32, f32, usize)>,
+    pub(crate) shard_visits: Vec<u64>,
+    pub(crate) shard_prunes: Vec<u64>,
+    pub(crate) failovers: Vec<FailoverEvent>,
+    /// Shards the current query consulted, with the breaker verdict each.
+    pub(crate) visited_now: Vec<(usize, ShardSignal)>,
+    /// Current query: shards routed around because their breaker was open.
+    pub(crate) breaker_skips: u64,
+    /// Current query: shards skipped because the deadline budget blew.
+    pub(crate) deadline_skips: u64,
 }
 
 impl ServeScratch {
-    fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize) -> Self {
         Self {
             order: Vec::with_capacity(shards),
             shard_visits: vec![0; shards],
             shard_prunes: vec![0; shards],
             failovers: Vec::new(),
+            visited_now: Vec::with_capacity(shards),
+            breaker_skips: 0,
+            deadline_skips: 0,
         }
+    }
+
+    /// Resets the per-query fields; batch accumulators keep counting.
+    fn begin_query(&mut self) {
+        self.visited_now.clear();
+        self.breaker_skips = 0;
+        self.deadline_skips = 0;
     }
 }
 

@@ -47,7 +47,7 @@
 //! | [`core`] | PSB / branch-and-bound / brute-force GPU kernels + batch engine |
 //! | [`kdtree`] | task-parallel GPU kd-tree baseline |
 //! | [`srtree`] | top-down SR-tree CPU baseline |
-//! | [`serve`] | multi-device sharded serving: MINDIST shard router, exact merge, replica failover |
+//! | [`serve`] | multi-device sharded serving: MINDIST shard router, exact merge, replica failover, admission/deadline/breaker resilience front-end |
 //! | [`metrics`] | serving-grade telemetry: counters/gauges/histograms, wall-clock span tree, Prometheus + JSON exposition |
 
 pub use psb_core as core;
@@ -79,7 +79,7 @@ pub mod prelude {
         KernelError, KernelOptions, NodeLayout, QueryBatchResult, QueryOutcome, QuerySchedule,
         QueryStream, ScheduleScratch, SharedMemPolicy, StreamKernel,
     };
-    pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, UniformSpec};
+    pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, SkewedQuerySpec, UniformSpec};
     pub use psb_geom::{
         dist, hilbert_key, kmeans, ritter_points, ritter_spheres, sq_dist, welzl, KMeansParams,
         PointSet, Rect, RitterMode, Sphere,
@@ -96,8 +96,10 @@ pub mod prelude {
     };
     pub use psb_rtree::{build_rtree, RsTree, RtreeBuildMethod};
     pub use psb_serve::{
-        DynamicShardRouter, FailoverEvent, ReplicaState, ServeBatchResult, ServeConfig,
-        ServeReport, ShardRouter,
+        AdmissionConfig, BreakerConfig, BreakerState, DeadlineBudget, DynamicShardRouter,
+        FailoverEvent, OutcomeTally, QueryCache, QuotaConfig, RejectReason, ReplicaState,
+        RequestMeta, ResilienceConfig, ResilienceReport, ResilientBatchResult, ResilientRouter,
+        ServeBatchResult, ServeConfig, ServeOutcome, ServeReport, ShardRouter, TenantId,
     };
     pub use psb_srtree::SrTree;
     pub use psb_sstree::search::{linear_range, range_query};

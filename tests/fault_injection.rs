@@ -31,6 +31,9 @@ fn tally(r: &QueryBatchResult) -> (u64, u64, u64) {
             QueryOutcome::Clean => c.0 += 1,
             QueryOutcome::Retried { .. } => c.1 += 1,
             QueryOutcome::Degraded { .. } => c.2 += 1,
+            QueryOutcome::DeadlineDegraded { .. } => {
+                unreachable!("the batch engine never emits serving-layer deadline outcomes")
+            }
         }
     }
     c
