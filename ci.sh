@@ -3,8 +3,8 @@
 #
 #   ./ci.sh            # everything
 #   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults |
-#                      #            shard | chaos | metrics | bench-smoke |
-#                      #            bench-compare)
+#                      #            shard | chaos | metrics | wave |
+#                      #            bench-smoke | bench-compare)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -45,6 +45,16 @@ run_metrics() {
     cargo test -p psb-metrics -q
     cargo test -p psb --test metrics_parity -q
 }
+# Buffer-wave engine (DESIGN.md §16): the exactness/parity suite plus the
+# dedicated TPSS-divergence pin, then the bench --smoke run, whose wave gate
+# asserts the wave engine is at least as fast as the scheduled engine on the
+# 16-dim uniform 240-query batch and that its buffers actually amortize
+# fetches (mean fill > 1). The smoke binary exits nonzero on either.
+run_wave() {
+    cargo test -p psb --test wave_parity -q
+    cargo test -p psb --test tpss_divergence -q
+    cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
+}
 # Benchmark harness gate: every criterion bench must compile, and the wall-
 # clock bench binary must complete a tiny workload and emit a BENCH_psb.json
 # whose required keys are present, finite, and nonzero (the binary's --smoke
@@ -81,6 +91,7 @@ case "$stage" in
     shard)         run_shard ;;
     chaos)         run_chaos ;;
     metrics)       run_metrics ;;
+    wave)          run_wave ;;
     bench-smoke)   run_bench_smoke ;;
     bench-compare) run_bench_compare ;;
     all)
@@ -92,12 +103,13 @@ case "$stage" in
         echo "== sharded serving suite ==" && run_shard
         echo "== resilience chaos suite ==" && run_chaos
         echo "== telemetry suite ==" && run_metrics
+        echo "== buffer-wave suite ==" && run_wave
         echo "== bench smoke ==" && run_bench_smoke
         echo "== bench compare gate ==" && run_bench_compare
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|bench-smoke|bench-compare|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|wave|bench-smoke|bench-compare|all]" >&2
         exit 2
         ;;
 esac

@@ -37,11 +37,20 @@
 //! output: logical ticks and cycle budgets make it machine-independent, so
 //! `bench compare` can gate on it exactly.
 //!
+//! Schema v6 adds a `wave` section: the headline batch replayed through the
+//! buffer-wave node-centric engine ([`KernelOptions::wave`], DESIGN.md §16) —
+//! wave qps beside the scheduled engine's, plus the engine's own occupancy
+//! stats (wave fronts, coalesced sweeps, mean/max buffer fill — deterministic
+//! model outputs). The smoke gate asserts the wave engine never falls behind
+//! the scheduled engine on the 240-query batch, and `bench compare` gates the
+//! section against the committed baseline.
+//!
 //! `bench compare old.json new.json [--threshold F]` is the perf-trajectory
 //! gate: it diffs two BENCH files row-by-row and exits nonzero when any
 //! kernel's qps dropped or p99/p999 rose by more than the threshold (default
 //! 10%), or when the serving outcome mix shifted toward degradation by more
-//! than the threshold in absolute fraction points.
+//! than the threshold in absolute fraction points, or when the wave section
+//! lost throughput or buffer occupancy beyond the threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -52,7 +61,7 @@ use psb_core::kernels::psb::psb_query;
 use psb_core::kernels::range::range_query_gpu;
 use psb_core::kernels::restart::restart_query;
 use psb_core::kernels::{bnb::bnb_query, tpss::tpss_batch};
-use psb_core::{psb_batch, GpuIndex, KernelOptions, QuerySchedule};
+use psb_core::{psb_batch, wave_knn_batch, GpuIndex, KernelOptions, QuerySchedule, WaveConfig};
 use psb_data::{sample_queries, ClusteredSpec, SkewedQuerySpec, UniformSpec};
 use psb_geom::PointSet;
 use psb_gpu::{DeviceConfig, FaultPlan};
@@ -64,7 +73,7 @@ use psb_serve::{
 };
 use psb_sstree::{build, BuildMethod};
 
-const SCHEMA: &str = "psb-bench-v5";
+const SCHEMA: &str = "psb-bench-v6";
 const K: usize = 8;
 /// Queries per batch: the paper's §V-B experiment size. Per-kernel rows and
 /// the throughput section both run full 240-query batches (smoke mode shrinks
@@ -363,6 +372,68 @@ fn throughput_section(points: &PointSet, seed: u64) -> Throughput {
     }
 }
 
+/// The wave section: the headline batch through the buffer-wave node-centric
+/// engine. `wave_qps` and `vs_scheduled_qps` are wall clock (best-of-3, same
+/// tree and queries); the occupancy stats come from the engine's
+/// [`WaveReport`](psb_core::WaveReport) and are deterministic model outputs.
+struct Wave {
+    batch_size: usize,
+    wave_qps: f64,
+    vs_scheduled_qps: f64,
+    waves: u32,
+    coalesced_sweeps: u64,
+    buffered_entries: u64,
+    mean_buffer_fill: f64,
+    max_buffer_fill: u32,
+}
+
+fn wave_section(points: &PointSet, seed: u64) -> Wave {
+    let dev = DeviceConfig::k40();
+    // Same tree, queries, and schedule as the throughput section, so
+    // `vs_scheduled_qps` is measured under identical conditions to
+    // `scheduled_qps` — the wave/scheduled ratio is apples-to-apples.
+    let queries = sample_queries(points, BATCH, 0.01, seed ^ q_marker() ^ 0xB47C);
+    let tree = build(points, 16, &BuildMethod::Hilbert);
+    let sched = KernelOptions { schedule: QuerySchedule::Hilbert, ..Default::default() };
+    let wave_opts = KernelOptions { wave: Some(WaveConfig::default()), ..sched.clone() };
+    // The smoke gate compares these two numbers directly, so they must be
+    // robust to machine-state drift: interleave the passes (each pair sees
+    // the same transient load) and take medians, not best-of — a single
+    // lucky pass for either side must not decide the gate.
+    let one_pass = |opts: &KernelOptions| {
+        let t = Instant::now();
+        let r = psb_batch(&tree, &queries, K, &dev, opts);
+        assert!(r.is_ok(), "batch engine failed on a trusted tree");
+        queries.len() as f64 / t.elapsed().as_secs_f64().max(1e-12)
+    };
+    let mut sched_runs = Vec::with_capacity(5);
+    let mut wave_runs = Vec::with_capacity(5);
+    for _ in 0..5 {
+        sched_runs.push(one_pass(&sched));
+        wave_runs.push(one_pass(&wave_opts));
+    }
+    let median = |runs: &mut Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    let vs_scheduled_qps = median(&mut sched_runs);
+    let wave_qps = median(&mut wave_runs);
+    let report = match wave_knn_batch(&tree, &queries, K, &dev, &wave_opts) {
+        Ok((_, wr)) => wr,
+        Err(_) => unreachable!("wave engine failed on a trusted tree"),
+    };
+    Wave {
+        batch_size: BATCH,
+        wave_qps,
+        vs_scheduled_qps,
+        waves: report.waves,
+        coalesced_sweeps: report.coalesced_sweeps,
+        buffered_entries: report.buffered_entries,
+        mean_buffer_fill: report.mean_fill(),
+        max_buffer_fill: report.max_fill,
+    }
+}
+
 /// One row of the sharded-serving sweep: the 16-dim uniform headline workload
 /// served through a [`ShardRouter`] at shard count `shards`.
 struct ShardRow {
@@ -538,6 +609,7 @@ fn emit_json(
     rows: &[Row],
     speedup: Option<f64>,
     tp: Option<&Throughput>,
+    wave: Option<&Wave>,
     sharding: &[ShardRow],
     serving: Option<&Serving>,
     metrics_json: Option<&str>,
@@ -589,6 +661,27 @@ fn emit_json(
             t.fused_qps,
             t.warp_eff_unfused,
             t.warp_eff_fused,
+        );
+    }
+    if let Some(w) = wave {
+        // Every comparable field lives on a single line: `bench compare`
+        // re-extracts the wave section line-oriented, keyed on `wave_qps`.
+        let _ = write!(
+            s,
+            ",\n  \"wave\": {{\n    \"workload\": \"uniform-16d/sstree/psb\", \
+             \"batch_size\": {}, \"wave_qps\": {:.3}, \"vs_scheduled_qps\": {:.3}, \
+             \"wave_speedup\": {:.4}, \"waves\": {}, \"coalesced_sweeps\": {}, \
+             \"buffered_entries\": {}, \"mean_buffer_fill\": {:.4}, \
+             \"max_buffer_fill\": {}\n  }}",
+            w.batch_size,
+            w.wave_qps,
+            w.vs_scheduled_qps,
+            w.wave_qps / w.vs_scheduled_qps.max(1e-12),
+            w.waves,
+            w.coalesced_sweeps,
+            w.buffered_entries,
+            w.mean_buffer_fill,
+            w.max_buffer_fill,
         );
     }
     if !sharding.is_empty() {
@@ -678,6 +771,10 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
             "\"outcome_mix\"",
             "\"clean_frac\"",
             "\"rejected_frac\"",
+            "\"wave\"",
+            "\"wave_qps\"",
+            "\"vs_scheduled_qps\"",
+            "\"mean_buffer_fill\"",
             "\"metrics\"",
             "\"counters\"",
             "\"histograms\"",
@@ -700,6 +797,10 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
         "scheduled_speedup",
         "warp_efficiency_unfused",
         "warp_efficiency_fused",
+        "wave_qps",
+        "vs_scheduled_qps",
+        "wave_speedup",
+        "mean_buffer_fill",
     ] {
         let pat = format!("\"{field}\": ");
         let mut rest = json;
@@ -725,6 +826,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut headline: Option<(f64, f64)> = None; // (arena_qps, legacy_qps)
     let mut throughput: Option<Throughput> = None;
+    let mut wave: Option<Wave> = None;
     let mut sharding: Vec<ShardRow> = Vec::new();
     let mut serving: Option<Serving> = None;
     let mut metrics_json: Option<String> = None;
@@ -762,6 +864,7 @@ fn main() {
             let legacy_qps = headline_qps(&stripped, &w.queries);
             headline = Some((arena_qps, legacy_qps));
             throughput = Some(throughput_section(&w.points, cfg.seed));
+            wave = Some(wave_section(&w.points, cfg.seed));
             sharding = sharding_section(&w.points, cfg.seed);
             serving = Some(serving_section(&w.points, cfg.seed));
             metrics_json = Some(metrics_section(&w.points, cfg.seed, cfg.metrics.as_deref()));
@@ -783,6 +886,20 @@ fn main() {
             t.fused_qps,
             t.warp_eff_unfused,
             t.warp_eff_fused,
+        );
+    }
+    if let Some(w) = &wave {
+        eprintln!(
+            "wave psb/sstree/uniform-16d ({} queries/batch): {:.1} qps vs scheduled {:.1} qps \
+             ({:.2}x); {} waves, {} coalesced sweeps, mean fill {:.1} (max {})",
+            w.batch_size,
+            w.wave_qps,
+            w.vs_scheduled_qps,
+            w.wave_qps / w.vs_scheduled_qps.max(1e-12),
+            w.waves,
+            w.coalesced_sweeps,
+            w.mean_buffer_fill,
+            w.max_buffer_fill,
         );
     }
     for r in &sharding {
@@ -811,6 +928,7 @@ fn main() {
         &rows,
         speedup,
         throughput.as_ref(),
+        wave.as_ref(),
         &sharding,
         serving.as_ref(),
         metrics_json.as_deref(),
@@ -844,6 +962,28 @@ fn main() {
                 eprintln!(
                     "smoke: FUSION REGRESSION: fused warp efficiency {:.4} <= unfused {:.4}",
                     t.warp_eff_fused, t.warp_eff_unfused
+                );
+                std::process::exit(1);
+            }
+        }
+        // Wave gate: the buffer-wave engine exists to beat the scheduled
+        // per-query engine on massive batches — one coalesced sweep per
+        // buffered node instead of one traversal per query. If it falls
+        // behind on the headline 240-query batch, the amortization broke.
+        // The occupancy check is a deterministic model output: buffers that
+        // never hold more than one query amortize nothing.
+        if let Some(w) = &wave {
+            if w.wave_qps < w.vs_scheduled_qps {
+                eprintln!(
+                    "smoke: WAVE REGRESSION: wave {:.1} qps < scheduled {:.1} qps",
+                    w.wave_qps, w.vs_scheduled_qps
+                );
+                std::process::exit(1);
+            }
+            if w.mean_buffer_fill <= 1.0 {
+                eprintln!(
+                    "smoke: WAVE REGRESSION: mean buffer fill {:.2} amortizes nothing",
+                    w.mean_buffer_fill
                 );
                 std::process::exit(1);
             }

@@ -20,6 +20,13 @@
 //!   points, or a clean fraction that fell by more, fails. A mix shift means
 //!   the front-end started shedding or degrading queries it used to answer
 //!   exactly — a serving regression even when every latency row got faster.
+//! * **wave section** (schema v6+) — the buffer-wave engine's headline batch.
+//!   `wave_qps` is gated like a row qps (relative drop beyond threshold
+//!   fails), `wave_speedup` must not fall below parity-minus-threshold (the
+//!   wave engine losing to the scheduled engine is the regression the section
+//!   exists to catch), and `mean_buffer_fill` — a deterministic model output —
+//!   must not drop by more than the threshold (lost fill means lost fetch
+//!   amortization even if this machine's wall clock hides it).
 //!
 //! Parsing is deliberately line-oriented: the harness emits one result row per
 //! line, so a full JSON parser is unnecessary (and the workspace is offline —
@@ -61,6 +68,17 @@ pub struct ServingMix {
     pub rejected_frac: f64,
 }
 
+/// The wave section (schema v6+): the headline batch through the buffer-wave
+/// engine. Throughput fields are wall clock; `mean_buffer_fill` is a
+/// deterministic model output.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WaveSection {
+    pub wave_qps: f64,
+    pub vs_scheduled_qps: f64,
+    pub wave_speedup: f64,
+    pub mean_buffer_fill: f64,
+}
+
 /// The subset of a BENCH file the gate compares.
 #[derive(Clone, Debug, Default)]
 pub struct BenchFile {
@@ -68,6 +86,8 @@ pub struct BenchFile {
     pub rows: Vec<BenchRow>,
     /// Present on schema v5+ files that carry a `serving` section.
     pub serving: Option<ServingMix>,
+    /// Present on schema v6+ files that carry a `wave` section.
+    pub wave: Option<WaveSection>,
 }
 
 /// One threshold violation between two matched rows.
@@ -112,7 +132,24 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     let schema = str_field(json, "schema").ok_or("missing \"schema\" field")?;
     let mut rows = Vec::new();
     let mut serving = None;
+    let mut wave = None;
     for line in json.lines() {
+        // The wave section is emitted on a single line; nothing else in the
+        // file carries `wave_qps`.
+        if let (Some(wave_qps), Some(vs_scheduled_qps), Some(wave_speedup), Some(fill)) = (
+            num_field(line, "wave_qps"),
+            num_field(line, "vs_scheduled_qps"),
+            num_field(line, "wave_speedup"),
+            num_field(line, "mean_buffer_fill"),
+        ) {
+            wave = Some(WaveSection {
+                wave_qps,
+                vs_scheduled_qps,
+                wave_speedup,
+                mean_buffer_fill: fill,
+            });
+            continue;
+        }
         // The serving outcome mix is emitted on a single line carrying all
         // five fractions; nothing else in the file has `clean_frac`.
         if let (Some(clean), Some(retried), Some(degraded), Some(deadline), Some(rejected)) = (
@@ -149,7 +186,7 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     if rows.is_empty() {
         return Err("no result rows found (not a BENCH file?)".to_string());
     }
-    Ok(BenchFile { schema, rows, serving })
+    Ok(BenchFile { schema, rows, serving, wave })
 }
 
 /// Compares matched rows; returns every violation of `threshold` (a fraction:
@@ -220,6 +257,42 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Vec<Regressi
             });
         }
     }
+    if let (Some(ow), Some(nw)) = (&old.wave, &new.wave) {
+        if ow.wave_qps > 0.0 && nw.wave_qps < ow.wave_qps * (1.0 - threshold) {
+            out.push(Regression {
+                key: "wave".into(),
+                metric: "wave_qps",
+                old: ow.wave_qps,
+                new: nw.wave_qps,
+                ratio: 1.0 - nw.wave_qps / ow.wave_qps,
+            });
+        }
+        // The section's reason to exist: the wave engine beating the
+        // scheduled engine. A speedup below parity-minus-threshold fails
+        // regardless of what the baseline measured.
+        if nw.wave_speedup < 1.0 - threshold {
+            out.push(Regression {
+                key: "wave".into(),
+                metric: "wave_speedup",
+                old: ow.wave_speedup,
+                new: nw.wave_speedup,
+                ratio: 1.0 - nw.wave_speedup,
+            });
+        }
+        // Deterministic model output: lost buffer fill is lost fetch
+        // amortization, even when this machine's wall clock hides it.
+        if ow.mean_buffer_fill > 0.0
+            && nw.mean_buffer_fill < ow.mean_buffer_fill * (1.0 - threshold)
+        {
+            out.push(Regression {
+                key: "wave".into(),
+                metric: "mean_buffer_fill",
+                old: ow.mean_buffer_fill,
+                new: nw.mean_buffer_fill,
+                ratio: 1.0 - nw.mean_buffer_fill / ow.mean_buffer_fill,
+            });
+        }
+    }
     out
 }
 
@@ -271,6 +344,15 @@ pub fn render_report(
         }
         _ => {}
     }
+    match (&old.wave, &new.wave) {
+        (Some(_), None) => {
+            let _ = writeln!(s, "  note: wave section missing from new file");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(s, "  note: wave section new (no baseline)");
+        }
+        _ => {}
+    }
     if regs.is_empty() {
         let _ = writeln!(s, "  OK: no regression beyond {:.0}%", threshold * 100.0);
     } else {
@@ -313,6 +395,19 @@ mod tests {
             mix.degraded_frac,
             mix.deadline_degraded_frac,
             mix.rejected_frac
+        )
+    }
+
+    /// Appends a wave section (the v6 one-line shape) to a bench file.
+    fn with_wave(json: &str, w: &WaveSection) -> String {
+        let body = json.trim_end().trim_end_matches('}');
+        format!(
+            "{body},\n  \"wave\": {{\n    \"workload\": \"uniform-16d/sstree/psb\", \
+             \"batch_size\": 240, \"wave_qps\": {:.3}, \"vs_scheduled_qps\": {:.3}, \
+             \"wave_speedup\": {:.4}, \"waves\": 4, \"coalesced_sweeps\": 1300, \
+             \"buffered_entries\": 320000, \"mean_buffer_fill\": {:.4}, \
+             \"max_buffer_fill\": 240\n  }}\n}}\n",
+            w.wave_qps, w.vs_scheduled_qps, w.wave_speedup, w.mean_buffer_fill
         )
     }
 
@@ -439,6 +534,63 @@ mod tests {
         assert!(regs.is_empty());
         let report = render_report(&old, &new, 0.10, &regs);
         assert!(report.contains("serving outcome mix new"));
+    }
+
+    #[test]
+    fn wave_section_parses_and_gates() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let ow = WaveSection {
+            wave_qps: 3000.0,
+            vs_scheduled_qps: 2200.0,
+            wave_speedup: 1.3636,
+            mean_buffer_fill: 240.0,
+        };
+        let old = parse_bench(&with_wave(&base, &ow)).unwrap();
+        assert_eq!(old.wave, Some(ow), "wave section must parse back out");
+
+        // Self-compare and within-threshold drift pass.
+        assert!(compare(&old, &old, 0.0).is_empty());
+        let drift = WaveSection { wave_qps: 2800.0, wave_speedup: 1.27, ..ow };
+        let ok = parse_bench(&with_wave(&base, &drift)).unwrap();
+        assert!(compare(&old, &ok, 0.10).is_empty());
+
+        // Wave throughput collapsing fails on both the qps and speedup gates.
+        let slow = WaveSection {
+            wave_qps: 1800.0,
+            vs_scheduled_qps: 2200.0,
+            wave_speedup: 0.8182,
+            mean_buffer_fill: 240.0,
+        };
+        let new = parse_bench(&with_wave(&base, &slow)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(regs.iter().any(|r| r.metric == "wave_qps" && r.key == "wave"), "{regs:?}");
+        assert!(regs.iter().any(|r| r.metric == "wave_speedup"), "{regs:?}");
+
+        // Lost buffer occupancy fails even with wall clock intact.
+        let hollow = WaveSection { mean_buffer_fill: 12.0, ..ow };
+        let new = parse_bench(&with_wave(&base, &hollow)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "mean_buffer_fill");
+    }
+
+    #[test]
+    fn wave_section_in_one_file_is_a_note_not_a_regression() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let ow = WaveSection {
+            wave_qps: 3000.0,
+            vs_scheduled_qps: 2200.0,
+            wave_speedup: 1.3636,
+            mean_buffer_fill: 240.0,
+        };
+        let old = parse_bench(&base).unwrap();
+        let new = parse_bench(&with_wave(&base, &ow)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(regs.is_empty());
+        let report = render_report(&old, &new, 0.10, &regs);
+        assert!(report.contains("wave section new"));
+        let report = render_report(&new, &old, 0.10, &compare(&new, &old, 0.10));
+        assert!(report.contains("wave section missing"));
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl QueryBatchResult {
 }
 
 /// Warps per simulated (pre-fusion) block under these options.
-fn warps_of(cfg: &DeviceConfig, opts: &KernelOptions) -> u32 {
+pub(crate) fn warps_of(cfg: &DeviceConfig, opts: &KernelOptions) -> u32 {
     opts.threads_per_block.div_ceil(cfg.warp_size)
 }
 
@@ -91,7 +91,7 @@ pub(crate) fn schedule_order(queries: &PointSet, opts: &KernelOptions) -> Option
 /// batch/query counters, and the launch report's simulated figures, all keyed
 /// by the kernel `label`. `started` is `Some` only when a registry is attached
 /// (the no-op path reads no clock).
-fn record_batch(
+pub(crate) fn record_batch(
     opts: &KernelOptions,
     label: &str,
     started: Option<std::time::Instant>,
@@ -302,6 +302,9 @@ fn run_batch_recovering(
 /// results, per-query counters, and the fuse-1 report are bit-identical to the
 /// submission-order engine (`tests/schedule_parity.rs`), only the wall-clock
 /// host cost drops.
+/// With [`KernelOptions::wave`] set, the batch instead runs through the
+/// buffer-wave node-centric engine (`wave.rs`): neighbors and outcomes are
+/// bit-identical, counters reflect the amortized coalesced-sweep schedule.
 pub fn psb_batch<T: GpuIndex>(
     tree: &T,
     queries: &PointSet,
@@ -309,6 +312,9 @@ pub fn psb_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() {
+        return crate::wave::wave_knn_batch(tree, queries, k, cfg, opts).map(|(r, _)| r);
+    }
     run_batch(queries, cfg, opts, "psb", |q| match opts.schedule {
         QuerySchedule::Submission => psb_query(tree, q, k, cfg, opts),
         QuerySchedule::Hilbert => psb_query_replay(tree, q, k, cfg, opts),
@@ -342,6 +348,12 @@ pub fn psb_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
+    // The wave engine serves the fault-free path only (like the sweep-replay
+    // memo): a no-op plan routes to the wave engine whole-batch, a real plan
+    // disables waves and climbs the per-query ladder below.
+    if opts.wave.is_some() && plan.is_noop() {
+        return psb_batch(tree, queries, k, cfg, opts);
+    }
     run_batch_recovering(
         queries,
         cfg,
@@ -371,6 +383,9 @@ pub fn bnb_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() {
+        return crate::wave::wave_knn_batch(tree, queries, k, cfg, opts).map(|(r, _)| r);
+    }
     run_batch(queries, cfg, opts, "bnb", |q| bnb_query(tree, q, k, cfg, opts))
 }
 
@@ -399,6 +414,9 @@ pub fn bnb_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() && plan.is_noop() {
+        return bnb_batch(tree, queries, k, cfg, opts);
+    }
     run_batch_recovering(
         queries,
         cfg,
@@ -418,6 +436,9 @@ pub fn range_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() {
+        return crate::wave::wave_range_batch(tree, queries, radius, cfg, opts).map(|(r, _)| r);
+    }
     run_batch(queries, cfg, opts, "range", |q| range_query_gpu(tree, q, radius, cfg, opts))
 }
 
@@ -432,6 +453,9 @@ pub fn range_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() && plan.is_noop() {
+        return range_batch(tree, queries, radius, cfg, opts);
+    }
     run_batch_recovering(
         queries,
         cfg,
@@ -451,6 +475,9 @@ pub fn restart_batch<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() {
+        return crate::wave::wave_knn_batch(tree, queries, k, cfg, opts).map(|(r, _)| r);
+    }
     run_batch(queries, cfg, opts, "restart", |q| restart_query(tree, q, k, cfg, opts))
 }
 
@@ -464,6 +491,9 @@ pub fn restart_batch_recovering<T: GpuIndex>(
     opts: &KernelOptions,
     plan: &FaultPlan,
 ) -> Result<QueryBatchResult, EngineError> {
+    if opts.wave.is_some() && plan.is_noop() {
+        return restart_batch(tree, queries, k, cfg, opts);
+    }
     run_batch_recovering(
         queries,
         cfg,

@@ -31,6 +31,7 @@ pub mod options;
 pub mod schedule;
 pub mod shard;
 pub mod stream;
+pub mod wave;
 
 pub use dynamic::DynamicSsTree;
 pub use engine::{
@@ -52,6 +53,7 @@ pub use psb_metrics::{MetricsHandle, Registry};
 pub use schedule::{hilbert_order, hilbert_permutation, QuerySchedule, ScheduleScratch};
 pub use shard::{partition, shard_sphere, ShardPlan, ShardPolicy};
 pub use stream::{QueryStream, StreamKernel};
+pub use wave::{wave_knn_batch, wave_range_batch, WaveConfig, WaveReport};
 
 /// Instruction cost of one `dims`-dimensional distance evaluation in the cost
 /// model: a 4-wide FMA loop plus the sqrt/compare tail.

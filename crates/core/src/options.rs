@@ -5,6 +5,7 @@ use psb_metrics::MetricsHandle;
 
 use crate::knnlist::SharedMemPolicy;
 use crate::schedule::QuerySchedule;
+use crate::wave::WaveConfig;
 
 /// Simulated memory layout of tree nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,6 +55,15 @@ pub struct KernelOptions {
     /// lock taken, and every result stays bit-identical to an uninstrumented
     /// run (`tests/metrics_parity.rs`).
     pub metrics: MetricsHandle,
+    /// Route batch execution through the buffer-wave node-centric engine
+    /// (DESIGN.md §16): nodes own bounded query buffers, the batch descends
+    /// in level-synchronous waves, and each buffered node is swept once with
+    /// its fetch amortized over the buffer. `None` (the default) keeps the
+    /// per-query engines. Neighbors and outcomes are bit-identical either
+    /// way; `KernelStats` reflect the amortized schedule. The recovery
+    /// runners ignore this under a real fault plan (the wave engine serves
+    /// the fault-free path only, like the sweep-replay memo).
+    pub wave: Option<WaveConfig>,
 }
 
 impl Default for KernelOptions {
@@ -67,6 +77,7 @@ impl Default for KernelOptions {
             schedule: QuerySchedule::Submission,
             fuse: 1,
             metrics: MetricsHandle::noop(),
+            wave: None,
         }
     }
 }
@@ -85,5 +96,6 @@ mod tests {
         assert_eq!(o.schedule, QuerySchedule::Submission);
         assert_eq!(o.fuse, 1);
         assert!(!o.metrics.is_attached(), "telemetry is opt-in");
+        assert!(o.wave.is_none(), "the wave engine is opt-in");
     }
 }

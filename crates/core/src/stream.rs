@@ -216,25 +216,41 @@ impl<'t, T: GpuIndex> QueryStream<'t, T> {
         let (tree, cfg, opts) = (self.tree, &self.cfg, &self.opts);
         let ord = order.as_deref();
         let started = opts.metrics.is_attached().then(std::time::Instant::now);
-        let result = match self.kernel {
-            StreamKernel::Psb { k } => {
-                run_batch_ordered(&chunk, cfg, opts, ord, "psb", |q| match opts.schedule {
-                    QuerySchedule::Submission => psb_query(tree, q, k, cfg, opts),
-                    QuerySchedule::Hilbert => psb_query_replay(tree, q, k, cfg, opts),
-                })
+        let result = if opts.wave.is_some() {
+            // Wave mode: the whole chunk runs through the buffer-wave engine
+            // (one node-centric traversal per chunk instead of one per
+            // query), reusing the precomputed schedule like the per-query
+            // path below. Results are bit-identical (tests below).
+            match self.kernel {
+                StreamKernel::Psb { k } | StreamKernel::Bnb { k } | StreamKernel::Restart { k } => {
+                    crate::wave::wave_knn_batch_ordered(tree, &chunk, k, cfg, opts, ord)
+                }
+                StreamKernel::Range { radius } => {
+                    crate::wave::wave_range_batch_ordered(tree, &chunk, radius, cfg, opts, ord)
+                }
             }
-            StreamKernel::Bnb { k } => run_batch_ordered(&chunk, cfg, opts, ord, "bnb", |q| {
-                bnb_query(tree, q, k, cfg, opts)
-            }),
-            StreamKernel::Restart { k } => {
-                run_batch_ordered(&chunk, cfg, opts, ord, "restart", |q| {
-                    restart_query(tree, q, k, cfg, opts)
-                })
-            }
-            StreamKernel::Range { radius } => {
-                run_batch_ordered(&chunk, cfg, opts, ord, "range", |q| {
-                    range_query_gpu(tree, q, radius, cfg, opts)
-                })
+            .map(|(r, _)| r)
+        } else {
+            match self.kernel {
+                StreamKernel::Psb { k } => {
+                    run_batch_ordered(&chunk, cfg, opts, ord, "psb", |q| match opts.schedule {
+                        QuerySchedule::Submission => psb_query(tree, q, k, cfg, opts),
+                        QuerySchedule::Hilbert => psb_query_replay(tree, q, k, cfg, opts),
+                    })
+                }
+                StreamKernel::Bnb { k } => run_batch_ordered(&chunk, cfg, opts, ord, "bnb", |q| {
+                    bnb_query(tree, q, k, cfg, opts)
+                }),
+                StreamKernel::Restart { k } => {
+                    run_batch_ordered(&chunk, cfg, opts, ord, "restart", |q| {
+                        restart_query(tree, q, k, cfg, opts)
+                    })
+                }
+                StreamKernel::Range { radius } => {
+                    run_batch_ordered(&chunk, cfg, opts, ord, "range", |q| {
+                        range_query_gpu(tree, q, radius, cfg, opts)
+                    })
+                }
             }
         };
         // Chunks are only ever staged non-empty, so the launch cannot fail.

@@ -1,0 +1,840 @@
+//! Buffer-wave node-centric batch traversal (ROADMAP item 1).
+//!
+//! Every per-query kernel in this crate walks the tree once per query: a hot
+//! node's arena block is re-fetched (and its metering re-paid) once for every
+//! query that reaches it, and PSB's stackless backtracking re-descends through
+//! the same internal nodes tens of times per query on poorly-pruning
+//! workloads. This module inverts the loop, following Gieseke et al.'s
+//! *Bigger Buffer k-d Trees* (PAPERS.md): **nodes own query buffers**, and the
+//! batch moves down the tree in level-synchronous *waves*:
+//!
+//! 1. **Priming** — every query runs PSB's phase-1 greedy descent (identical
+//!    code path and metering) so its pruning bound is finite before the wave
+//!    sweep starts. Range queries skip this: their bound is the fixed radius.
+//! 2. **Seeding** — every query is pushed into the root node's buffer, in
+//!    scheduled order ([`QuerySchedule::Hilbert`] seeds Hilbert-adjacent
+//!    queries adjacently, so capacity-bounded flushes group spatially
+//!    coherent queries).
+//! 3. **Waves** — for each tree level, every node with a non-empty buffer is
+//!    swept **once**: its arena block is fetched one time and the fetch is
+//!    amortized over the buffered queries ([`Block::load_global_share`]);
+//!    each buffered query prunes against its *current* bound (which may have
+//!    tightened since it enqueued itself), sweeps the children via the same
+//!    [`GpuIndex::child_sweep`]/[`GpuIndex::leaf_sweep`] hooks as the
+//!    per-query kernels, tightens its bound with the k-th-MAXDIST rule, and
+//!    appends itself to the buffers of surviving children. Leaf sweeps fold
+//!    candidates into the query's [`GpuKnnList`] (or the range hit list).
+//! 4. **Bounded buffers** — a buffer that reaches [`WaveConfig::capacity`]
+//!    during insertion is flushed immediately (processed early, cascading
+//!    into its children); capacity therefore changes only *when* work
+//!    happens, never *what* the results are (`tests/wave_parity.rs` proves
+//!    capacity-invariance by property test).
+//!
+//! ## Exactness
+//!
+//! A query's bound only tightens, every prune requires `MINDIST >= bound`
+//! (kNN; `> radius` for range), and the true k-th distance is a lower bound
+//! on every intermediate bound — so a subtree containing a true neighbor can
+//! never be pruned, every leaf that can matter is swept, and the k-best list
+//! converges to exactly the per-query kernel's result. Neighbors and
+//! outcomes are bit-identical to the per-query engines (golden tests across
+//! all kernels, both index families); `KernelStats` are *not* comparable —
+//! the whole point is that the wave engine does strictly less memory work.
+//!
+//! ## Metering model
+//!
+//! Per coalesced sweep of a buffer holding `m` queries, the node's block of
+//! `B` bytes / `T` transactions is fetched **once**: entry `j` is charged
+//! `B/m + (j < B%m)` bytes and `T/m + (j < T%m)` transactions, so the
+//! merged counters see exactly one fetch per sweep (`nodes_visited` counts
+//! sweeps, charged to the rank-0 entry). Leaf-wave fetch shares are marked
+//! streamed: the leaf wave walks the contiguous leaf arena left-to-right,
+//! which is precisely the prefetchable linear scan the paper's leaf chain
+//! exploits. Compute (child sweeps, distance evaluation, list merges) is
+//! charged per query, unshared — lanes serve different queries.
+//!
+//! ## Host execution
+//!
+//! The host runs each wave query-major (rayon over queries, each processing
+//! its own buffer entries in ascending node order) because per-query state —
+//! block, k-best list, bound — is disjoint per query; buffer membership,
+//! entry ranks, and fetch shares are fixed node-major before the wave runs,
+//! so the metered schedule is the node-centric one regardless of host
+//! interleaving, and results are deterministic under any thread count.
+//!
+//! ## Faults
+//!
+//! Like the PSB sweep-replay memo, the wave engine serves the fault-free
+//! path only: the `*_batch_recovering` runners route to the per-query
+//! recovery ladder whenever a real [`FaultPlan`](psb_gpu::FaultPlan) is
+//! attached, so corruption still yields typed errors or exact degraded
+//! results, never panics (`tests/wave_parity.rs`).
+
+use psb_geom::PointSet;
+use psb_gpu::{launch_blocks_fused, Block, DeviceConfig, NodeKind, Phase};
+use psb_sstree::Neighbor;
+use rayon::prelude::*;
+
+use crate::engine::{record_batch, schedule_order, warps_of, QueryBatchResult};
+use crate::error::{EngineError, KernelError, QueryOutcome};
+use crate::index::GpuIndex;
+use crate::kernels::{
+    checked_children, checked_leaf_points, checked_root, child_distances, fetch_internal,
+    kth_maxdist, process_leaf, with_scratch, Budget, Scratch,
+};
+use crate::knnlist::GpuKnnList;
+use crate::options::{KernelOptions, NodeLayout};
+
+/// Configuration of the buffer-wave engine, carried in
+/// [`KernelOptions::wave`]: `Some` routes the batch engines (psb / bnb /
+/// restart / range) through [`wave_knn_batch`] / [`wave_range_batch`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaveConfig {
+    /// Maximum queries a node buffer holds before it is flushed early
+    /// (swept immediately, possibly cascading into child buffers). Sizes the
+    /// engine's working set: a buffer entry is 8 bytes, so the worst-case
+    /// buffer memory is `capacity × 8` bytes per node on one tree level.
+    /// Clamped to at least 1. Capacity never changes results — only how the
+    /// work is grouped (and therefore how well fetches amortize: mean buffer
+    /// fill is the amortization factor).
+    pub capacity: usize,
+}
+
+impl Default for WaveConfig {
+    /// 1024 queries per buffer: deep enough that the paper's 240-query
+    /// batches (§V-B) and [`QueryStream`](crate::QueryStream) chunks never
+    /// flush early, small enough that even a root buffer stays a few KiB.
+    fn default() -> Self {
+        Self { capacity: 1024 }
+    }
+}
+
+impl WaveConfig {
+    fn cap(&self) -> usize {
+        self.capacity.max(1)
+    }
+}
+
+/// What the wave engine did, alongside the ordinary [`QueryBatchResult`]:
+/// how many synchronous wave fronts ran, how many coalesced sweeps they
+/// issued, and how full the buffers were (the fetch-amortization factor).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaveReport {
+    /// Level-synchronous wave fronts that swept at least one buffer.
+    /// Capacity-triggered early flushes count as sweeps, not waves.
+    pub waves: u32,
+    /// Node buffers swept (each is one amortized arena-block fetch).
+    pub coalesced_sweeps: u64,
+    /// Total buffered (node, query) entries processed across all sweeps.
+    pub buffered_entries: u64,
+    /// Largest buffer processed by a single sweep.
+    pub max_fill: u32,
+}
+
+impl WaveReport {
+    /// Mean queries per coalesced sweep — the factor by which node fetches
+    /// were amortized (1.0 means the wave engine degenerated to per-query
+    /// fetching).
+    pub fn mean_fill(&self) -> f64 {
+        if self.coalesced_sweeps == 0 {
+            0.0
+        } else {
+            self.buffered_entries as f64 / self.coalesced_sweeps as f64
+        }
+    }
+}
+
+/// The two query families the wave engine runs. The push-down machinery is
+/// shared; only the bound semantics differ: kNN bounds shrink as lists fill,
+/// range bounds are the fixed radius (and admit `MINDIST == radius`, matching
+/// the per-query range kernel's `<=` test).
+#[derive(Clone, Copy)]
+enum WaveMode {
+    Knn { k: usize },
+    Range { radius: f32 },
+}
+
+impl WaveMode {
+    /// Does a node at `mindist` survive against `bound`? Mirrors the
+    /// per-query kernels exactly: strict `<` for kNN (PSB line 17), `<=` for
+    /// the fixed-radius sweep.
+    fn admits(self, mindist: f32, bound: f32) -> bool {
+        match self {
+            WaveMode::Knn { .. } => mindist < bound,
+            WaveMode::Range { .. } => mindist <= bound,
+        }
+    }
+}
+
+/// Per-query traversal state. Fields are disjoint per query, which is what
+/// lets each wave run query-parallel on the host.
+struct QueryState {
+    block: Block<'static>,
+    /// The k-best list (kNN mode only).
+    list: Option<GpuKnnList>,
+    /// Accumulated in-range hits (range mode only).
+    hits: Vec<Neighbor>,
+    /// Current pruning bound: k-th distance so far (kNN) or the radius.
+    pruning: f32,
+    /// Children this query survives into, staged during a wave's parallel
+    /// phase and scattered into buffers sequentially afterwards.
+    out: Vec<(u32, f32)>,
+}
+
+/// One buffered entry's worth of work, precomputed node-major so the
+/// query-major host loop charges exactly the node-centric schedule.
+#[derive(Clone, Copy)]
+struct WorkItem {
+    node: u32,
+    /// Rank of this query in the node's buffer (rank 0 carries the
+    /// node-visit count and the remainder-heavy fetch share).
+    rank: u32,
+    /// Buffer occupancy `m` the fetch is amortized over.
+    fill: u32,
+    /// MINDIST from tree volume to query, computed at push time; re-checked
+    /// against the current bound at sweep time.
+    mindist: f32,
+}
+
+/// A simulated block for one wave query: same shape as the kernels'
+/// [`kernel_block`](crate::kernels), minus the trace sink (the wave engine
+/// does not record event streams).
+fn wave_block(opts: &KernelOptions, cfg: &DeviceConfig) -> Block<'static> {
+    let mut block = Block::new(opts.threads_per_block, cfg);
+    if opts.fuse > 1 {
+        block.fuse(opts.fuse);
+    }
+    block
+}
+
+/// Entry `j`'s share of `total` split over `m` entries: `total/m`, with the
+/// first `total % m` entries carrying one unit of remainder each, so the
+/// shares sum to exactly `total`.
+fn share(total: u64, m: u64, j: u64) -> u64 {
+    total / m + u64::from(j < total % m)
+}
+
+/// Bytes and transactions one coalesced fetch of node `n`'s arena block
+/// moves, mirroring [`fetch_internal`] / [`fetch_leaf`](crate::kernels) for
+/// the same layout.
+fn node_fetch_cost<T: GpuIndex>(
+    tree: &T,
+    n: u32,
+    leaf: bool,
+    layout: NodeLayout,
+    block: &Block,
+) -> (u64, u64) {
+    match layout {
+        NodeLayout::Soa => {
+            let bytes = if leaf { tree.leaf_node_bytes(n) } else { tree.internal_node_bytes(n) };
+            (bytes, block.coalesced_transactions(bytes))
+        }
+        NodeLayout::Aos => {
+            let (count, elem) = if leaf {
+                (tree.leaf_points(n).len() as u64, tree.point_entry_bytes())
+            } else {
+                (tree.children(n).len() as u64, tree.child_entry_bytes())
+            };
+            (count * elem, count * block.coalesced_transactions(elem))
+        }
+    }
+}
+
+/// Depth of every node reachable from `root` (root = 0), plus the maximum.
+/// Rejects cycles and diamond links with a typed error instead of hanging —
+/// the wave loop's level schedule is only meaningful on a proper tree.
+fn node_levels<T: GpuIndex>(tree: &T, root: u32) -> Result<(Vec<u32>, u32), KernelError> {
+    let nn = tree.num_nodes();
+    let mut levels = vec![u32::MAX; nn];
+    levels[root as usize] = 0;
+    let mut stack = vec![root];
+    let mut max_level = 0u32;
+    let mut popped = 0usize;
+    while let Some(n) = stack.pop() {
+        popped += 1;
+        if popped > nn {
+            return Err(KernelError::CorruptNode {
+                node: n,
+                detail: "cycle while leveling the tree for the wave schedule",
+            });
+        }
+        if tree.is_leaf(n) {
+            continue;
+        }
+        let child_level = levels[n as usize] + 1;
+        max_level = max_level.max(child_level);
+        for c in checked_children(tree, n)? {
+            if levels[c as usize] != u32::MAX {
+                return Err(KernelError::CorruptNode {
+                    node: c,
+                    detail: "node reachable from two parents in the wave schedule",
+                });
+            }
+            levels[c as usize] = child_level;
+            stack.push(c);
+        }
+    }
+    Ok((levels, max_level))
+}
+
+/// PSB phase 1 for one wave query: the identical greedy descent and primed
+/// leaf fold as [`psb_try_query`](crate::kernels::psb::psb_try_query), so the
+/// wave's starting bound (and its metered cost) match the per-query kernel's.
+fn prime_knn<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    root: u32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    scratch: &mut Scratch,
+) -> Result<QueryState, KernelError> {
+    let mut block = wave_block(opts, cfg);
+    let static_smem = 2 * tree.degree() as u64 * 4 + block.threads() as u64 * 4;
+    block
+        .reserve_shared(static_smem, cfg.smem_per_sm)
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
+    let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
+    let mut budget = Budget::for_tree(tree);
+    block.set_phase(Phase::Descend);
+    let mut n = root;
+    let mut level = 0u32;
+    while !tree.is_leaf(n) {
+        budget.tick(&block)?;
+        let kids = checked_children(tree, n)?;
+        fetch_internal(&mut block, tree, n, opts.layout, level);
+        child_distances(&mut block, tree, n, q, false, true, scratch);
+        block.par_reduce(scratch.sweep.min_d.len(), 2);
+        // Nearest child by (MINDIST, anchor distance) — the same tie-break
+        // as PSB's descent, for the same reason (overlapping child volumes
+        // tie at MINDIST 0).
+        let mut best = (f32::INFINITY, f32::INFINITY);
+        let mut best_c = kids.start;
+        for (i, c) in kids.enumerate() {
+            let key = (scratch.sweep.min_d[i], scratch.sweep.anchor_d[i]);
+            if key < best {
+                best = key;
+                best_c = c;
+            }
+        }
+        n = best_c;
+        level += 1;
+    }
+    budget.tick(&block)?;
+    process_leaf(&mut block, tree, n, q, &mut list, scratch, opts, false, level)?;
+    let pruning = list.bound();
+    Ok(QueryState { block, list: Some(list), hits: Vec::new(), pruning, out: Vec::new() })
+}
+
+/// Range-mode per-query setup: no descent (the bound is the radius), just the
+/// block and the range kernel's static shared-memory reservation.
+fn prime_range<T: GpuIndex>(
+    tree: &T,
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> Result<QueryState, KernelError> {
+    let mut block = wave_block(opts, cfg);
+    let static_smem = tree.degree() as u64 * 4 + block.threads() as u64 * 4;
+    block
+        .reserve_shared(static_smem, cfg.smem_per_sm)
+        .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
+    Ok(QueryState { block, list: None, hits: Vec::new(), pruning: radius, out: Vec::new() })
+}
+
+/// Process one buffered entry: charge the query's share of the node's single
+/// coalesced fetch, re-check admission against the current bound, and — if
+/// the lane stays active — sweep the node for this query (children into
+/// `state.out`, leaf points into the result list).
+#[allow(clippy::too_many_arguments)]
+fn process_entry<T: GpuIndex>(
+    tree: &T,
+    q: &[f32],
+    state: &mut QueryState,
+    item: WorkItem,
+    mode: WaveMode,
+    level: u32,
+    opts: &KernelOptions,
+    scratch: &mut Scratch,
+) -> Result<(), KernelError> {
+    let n = item.node;
+    let leaf = tree.is_leaf(n);
+    state.block.set_phase(if leaf { Phase::LeafScan } else { Phase::Descend });
+    // The node is fetched once for the whole buffer. Rank 0 carries the
+    // node-visit count (merged `nodes_visited` = coalesced sweeps) and the
+    // remainder-heavy share; leaf-wave shares are streamed (the wave walks
+    // the contiguous leaf arena left-to-right — a prefetchable linear scan).
+    if item.rank == 0 {
+        state.block.visit_node(level, if leaf { NodeKind::Leaf } else { NodeKind::Internal });
+    }
+    let (bytes, tx) = node_fetch_cost(tree, n, leaf, opts.layout, &state.block);
+    let m = u64::from(item.fill);
+    let j = u64::from(item.rank);
+    state.block.load_global_share(share(bytes, m, j), share(tx, m, j), leaf);
+    // Admission re-check: the bound may have tightened since this query
+    // pushed itself here (earlier sweeps of this very wave). A pruned entry
+    // is a masked lane: it paid its fetch share but computes nothing.
+    if !mode.admits(item.mindist, state.pruning) {
+        return Ok(());
+    }
+    if leaf {
+        let range = checked_leaf_points(tree, n)?;
+        scratch.leaf.clear();
+        let dc = crate::dist_cost(tree.dims());
+        state.block.par_for(range.len(), dc, |_| {});
+        tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.leaf);
+        state.block.set_phase(Phase::ResultMerge);
+        match mode {
+            WaveMode::Knn { .. } => {
+                if let Some(list) = &mut state.list {
+                    for &(d, id) in &scratch.leaf {
+                        list.offer(&mut state.block, d, id);
+                    }
+                    state.pruning = state.pruning.min(list.bound());
+                }
+            }
+            WaveMode::Range { radius } => {
+                let mut hit_count = 0u64;
+                for &(d, id) in &scratch.leaf {
+                    if d <= radius {
+                        state.hits.push(Neighbor { dist: d, id });
+                        hit_count += 1;
+                    }
+                }
+                if hit_count > 0 {
+                    // Append rows to the global output buffer (atomic cursor
+                    // + rows), exactly as the per-query range kernel meters.
+                    state.block.scalar(2);
+                    state.block.load_global_stream(hit_count * 8);
+                }
+            }
+        }
+    } else {
+        let kids = checked_children(tree, n)?;
+        let with_max = matches!(mode, WaveMode::Knn { .. }) && opts.use_minmax_prune;
+        child_distances(&mut state.block, tree, n, q, with_max, false, scratch);
+        if let WaveMode::Knn { k } = mode {
+            if with_max && scratch.sweep.max_d.len() >= k {
+                let b = kth_maxdist(&mut state.block, &scratch.sweep.max_d, k, &mut scratch.kth);
+                state.pruning = state.pruning.min(b);
+            }
+        }
+        // One parallel admission test over the children, then a serial
+        // enqueue per survivor (the buffer append).
+        state.block.par_for(kids.len(), 1, |_| {});
+        for (i, c) in kids.enumerate() {
+            let mindist = scratch.sweep.min_d[i];
+            if mode.admits(mindist, state.pruning) {
+                state.block.scalar(1);
+                state.out.push((c, mindist));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Everything the sequential push/flush path needs in one place.
+struct WaveCtx<'a, T: GpuIndex> {
+    tree: &'a T,
+    queries: &'a PointSet,
+    mode: WaveMode,
+    opts: &'a KernelOptions,
+    capacity: usize,
+    levels: Vec<u32>,
+}
+
+impl<T: GpuIndex> WaveCtx<'_, T> {
+    /// Append `(query, mindist)` to node `n`'s buffer; a buffer that reaches
+    /// capacity is flushed (swept) immediately.
+    fn push(
+        &self,
+        buffers: &mut [Vec<(u32, f32)>],
+        states: &mut [QueryState],
+        wr: &mut WaveReport,
+        n: u32,
+        entry: (u32, f32),
+    ) -> Result<(), KernelError> {
+        buffers[n as usize].push(entry);
+        if buffers[n as usize].len() >= self.capacity {
+            self.flush(buffers, states, wr, n)?;
+        }
+        Ok(())
+    }
+
+    /// Sweep node `n`'s buffer now (capacity overflow or end-of-wave),
+    /// cascading each query's surviving children back through [`Self::push`].
+    /// Entries run sequentially in buffer order; results are order-invariant
+    /// because all cross-entry state (shares, ranks) is fixed before the
+    /// first entry runs.
+    fn flush(
+        &self,
+        buffers: &mut [Vec<(u32, f32)>],
+        states: &mut [QueryState],
+        wr: &mut WaveReport,
+        n: u32,
+    ) -> Result<(), KernelError> {
+        let entries = std::mem::take(&mut buffers[n as usize]);
+        let fill = entries.len() as u32;
+        wr.coalesced_sweeps += 1;
+        wr.buffered_entries += u64::from(fill);
+        wr.max_fill = wr.max_fill.max(fill);
+        let level = self.levels[n as usize];
+        for (rank, &(q, mindist)) in entries.iter().enumerate() {
+            let item = WorkItem { node: n, rank: rank as u32, fill, mindist };
+            let qi = q as usize;
+            with_scratch(self.tree.dims(), |scratch| {
+                process_entry(
+                    self.tree,
+                    self.queries.point(qi),
+                    &mut states[qi],
+                    item,
+                    self.mode,
+                    level,
+                    self.opts,
+                    scratch,
+                )
+            })?;
+            let mut out = std::mem::take(&mut states[qi].out);
+            for (c, child_mindist) in out.drain(..) {
+                self.push(buffers, states, wr, c, (q, child_mindist))?;
+            }
+            states[qi].out = out;
+        }
+        Ok(())
+    }
+}
+
+/// The wave traversal proper: prime, seed, then sweep level by level.
+fn wave_execute<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    mode: WaveMode,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    capacity: usize,
+    order: Option<&[u32]>,
+) -> Result<(Vec<QueryState>, WaveReport), KernelError> {
+    let root = checked_root(tree)?;
+    let (levels, max_level) = node_levels(tree, root)?;
+    let nq = queries.len();
+
+    // Priming runs query-parallel: each query owns its whole state.
+    let mut states: Vec<QueryState> = (0..nq)
+        .into_par_iter()
+        .map(|i| match mode {
+            WaveMode::Knn { k } => with_scratch(tree.dims(), |scratch| {
+                prime_knn(tree, queries.point(i), k, root, cfg, opts, scratch)
+            }),
+            WaveMode::Range { radius } => prime_range(tree, radius, cfg, opts),
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut buffers: Vec<Vec<(u32, f32)>> = vec![Vec::new(); tree.num_nodes()];
+    let mut wr = WaveReport::default();
+    let ctx = WaveCtx { tree, queries, mode, opts, capacity, levels };
+
+    // Seed the root buffer in scheduled order. MINDIST to the root is taken
+    // as 0 — the per-query kernels also enter the root unconditionally.
+    match order {
+        Some(perm) => {
+            for &i in perm {
+                ctx.push(&mut buffers, &mut states, &mut wr, root, (i, 0.0))?;
+            }
+        }
+        None => {
+            for i in 0..nq as u32 {
+                ctx.push(&mut buffers, &mut states, &mut wr, root, (i, 0.0))?;
+            }
+        }
+    }
+
+    // Level-synchronous waves. Buffers at level L were fully populated by
+    // wave L-1 (survivors only ever descend), so one front per level.
+    let mut work: Vec<Vec<WorkItem>> = vec![Vec::new(); nq];
+    for level in 0..=max_level {
+        // Collect this wave's sweeps node-major (ascending node id): ranks,
+        // fills, and shares are fixed here, before any entry runs.
+        let mut sweeps: Vec<(u32, Vec<(u32, f32)>)> = Vec::new();
+        for n in 0..tree.num_nodes() as u32 {
+            if ctx.levels[n as usize] == level && !buffers[n as usize].is_empty() {
+                sweeps.push((n, std::mem::take(&mut buffers[n as usize])));
+            }
+        }
+        if sweeps.is_empty() {
+            continue;
+        }
+        wr.waves += 1;
+        for item in &mut work {
+            item.clear();
+        }
+        for (n, entries) in &sweeps {
+            let fill = entries.len() as u32;
+            wr.coalesced_sweeps += 1;
+            wr.buffered_entries += u64::from(fill);
+            wr.max_fill = wr.max_fill.max(fill);
+            for (rank, &(q, mindist)) in entries.iter().enumerate() {
+                work[q as usize].push(WorkItem { node: *n, rank: rank as u32, fill, mindist });
+            }
+        }
+        // Phase A (parallel): each query sweeps its entries in node order.
+        // Disjoint per-query state makes this safe; the node-major schedule
+        // above makes it deterministic.
+        states
+            .par_chunks_mut(1)
+            .zip(work.par_chunks(1))
+            .enumerate()
+            .map(|(qi, (state, items))| {
+                let (state, items) = (&mut state[0], &items[0]);
+                if items.is_empty() {
+                    return Ok(());
+                }
+                with_scratch(tree.dims(), |scratch| {
+                    for item in items {
+                        process_entry(
+                            tree,
+                            queries.point(qi),
+                            state,
+                            *item,
+                            mode,
+                            level,
+                            opts,
+                            scratch,
+                        )?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect::<Result<(), KernelError>>()?;
+        // Phase B (sequential): scatter survivors into child buffers in
+        // query order, flushing any buffer that hits capacity.
+        for qi in 0..nq {
+            let mut out = std::mem::take(&mut states[qi].out);
+            for (c, mindist) in out.drain(..) {
+                ctx.push(&mut buffers, &mut states, &mut wr, c, (qi as u32, mindist))?;
+            }
+            states[qi].out = out;
+        }
+    }
+    Ok((states, wr))
+}
+
+/// Shared engine wrapper: run the wave traversal, then assemble the standard
+/// [`QueryBatchResult`] (plus the [`WaveReport`]) exactly like the per-query
+/// batch runners — same launch aggregation, same telemetry shape (kernel
+/// label `"wave"`), plus the wave counters.
+fn run_wave<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    mode: WaveMode,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    order: Option<&[u32]>,
+) -> Result<(QueryBatchResult, WaveReport), EngineError> {
+    if queries.is_empty() {
+        return Err(EngineError::EmptyBatch);
+    }
+    assert_eq!(queries.dims(), tree.dims(), "query dimensionality mismatch");
+    let capacity = opts.wave.unwrap_or_default().cap();
+    let m = &opts.metrics;
+    let started = m.is_attached().then(std::time::Instant::now);
+    let _batch_span = m.span("engine");
+    let _kernel_span = m.span("wave");
+    let (states, wave) = m
+        .time("execute", || wave_execute(tree, queries, mode, cfg, opts, capacity, order))
+        .unwrap_or_else(|e| panic!("wave engine failed on a trusted tree: {e}"));
+    let mut neighbors = Vec::with_capacity(states.len());
+    let mut per_block = Vec::with_capacity(states.len());
+    for mut state in states {
+        neighbors.push(match state.list.take() {
+            Some(list) => list.into_sorted(),
+            None => {
+                // Range mode: canonical output order, exactly as the
+                // per-query range kernel sorts before returning.
+                state.hits.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+                state.hits
+            }
+        });
+        per_block.push(state.block.finish());
+    }
+    let report = m.time("aggregate", || {
+        launch_blocks_fused(cfg, warps_of(cfg, opts), &per_block, opts.fuse, order)
+    });
+    record_batch(opts, "wave", started, &report);
+    m.counter("wave.waves", u64::from(wave.waves));
+    m.counter("wave.coalesced_sweeps", wave.coalesced_sweeps);
+    m.counter("wave.buffered_entries", wave.buffered_entries);
+    m.gauge("wave.mean_buffer_fill", wave.mean_fill());
+    let outcomes = vec![QueryOutcome::Clean; neighbors.len()];
+    Ok((QueryBatchResult { neighbors, per_block, outcomes, report }, wave))
+}
+
+/// kNN over a batch through the buffer-wave engine. Neighbors and outcomes
+/// are bit-identical to [`psb_batch`](crate::psb_batch) (and the other exact
+/// kNN engines); counters reflect the amortized node-centric schedule.
+/// Honors [`KernelOptions::schedule`] for seeding/fusion order and
+/// [`KernelOptions::wave`] for buffer capacity (default capacity if unset).
+pub fn wave_knn_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> Result<(QueryBatchResult, WaveReport), EngineError> {
+    assert!(k >= 1, "k must be at least 1");
+    let order = schedule_order(queries, opts);
+    run_wave(tree, queries, WaveMode::Knn { k }, cfg, opts, order.as_deref())
+}
+
+/// [`wave_knn_batch`] with a precomputed execution order (the streaming
+/// pipeline schedules chunk N+1 while chunk N executes).
+pub(crate) fn wave_knn_batch_ordered<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    order: Option<&[u32]>,
+) -> Result<(QueryBatchResult, WaveReport), EngineError> {
+    assert!(k >= 1, "k must be at least 1");
+    run_wave(tree, queries, WaveMode::Knn { k }, cfg, opts, order)
+}
+
+/// Fixed-radius range queries over a batch through the buffer-wave engine.
+/// Results are bit-identical to [`range_batch`](crate::range_batch): both
+/// produce the exact in-range set in canonical `(dist, id)` order.
+pub fn wave_range_batch<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> Result<(QueryBatchResult, WaveReport), EngineError> {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let order = schedule_order(queries, opts);
+    run_wave(tree, queries, WaveMode::Range { radius }, cfg, opts, order.as_deref())
+}
+
+/// [`wave_range_batch`] with a precomputed execution order.
+pub(crate) fn wave_range_batch_ordered<T: GpuIndex>(
+    tree: &T,
+    queries: &PointSet,
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    order: Option<&[u32]>,
+) -> Result<(QueryBatchResult, WaveReport), EngineError> {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    run_wave(tree, queries, WaveMode::Range { radius }, cfg, opts, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psb_data::{sample_queries, ClusteredSpec};
+    use psb_sstree::{build, BuildMethod, SsTree};
+
+    fn setup() -> (PointSet, SsTree, PointSet) {
+        let ps =
+            ClusteredSpec { clusters: 5, points_per_cluster: 300, dims: 8, sigma: 140.0, seed: 77 }
+                .generate();
+        let tree = build(&ps, 16, &BuildMethod::Hilbert);
+        let queries = sample_queries(&ps, 48, 0.01, 78);
+        (ps, tree, queries)
+    }
+
+    #[test]
+    fn knn_matches_the_per_query_engine_bit_for_bit() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let per_query = crate::engine::psb_batch(&tree, &queries, 8, &cfg, &opts).unwrap();
+        let (wave, wr) = wave_knn_batch(&tree, &queries, 8, &cfg, &opts).unwrap();
+        assert_eq!(per_query.neighbors, wave.neighbors);
+        assert_eq!(per_query.outcomes, wave.outcomes);
+        assert!(wr.waves >= 2, "a multi-level tree needs at least two waves");
+        assert!(wr.mean_fill() > 1.0, "48 queries must share sweeps");
+    }
+
+    #[test]
+    fn range_matches_the_per_query_engine_bit_for_bit() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let per_query = crate::engine::range_batch(&tree, &queries, 220.0, &cfg, &opts).unwrap();
+        let (wave, _) = wave_range_batch(&tree, &queries, 220.0, &cfg, &opts).unwrap();
+        assert_eq!(per_query.neighbors, wave.neighbors);
+    }
+
+    #[test]
+    fn merged_nodes_visited_counts_coalesced_sweeps() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let (wave, wr) = wave_knn_batch(&tree, &queries, 8, &cfg, &opts).unwrap();
+        // Priming descends once per query (its node visits are per-query);
+        // every wave sweep adds exactly one more.
+        let primed: u64 = wave.per_block.iter().map(|s| s.nodes_visited).sum::<u64>();
+        assert!(primed >= wr.coalesced_sweeps);
+        let sweeps_share = primed - queries.len() as u64 * depth_visits(&tree);
+        assert_eq!(sweeps_share, wr.coalesced_sweeps);
+    }
+
+    /// Nodes one priming descent visits: one per level plus the primed leaf.
+    fn depth_visits(tree: &SsTree) -> u64 {
+        let mut n = tree.root();
+        let mut visits = 1u64;
+        while !tree.is_leaf(n) {
+            n = tree.children(n).start;
+            visits += 1;
+        }
+        visits
+    }
+
+    #[test]
+    fn wave_reads_fewer_bytes_than_the_per_query_engine() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions::default();
+        let per_query = crate::engine::psb_batch(&tree, &queries, 8, &cfg, &opts).unwrap();
+        let (wave, _) = wave_knn_batch(&tree, &queries, 8, &cfg, &opts).unwrap();
+        assert!(
+            wave.report.merged.global_transactions < per_query.report.merged.global_transactions,
+            "wave {} transactions >= per-query {}",
+            wave.report.merged.global_transactions,
+            per_query.report.merged.global_transactions
+        );
+    }
+
+    #[test]
+    fn tiny_capacity_cascades_but_stays_exact() {
+        let (_, tree, queries) = setup();
+        let cfg = DeviceConfig::k40();
+        let opts = KernelOptions { wave: Some(WaveConfig { capacity: 2 }), ..Default::default() };
+        let baseline =
+            crate::engine::psb_batch(&tree, &queries, 8, &cfg, &KernelOptions::default()).unwrap();
+        let (wave, wr) = wave_knn_batch(&tree, &queries, 8, &cfg, &opts).unwrap();
+        assert_eq!(baseline.neighbors, wave.neighbors);
+        assert!(wr.max_fill <= 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        let (_, tree, _) = setup();
+        let cfg = DeviceConfig::k40();
+        let empty = PointSet::new(tree.dims());
+        assert!(matches!(
+            wave_knn_batch(&tree, &empty, 4, &cfg, &KernelOptions::default()),
+            Err(EngineError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn share_split_is_exact() {
+        for total in [0u64, 1, 7, 128, 1000] {
+            for m in 1u64..12 {
+                let sum: u64 = (0..m).map(|j| share(total, m, j)).sum();
+                assert_eq!(sum, total, "total {total} split over {m}");
+            }
+        }
+    }
+}

@@ -332,6 +332,27 @@ impl<'s> Block<'s> {
         self.account_load(bytes, t, true);
     }
 
+    /// One query's pre-split share of a coalesced load issued on behalf of a
+    /// whole buffer of queries (the wave engine's node-centric sweep): the
+    /// caller fetched the node **once**, derived its transaction count from
+    /// the full block size, and divides both bytes and transactions across
+    /// the buffered queries so the merged totals equal exactly one fetch per
+    /// sweep. Transactions are taken as given — re-deriving them from the
+    /// share would re-round every fraction up and inflate the merged count.
+    /// `streamed` marks shares of a prefetchable sequential scan (contiguous
+    /// leaf runs), exactly like [`Block::load_global_stream`].
+    pub fn load_global_share(&mut self, bytes: u64, transactions: u64, streamed: bool) {
+        self.account_load(bytes, transactions, streamed);
+    }
+
+    /// Transactions one coalesced fetch of `bytes` bytes moves on this device
+    /// (`ceil(bytes / transaction_bytes)`, minimum one). The wave engine uses
+    /// this to size a buffer-shared fetch before splitting it with
+    /// [`Block::load_global_share`].
+    pub fn coalesced_transactions(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.transaction_bytes).max(1)
+    }
+
     /// Strided / AoS global read: `count` elements of `elem_bytes` each land in
     /// separate transactions (the memory system still moves a whole transaction
     /// per element, but only `elem_bytes` of it are useful). `global_bytes`
@@ -497,6 +518,42 @@ mod tests {
         assert_eq!(s.global_transactions, 4);
         assert_eq!(s.stream_transactions, 2);
         assert_eq!(s.global_bytes, 512);
+    }
+
+    #[test]
+    fn load_shares_merge_to_exactly_one_coalesced_fetch() {
+        // A 300 B node fetched once for 7 buffered queries: splitting bytes
+        // and transactions with a first-shares-take-the-remainder rule must
+        // sum back to exactly what one load_global of the whole node charges.
+        let mut whole = block(32);
+        whole.load_global(300);
+        let want = whole.finish();
+
+        let (bytes, m) = (300u64, 7u64);
+        let tx = block(32).coalesced_transactions(bytes);
+        assert_eq!(tx, 3);
+        let mut got_bytes = 0;
+        let mut got_tx = 0;
+        for j in 0..m {
+            let mut b = block(32);
+            b.load_global_share(
+                bytes / m + u64::from(j < bytes % m),
+                tx / m + u64::from(j < tx % m),
+                false,
+            );
+            let s = b.finish();
+            got_bytes += s.global_bytes;
+            got_tx += s.global_transactions;
+            assert_eq!(s.stream_transactions, 0);
+        }
+        assert_eq!(got_bytes, want.global_bytes);
+        assert_eq!(got_tx, want.global_transactions);
+
+        // The streamed flag routes the share into the prefetchable pool.
+        let mut b = block(32);
+        b.load_global_share(64, 1, true);
+        let s = b.finish();
+        assert_eq!(s.stream_transactions, 1);
     }
 
     #[test]

@@ -75,9 +75,10 @@ pub mod prelude {
         bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, dist_cost, hilbert_order,
         hilbert_permutation, merge_stats, psb_batch, psb_batch_recovering, psb_batch_traced,
         range_batch, range_batch_recovering, restart_batch, restart_batch_recovering, tpss_batch,
-        tpss_batch_scheduled, tpss_batch_traced, tpss_try_batch, DynamicSsTree, EngineError,
-        KernelError, KernelOptions, NodeLayout, QueryBatchResult, QueryOutcome, QuerySchedule,
-        QueryStream, ScheduleScratch, SharedMemPolicy, StreamKernel,
+        tpss_batch_scheduled, tpss_batch_traced, tpss_try_batch, wave_knn_batch, wave_range_batch,
+        DynamicSsTree, EngineError, KernelError, KernelOptions, NodeLayout, QueryBatchResult,
+        QueryOutcome, QuerySchedule, QueryStream, ScheduleScratch, SharedMemPolicy, StreamKernel,
+        WaveConfig, WaveReport,
     };
     pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, SkewedQuerySpec, UniformSpec};
     pub use psb_geom::{
