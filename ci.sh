@@ -3,7 +3,7 @@
 #
 #   ./ci.sh            # everything
 #   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults |
-#                      #            shard | chaos | metrics | wave |
+#                      #            shard | chaos | metrics | wave | fastpath |
 #                      #            bench-smoke | bench-compare)
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -12,13 +12,16 @@ stage="${1:-all}"
 
 run_fmt()    { cargo fmt --all -- --check; }
 run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
-# The kernel, tree, serving, and metrics crates must stay panic-free outside
-# tests: a corrupt tree or a faulted device has to surface as a typed error
-# (or a demoted replica), never an unwrap — and the observability layer must
-# never be the thing that crashes the process it observes.
+# The geometry, kernel, tree, serving, and metrics crates must stay panic-free
+# outside tests: a corrupt tree or a faulted device has to surface as a typed
+# error (or a demoted replica), never an unwrap — and the observability layer
+# must never be the thing that crashes the process it observes. psb-geom is on
+# the wall because the SIMD/scalar distance evaluators sit on every kernel's
+# innermost loop.
 # (clippy.toml re-allows unwrap/expect inside #[cfg(test)].)
 run_hardlint() {
-    cargo clippy -p psb-core -p psb-sstree -p psb-serve -p psb-metrics --all-targets -- \
+    cargo clippy -p psb-geom -p psb-core -p psb-sstree -p psb-serve -p psb-metrics \
+        --all-targets -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 }
 run_test()   { cargo test --workspace -q; }
@@ -53,6 +56,16 @@ run_metrics() {
 run_wave() {
     cargo test -p psb --test wave_parity -q
     cargo test -p psb --test tpss_divergence -q
+    cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
+}
+# Fast path (DESIGN.md §17): the bit-identity/parity suite pinning that the
+# SIMD lanes and Metering::Off change nothing observable, the geom crate's own
+# evaluator identity tests, then the bench --smoke run, whose fast-path gate
+# asserts the unmetered run is at least as fast as the metered default on the
+# headline batch. Direction gate only — magnitudes are machine-dependent.
+run_fastpath() {
+    cargo test -p psb --test fastpath_parity -q
+    cargo test -p psb-geom -q
     cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
 }
 # Benchmark harness gate: every criterion bench must compile, and the wall-
@@ -92,6 +105,7 @@ case "$stage" in
     chaos)         run_chaos ;;
     metrics)       run_metrics ;;
     wave)          run_wave ;;
+    fastpath)      run_fastpath ;;
     bench-smoke)   run_bench_smoke ;;
     bench-compare) run_bench_compare ;;
     all)
@@ -104,12 +118,13 @@ case "$stage" in
         echo "== resilience chaos suite ==" && run_chaos
         echo "== telemetry suite ==" && run_metrics
         echo "== buffer-wave suite ==" && run_wave
+        echo "== fast-path suite ==" && run_fastpath
         echo "== bench smoke ==" && run_bench_smoke
         echo "== bench compare gate ==" && run_bench_compare
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|wave|bench-smoke|bench-compare|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|wave|fastpath|bench-smoke|bench-compare|all]" >&2
         exit 2
         ;;
 esac

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psb_core::{gather_child_sweep, gather_leaf_sweep, GpuIndex, SweepScratch};
 use psb_data::UniformSpec;
-use psb_geom::{sq_dist, sq_dist_d, DistKernel};
+use psb_geom::{sq_dist, sq_dist_d, sq_dist_simd, DistKernel, DistLanes};
 use psb_sstree::{build, BuildMethod, SsTree};
 
 fn pair(dims: usize) -> (Vec<f32>, Vec<f32>) {
@@ -34,6 +34,65 @@ fn bench_sq_dist(c: &mut Criterion) {
     g.bench_function("monomorphic_16", |bch| {
         bch.iter(|| std::hint::black_box(sq_dist_d::<16>(&a, &b)))
     });
+    g.finish();
+}
+
+/// Explicit SIMD vs the scalar reference, one pair at a time. The two are
+/// bit-identical (same op order); this row prices the switch.
+fn bench_simd_lanes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simd_lanes");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for dims in [4usize, 8, 16, 17] {
+        let (a, b) = pair(dims);
+        g.bench_with_input(BenchmarkId::new("scalar", dims), &dims, |bch, _| {
+            bch.iter(|| std::hint::black_box(sq_dist(&a, &b)))
+        });
+        g.bench_with_input(BenchmarkId::new("simd", dims), &dims, |bch, _| {
+            bch.iter(|| std::hint::black_box(sq_dist_simd(&a, &b)))
+        });
+    }
+    g.finish();
+}
+
+/// Batched one-query-vs-many-rows sweeps: the SoA form the arena blocks feed
+/// into `child_sweep`/`leaf_sweep`, per lane selection.
+fn bench_batched_rows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_rows");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(1));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    for dims in [4usize, 16] {
+        let rows = 64usize;
+        let flat: Vec<f32> = (0..rows * dims).map(|i| (i % 97) as f32 * 0.21).collect();
+        let (q, _) = pair(dims);
+        let mut out: Vec<f32> = Vec::with_capacity(rows);
+        for (name, lanes) in [("scalar", DistLanes::Scalar), ("simd", DistLanes::Simd)] {
+            let dk = DistKernel::for_dims_lanes(dims, lanes);
+            g.bench_with_input(BenchmarkId::new(name, dims), &dims, |bch, _| {
+                bch.iter(|| {
+                    out.clear();
+                    dk.dist_rows(&q, &flat, &mut out);
+                    std::hint::black_box(out.last().copied())
+                })
+            });
+            let per_row = DistKernel::for_dims_lanes(dims, lanes);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{name}_per_row"), dims),
+                &dims,
+                |bch, _| {
+                    bch.iter(|| {
+                        out.clear();
+                        for row in flat.chunks_exact(dims) {
+                            out.push(per_row.dist(&q, row));
+                        }
+                        std::hint::black_box(out.last().copied())
+                    })
+                },
+            );
+        }
+    }
     g.finish();
 }
 
@@ -87,10 +146,11 @@ fn bench_leaf_sweep(c: &mut Criterion) {
         }
         let dk = DistKernel::for_dims(dims);
         let mut out: Vec<(f32, u32)> = Vec::new();
+        let mut tmp: Vec<f32> = Vec::new();
         g.bench_with_input(BenchmarkId::new("arena", dims), &dims, |bch, _| {
             bch.iter(|| {
                 out.clear();
-                tree.leaf_sweep(n, &q, &dk, &mut out);
+                tree.leaf_sweep(n, &q, &dk, &mut tmp, &mut out);
             })
         });
         g.bench_with_input(BenchmarkId::new("gather", dims), &dims, |bch, _| {
@@ -103,5 +163,12 @@ fn bench_leaf_sweep(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sq_dist, bench_child_sweep, bench_leaf_sweep);
+criterion_group!(
+    benches,
+    bench_sq_dist,
+    bench_simd_lanes,
+    bench_batched_rows,
+    bench_child_sweep,
+    bench_leaf_sweep
+);
 criterion_main!(benches);

@@ -45,12 +45,24 @@
 //! the scheduled engine on the 240-query batch, and `bench compare` gates the
 //! section against the committed baseline.
 //!
+//! Schema v7 adds a `fast_path` section: the headline batch timed under the
+//! three fast-path configurations — metered scalar lanes (the all-reference
+//! floor), the default (metered + SIMD lanes), and the full fast path
+//! (`Metering::Off` + SIMD) — with `combined_speedup` recording what the
+//! explicit SIMD evaluators plus the zero-accounting mode buy over the
+//! metered-scalar floor. All three run the identical tree, queries, and
+//! engine; results are bit-identical across them (`tests/fastpath_parity.rs`),
+//! so the section is pure wall-clock. The smoke gate asserts the fast path
+//! never falls behind the default, and `bench compare` gates the section
+//! against the committed baseline.
+//!
 //! `bench compare old.json new.json [--threshold F]` is the perf-trajectory
 //! gate: it diffs two BENCH files row-by-row and exits nonzero when any
 //! kernel's qps dropped or p99/p999 rose by more than the threshold (default
 //! 10%), or when the serving outcome mix shifted toward degradation by more
-//! than the threshold in absolute fraction points, or when the wave section
-//! lost throughput or buffer occupancy beyond the threshold.
+//! than the threshold in absolute fraction points, or when the wave or
+//! fast-path section lost throughput (or buffer occupancy) beyond the
+//! threshold.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -61,7 +73,10 @@ use psb_core::kernels::psb::psb_query;
 use psb_core::kernels::range::range_query_gpu;
 use psb_core::kernels::restart::restart_query;
 use psb_core::kernels::{bnb::bnb_query, tpss::tpss_batch};
-use psb_core::{psb_batch, wave_knn_batch, GpuIndex, KernelOptions, QuerySchedule, WaveConfig};
+use psb_core::{
+    psb_batch, wave_knn_batch, DistLanes, GpuIndex, KernelOptions, Metering, QuerySchedule,
+    WaveConfig,
+};
 use psb_data::{sample_queries, ClusteredSpec, SkewedQuerySpec, UniformSpec};
 use psb_geom::PointSet;
 use psb_gpu::{DeviceConfig, FaultPlan};
@@ -73,7 +88,7 @@ use psb_serve::{
 };
 use psb_sstree::{build, BuildMethod};
 
-const SCHEMA: &str = "psb-bench-v6";
+const SCHEMA: &str = "psb-bench-v7";
 const K: usize = 8;
 /// Queries per batch: the paper's §V-B experiment size. Per-kernel rows and
 /// the throughput section both run full 240-query batches (smoke mode shrinks
@@ -434,6 +449,58 @@ fn wave_section(points: &PointSet, seed: u64) -> Wave {
     }
 }
 
+/// The fast-path section: the headline batch under the three fast-path
+/// configurations. `metered_scalar_qps` is the all-reference floor (simulated
+/// cost model + scalar distance loops), `simd_qps` is the default
+/// configuration (metered + SIMD lanes), `metering_off_qps` is the full fast
+/// path (`Metering::Off` + SIMD). Results are bit-identical across all three
+/// (`tests/fastpath_parity.rs`), so this section measures nothing but the
+/// cost of the accounting and the scalar loops.
+struct FastPath {
+    batch_size: usize,
+    metered_scalar_qps: f64,
+    simd_qps: f64,
+    metering_off_qps: f64,
+}
+
+fn fast_path_section(points: &PointSet, seed: u64) -> FastPath {
+    let dev = DeviceConfig::k40();
+    // Same tree and queries as the throughput section: the combined speedup
+    // is relative to the same headline workload every other section measures.
+    let queries = sample_queries(points, BATCH, 0.01, seed ^ q_marker() ^ 0xB47C);
+    let tree = build(points, 16, &BuildMethod::Hilbert);
+    let scalar = KernelOptions { lanes: DistLanes::Scalar, ..Default::default() };
+    let simd = KernelOptions::default();
+    let off = KernelOptions { metering: Metering::Off, ..Default::default() };
+    // The smoke gate compares these numbers directly, so they must be robust
+    // to machine-state drift: interleave the passes and take medians (see
+    // `wave_section` for the rationale).
+    let one_pass = |opts: &KernelOptions| {
+        let t = Instant::now();
+        let r = psb_batch(&tree, &queries, K, &dev, opts);
+        assert!(r.is_ok(), "batch engine failed on a trusted tree");
+        queries.len() as f64 / t.elapsed().as_secs_f64().max(1e-12)
+    };
+    let mut scalar_runs = Vec::with_capacity(5);
+    let mut simd_runs = Vec::with_capacity(5);
+    let mut off_runs = Vec::with_capacity(5);
+    for _ in 0..5 {
+        scalar_runs.push(one_pass(&scalar));
+        simd_runs.push(one_pass(&simd));
+        off_runs.push(one_pass(&off));
+    }
+    let median = |runs: &mut Vec<f64>| {
+        runs.sort_by(f64::total_cmp);
+        runs[runs.len() / 2]
+    };
+    FastPath {
+        batch_size: BATCH,
+        metered_scalar_qps: median(&mut scalar_runs),
+        simd_qps: median(&mut simd_runs),
+        metering_off_qps: median(&mut off_runs),
+    }
+}
+
 /// One row of the sharded-serving sweep: the 16-dim uniform headline workload
 /// served through a [`ShardRouter`] at shard count `shards`.
 struct ShardRow {
@@ -610,6 +677,7 @@ fn emit_json(
     speedup: Option<f64>,
     tp: Option<&Throughput>,
     wave: Option<&Wave>,
+    fast_path: Option<&FastPath>,
     sharding: &[ShardRow],
     serving: Option<&Serving>,
     metrics_json: Option<&str>,
@@ -682,6 +750,22 @@ fn emit_json(
             w.buffered_entries,
             w.mean_buffer_fill,
             w.max_buffer_fill,
+        );
+    }
+    if let Some(fp) = fast_path {
+        // Every comparable field lives on a single line: `bench compare`
+        // re-extracts the section line-oriented, keyed on `metering_off_qps`
+        // and `combined_speedup` appearing together.
+        let _ = write!(
+            s,
+            ",\n  \"fast_path\": {{\n    \"workload\": \"uniform-16d/sstree/psb\", \
+             \"batch_size\": {}, \"metered_scalar_qps\": {:.3}, \"simd_qps\": {:.3}, \
+             \"metering_off_qps\": {:.3}, \"combined_speedup\": {:.4}\n  }}",
+            fp.batch_size,
+            fp.metered_scalar_qps,
+            fp.simd_qps,
+            fp.metering_off_qps,
+            fp.metering_off_qps / fp.metered_scalar_qps.max(1e-12),
         );
     }
     if !sharding.is_empty() {
@@ -775,6 +859,10 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
             "\"wave_qps\"",
             "\"vs_scheduled_qps\"",
             "\"mean_buffer_fill\"",
+            "\"fast_path\"",
+            "\"metered_scalar_qps\"",
+            "\"metering_off_qps\"",
+            "\"combined_speedup\"",
             "\"metrics\"",
             "\"counters\"",
             "\"histograms\"",
@@ -801,6 +889,10 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
         "vs_scheduled_qps",
         "wave_speedup",
         "mean_buffer_fill",
+        "metered_scalar_qps",
+        "simd_qps",
+        "metering_off_qps",
+        "combined_speedup",
     ] {
         let pat = format!("\"{field}\": ");
         let mut rest = json;
@@ -827,6 +919,7 @@ fn main() {
     let mut headline: Option<(f64, f64)> = None; // (arena_qps, legacy_qps)
     let mut throughput: Option<Throughput> = None;
     let mut wave: Option<Wave> = None;
+    let mut fast_path: Option<FastPath> = None;
     let mut sharding: Vec<ShardRow> = Vec::new();
     let mut serving: Option<Serving> = None;
     let mut metrics_json: Option<String> = None;
@@ -865,6 +958,7 @@ fn main() {
             headline = Some((arena_qps, legacy_qps));
             throughput = Some(throughput_section(&w.points, cfg.seed));
             wave = Some(wave_section(&w.points, cfg.seed));
+            fast_path = Some(fast_path_section(&w.points, cfg.seed));
             sharding = sharding_section(&w.points, cfg.seed);
             serving = Some(serving_section(&w.points, cfg.seed));
             metrics_json = Some(metrics_section(&w.points, cfg.seed, cfg.metrics.as_deref()));
@@ -902,6 +996,17 @@ fn main() {
             w.max_buffer_fill,
         );
     }
+    if let Some(fp) = &fast_path {
+        eprintln!(
+            "fast path psb/sstree/uniform-16d ({} queries/batch): metered scalar {:.1} qps, \
+             simd {:.1} qps, metering off {:.1} qps ({:.2}x combined)",
+            fp.batch_size,
+            fp.metered_scalar_qps,
+            fp.simd_qps,
+            fp.metering_off_qps,
+            fp.metering_off_qps / fp.metered_scalar_qps.max(1e-12),
+        );
+    }
     for r in &sharding {
         eprintln!(
             "sharding S={}: {:.1} qps, prune rate {:.3}, {} nodes visited",
@@ -929,6 +1034,7 @@ fn main() {
         speedup,
         throughput.as_ref(),
         wave.as_ref(),
+        fast_path.as_ref(),
         &sharding,
         serving.as_ref(),
         metrics_json.as_deref(),
@@ -984,6 +1090,19 @@ fn main() {
                 eprintln!(
                     "smoke: WAVE REGRESSION: mean buffer fill {:.2} amortizes nothing",
                     w.mean_buffer_fill
+                );
+                std::process::exit(1);
+            }
+        }
+        // Fast-path gate: Metering::Off exists to be free throughput on top
+        // of the default configuration — same results, no accounting. If the
+        // unmetered run falls behind the metered default, the
+        // monomorphization stopped compiling the accounting out.
+        if let Some(fp) = &fast_path {
+            if fp.metering_off_qps < fp.simd_qps {
+                eprintln!(
+                    "smoke: FAST PATH REGRESSION: metering off {:.1} qps < default {:.1} qps",
+                    fp.metering_off_qps, fp.simd_qps
                 );
                 std::process::exit(1);
             }

@@ -27,6 +27,13 @@
 //!   exists to catch), and `mean_buffer_fill` — a deterministic model output —
 //!   must not drop by more than the threshold (lost fill means lost fetch
 //!   amortization even if this machine's wall clock hides it).
+//! * **fast-path section** (schema v7+) — the headline batch under the SIMD +
+//!   `Metering::Off` fast path. `metering_off_qps` is gated like a row qps
+//!   (relative drop beyond threshold fails), and `combined_speedup` — the
+//!   unmetered-SIMD run over the metered-scalar floor, a same-process ratio —
+//!   must not fall below parity-minus-threshold (the fast path losing to the
+//!   all-reference configuration is the regression the section exists to
+//!   catch).
 //!
 //! Parsing is deliberately line-oriented: the harness emits one result row per
 //! line, so a full JSON parser is unnecessary (and the workspace is offline —
@@ -79,6 +86,17 @@ pub struct WaveSection {
     pub mean_buffer_fill: f64,
 }
 
+/// The fast-path section (schema v7+): the headline batch under the three
+/// fast-path configurations. All wall clock, but `combined_speedup` is a
+/// ratio of two runs from the same process, so it compares across machines.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FastPathSection {
+    pub metered_scalar_qps: f64,
+    pub simd_qps: f64,
+    pub metering_off_qps: f64,
+    pub combined_speedup: f64,
+}
+
 /// The subset of a BENCH file the gate compares.
 #[derive(Clone, Debug, Default)]
 pub struct BenchFile {
@@ -88,6 +106,8 @@ pub struct BenchFile {
     pub serving: Option<ServingMix>,
     /// Present on schema v6+ files that carry a `wave` section.
     pub wave: Option<WaveSection>,
+    /// Present on schema v7+ files that carry a `fast_path` section.
+    pub fast_path: Option<FastPathSection>,
 }
 
 /// One threshold violation between two matched rows.
@@ -133,7 +153,24 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     let mut rows = Vec::new();
     let mut serving = None;
     let mut wave = None;
+    let mut fast_path = None;
     for line in json.lines() {
+        // The fast-path section is emitted on a single line; nothing else in
+        // the file carries `metering_off_qps` or `combined_speedup`.
+        if let (Some(metered_scalar), Some(simd), Some(off), Some(combined)) = (
+            num_field(line, "metered_scalar_qps"),
+            num_field(line, "simd_qps"),
+            num_field(line, "metering_off_qps"),
+            num_field(line, "combined_speedup"),
+        ) {
+            fast_path = Some(FastPathSection {
+                metered_scalar_qps: metered_scalar,
+                simd_qps: simd,
+                metering_off_qps: off,
+                combined_speedup: combined,
+            });
+            continue;
+        }
         // The wave section is emitted on a single line; nothing else in the
         // file carries `wave_qps`.
         if let (Some(wave_qps), Some(vs_scheduled_qps), Some(wave_speedup), Some(fill)) = (
@@ -186,7 +223,7 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     if rows.is_empty() {
         return Err("no result rows found (not a BENCH file?)".to_string());
     }
-    Ok(BenchFile { schema, rows, serving, wave })
+    Ok(BenchFile { schema, rows, serving, wave, fast_path })
 }
 
 /// Compares matched rows; returns every violation of `threshold` (a fraction:
@@ -293,6 +330,32 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Vec<Regressi
             });
         }
     }
+    if let (Some(of), Some(nf)) = (&old.fast_path, &new.fast_path) {
+        if of.metering_off_qps > 0.0
+            && nf.metering_off_qps < of.metering_off_qps * (1.0 - threshold)
+        {
+            out.push(Regression {
+                key: "fast_path".into(),
+                metric: "metering_off_qps",
+                old: of.metering_off_qps,
+                new: nf.metering_off_qps,
+                ratio: 1.0 - nf.metering_off_qps / of.metering_off_qps,
+            });
+        }
+        // The section's reason to exist: SIMD lanes plus zero-accounting
+        // beating the metered-scalar floor. A combined speedup below
+        // parity-minus-threshold fails regardless of what the baseline
+        // measured.
+        if nf.combined_speedup < 1.0 - threshold {
+            out.push(Regression {
+                key: "fast_path".into(),
+                metric: "combined_speedup",
+                old: of.combined_speedup,
+                new: nf.combined_speedup,
+                ratio: 1.0 - nf.combined_speedup,
+            });
+        }
+    }
     out
 }
 
@@ -353,6 +416,15 @@ pub fn render_report(
         }
         _ => {}
     }
+    match (&old.fast_path, &new.fast_path) {
+        (Some(_), None) => {
+            let _ = writeln!(s, "  note: fast-path section missing from new file");
+        }
+        (None, Some(_)) => {
+            let _ = writeln!(s, "  note: fast-path section new (no baseline)");
+        }
+        _ => {}
+    }
     if regs.is_empty() {
         let _ = writeln!(s, "  OK: no regression beyond {:.0}%", threshold * 100.0);
     } else {
@@ -408,6 +480,17 @@ mod tests {
              \"buffered_entries\": 320000, \"mean_buffer_fill\": {:.4}, \
              \"max_buffer_fill\": 240\n  }}\n}}\n",
             w.wave_qps, w.vs_scheduled_qps, w.wave_speedup, w.mean_buffer_fill
+        )
+    }
+
+    /// Appends a fast-path section (the v7 one-line shape) to a bench file.
+    fn with_fast_path(json: &str, fp: &FastPathSection) -> String {
+        let body = json.trim_end().trim_end_matches('}');
+        format!(
+            "{body},\n  \"fast_path\": {{\n    \"workload\": \"uniform-16d/sstree/psb\", \
+             \"batch_size\": 240, \"metered_scalar_qps\": {:.3}, \"simd_qps\": {:.3}, \
+             \"metering_off_qps\": {:.3}, \"combined_speedup\": {:.4}\n  }}\n}}\n",
+            fp.metered_scalar_qps, fp.simd_qps, fp.metering_off_qps, fp.combined_speedup
         )
     }
 
@@ -591,6 +674,60 @@ mod tests {
         assert!(report.contains("wave section new"));
         let report = render_report(&new, &old, 0.10, &compare(&new, &old, 0.10));
         assert!(report.contains("wave section missing"));
+    }
+
+    #[test]
+    fn fast_path_section_parses_and_gates() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let of = FastPathSection {
+            metered_scalar_qps: 2000.0,
+            simd_qps: 2400.0,
+            metering_off_qps: 3000.0,
+            combined_speedup: 1.5,
+        };
+        let old = parse_bench(&with_fast_path(&base, &of)).unwrap();
+        assert_eq!(old.fast_path, Some(of), "fast-path section must parse back out");
+
+        // Self-compare and within-threshold drift pass.
+        assert!(compare(&old, &old, 0.0).is_empty());
+        let drift = FastPathSection { metering_off_qps: 2800.0, combined_speedup: 1.4, ..of };
+        let ok = parse_bench(&with_fast_path(&base, &drift)).unwrap();
+        assert!(compare(&old, &ok, 0.10).is_empty());
+
+        // The fast path collapsing below the metered-scalar floor fails on
+        // both the qps and speedup gates.
+        let slow = FastPathSection {
+            metered_scalar_qps: 2000.0,
+            simd_qps: 2400.0,
+            metering_off_qps: 1700.0,
+            combined_speedup: 0.85,
+        };
+        let new = parse_bench(&with_fast_path(&base, &slow)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(
+            regs.iter().any(|r| r.metric == "metering_off_qps" && r.key == "fast_path"),
+            "{regs:?}"
+        );
+        assert!(regs.iter().any(|r| r.metric == "combined_speedup"), "{regs:?}");
+    }
+
+    #[test]
+    fn fast_path_section_in_one_file_is_a_note_not_a_regression() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let of = FastPathSection {
+            metered_scalar_qps: 2000.0,
+            simd_qps: 2400.0,
+            metering_off_qps: 3000.0,
+            combined_speedup: 1.5,
+        };
+        let old = parse_bench(&base).unwrap();
+        let new = parse_bench(&with_fast_path(&base, &of)).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(regs.is_empty());
+        let report = render_report(&old, &new, 0.10, &regs);
+        assert!(report.contains("fast-path section new"));
+        let report = render_report(&new, &old, 0.10, &compare(&new, &old, 0.10));
+        assert!(report.contains("fast-path section missing"));
     }
 
     #[test]

@@ -28,15 +28,20 @@ pub struct SweepScratch {
     /// Anchor (representative-point) distance per child (filled only when the
     /// sweep ran `with_anchor`).
     pub anchor_d: Vec<f32>,
+    /// Staging row for the batched one-query-vs-many-rows distance kernels:
+    /// sweeps write raw row distances here before deriving their outputs, so
+    /// no sweep allocates. Transient — valid only within one sweep call.
+    pub tmp: Vec<f32>,
 }
 
 impl SweepScratch {
-    /// Empty all three buffers, keeping their capacity.
+    /// Empty all buffers, keeping their capacity.
     #[inline]
     pub fn clear(&mut self) {
         self.min_d.clear();
         self.max_d.clear();
         self.anchor_d.clear();
+        self.tmp.clear();
     }
 }
 
@@ -164,8 +169,18 @@ pub trait GpuIndex: Sync {
 
     /// Evaluate every point of leaf node `n` against `q`, appending
     /// `(distance, original id)` pairs to `out` in point order. Same
-    /// bit-identity contract as [`GpuIndex::child_sweep`].
-    fn leaf_sweep(&self, n: u32, q: &[f32], _dk: &DistKernel, out: &mut Vec<(f32, u32)>) {
+    /// bit-identity contract as [`GpuIndex::child_sweep`]. `tmp` is pooled
+    /// staging for the batched row kernels (arena implementations run
+    /// [`DistKernel::dist_rows`] into it, then zip with the packed ids); the
+    /// gather default ignores it.
+    fn leaf_sweep(
+        &self,
+        n: u32,
+        q: &[f32],
+        _dk: &DistKernel,
+        _tmp: &mut Vec<f32>,
+        out: &mut Vec<(f32, u32)>,
+    ) {
         gather_leaf_sweep(self, n, q, out);
     }
 }
@@ -262,11 +277,13 @@ impl GpuIndex for SsTree {
             gather_child_sweep(self, n, q, with_max, with_anchor, out);
             return;
         };
-        // One linear run over the packed block: center distance once per
-        // child, both bounds and the anchor derived from it — bit-identical
-        // to the gather path (same kernel, same data, same op order per value).
-        for (row, &r) in blk.centers.chunks_exact(self.dims).zip(blk.radii) {
-            let cd = dk.dist(q, row);
+        // One batched row sweep over the packed center block (center distance
+        // once per child), then both bounds and the anchor derived from it —
+        // bit-identical to the gather path (same kernel, same data, same op
+        // order per value; the row form only changes where the loop lives).
+        out.tmp.clear();
+        dk.dist_rows(q, blk.centers, &mut out.tmp);
+        for (&cd, &r) in out.tmp.iter().zip(blk.radii) {
             out.min_d.push((cd - r).max(0.0));
             if with_max {
                 out.max_d.push(cd + r);
@@ -277,15 +294,24 @@ impl GpuIndex for SsTree {
         }
     }
 
-    fn leaf_sweep(&self, n: u32, q: &[f32], dk: &DistKernel, out: &mut Vec<(f32, u32)>) {
+    fn leaf_sweep(
+        &self,
+        n: u32,
+        q: &[f32],
+        dk: &DistKernel,
+        tmp: &mut Vec<f32>,
+        out: &mut Vec<(f32, u32)>,
+    ) {
         let run = SsTree::leaf_points(self, n);
         let blk = self.arena.as_ref().and_then(|a| a.leaf(n, run.start as u32, run.len()));
         let Some(blk) = blk else {
             gather_leaf_sweep(self, n, q, out);
             return;
         };
-        for (i, row) in blk.coords.chunks_exact(self.dims).enumerate() {
-            out.push((dk.dist(q, row), blk.id(i)));
+        tmp.clear();
+        dk.dist_rows(q, blk.coords, tmp);
+        for (i, &d) in tmp.iter().enumerate() {
+            out.push((d, blk.id(i)));
         }
     }
 }

@@ -16,11 +16,11 @@ use crate::error::KernelError;
 use crate::index::GpuIndex;
 
 use super::{
-    checked_children, checked_root, child_distances, fetch_internal, kth_maxdist, process_leaf,
-    Budget, Scratch,
+    checked_children, checked_root, child_distances, effective_metering, fetch_internal,
+    kth_maxdist, process_leaf, Budget, Scratch,
 };
 use crate::knnlist::GpuKnnList;
-use crate::options::KernelOptions;
+use crate::options::{KernelOptions, Metering};
 
 /// Runs one branch-and-bound query on a simulated block.
 ///
@@ -66,13 +66,20 @@ pub fn bnb_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
-    super::with_scratch(tree.dims(), |scratch| {
-        bnb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch)
+    super::with_scratch(tree.dims(), opts.lanes, |scratch| {
+        match effective_metering(opts, &faults) {
+            Metering::Simulated => {
+                bnb_try_query_with::<T, true>(tree, q, k, cfg, opts, faults, sink, scratch)
+            }
+            Metering::Off => {
+                bnb_try_query_with::<T, false>(tree, q, k, cfg, opts, faults, sink, scratch)
+            }
+        }
     })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn bnb_try_query_with<T: GpuIndex>(
+fn bnb_try_query_with<T: GpuIndex, const M: bool>(
     tree: &T,
     q: &[f32],
     k: usize,
@@ -82,7 +89,7 @@ fn bnb_try_query_with<T: GpuIndex>(
     sink: &mut dyn TraceSink,
     scratch: &mut Scratch,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = super::kernel_block(opts, cfg, sink);
+    let mut block = super::kernel_block::<M>(opts, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
     let static_smem = 2 * tree.degree() as u64 * 4 + block.threads() as u64 * 4;
@@ -103,14 +110,14 @@ fn bnb_try_query_with<T: GpuIndex>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn visit<T: GpuIndex>(
+fn visit<T: GpuIndex, const M: bool>(
     tree: &T,
     n: u32,
     level: u32,
     q: &[f32],
     k: usize,
     opts: &KernelOptions,
-    block: &mut Block,
+    block: &mut Block<'_, M>,
     list: &mut GpuKnnList,
     scratch: &mut Scratch,
     pruning: &mut f32,

@@ -6,16 +6,16 @@
 //! structure of the brute-force GPU kNN literature the paper cites ([4]–[9]):
 //! perfect memory behaviour, zero pruning.
 
-use psb_geom::{dist, PointSet};
+use psb_geom::{DistKernel, PointSet};
 use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::dist_cost;
 use crate::error::KernelError;
 use crate::index::GpuIndex;
-use crate::kernels::Budget;
+use crate::kernels::{effective_metering, Budget};
 use crate::knnlist::GpuKnnList;
-use crate::options::KernelOptions;
+use crate::options::{KernelOptions, Metering};
 
 /// Runs one brute-force query over the raw point set.
 ///
@@ -60,13 +60,20 @@ pub fn brute_try_query(
     assert_eq!(q.len(), points.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
     assert!(!points.is_empty(), "brute-force scan over zero points");
-    super::with_scratch(points.dims(), |scratch| {
-        brute_try_query_with(points, q, k, cfg, opts, faults, sink, scratch)
+    super::with_scratch(points.dims(), opts.lanes, |scratch| {
+        match effective_metering(opts, &faults) {
+            Metering::Simulated => {
+                brute_try_query_with::<true>(points, q, k, cfg, opts, faults, sink, scratch)
+            }
+            Metering::Off => {
+                brute_try_query_with::<false>(points, q, k, cfg, opts, faults, sink, scratch)
+            }
+        }
     })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn brute_try_query_with(
+fn brute_try_query_with<const M: bool>(
     points: &PointSet,
     q: &[f32],
     k: usize,
@@ -76,7 +83,7 @@ fn brute_try_query_with(
     sink: &mut dyn TraceSink,
     scratch: &mut super::Scratch,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = super::kernel_block(opts, cfg, sink);
+    let mut block = super::kernel_block::<M>(opts, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_scan(points.len());
     let tile = block.threads() as usize;
@@ -100,10 +107,13 @@ fn brute_try_query_with(
         scratch.leaf.clear();
         block.par_for(len, dc, |_| {});
         // The tile rows are one contiguous run of the flat point array:
-        // stream them through the dimension-specialized kernel.
+        // stream them through the batched one-query-vs-many-rows form of the
+        // dimension-specialized kernel (bit-identical to per-row calls).
         let rows = &points.as_flat()[start * dims..(start + len) * dims];
-        for (i, row) in rows.chunks_exact(dims).enumerate() {
-            scratch.leaf.push((dk.dist(q, row), (start + i) as u32));
+        scratch.sweep.tmp.clear();
+        dk.dist_rows(q, rows, &mut scratch.sweep.tmp);
+        for (i, &d) in scratch.sweep.tmp.iter().enumerate() {
+            scratch.leaf.push((d, (start + i) as u32));
         }
         if block.has_faults() {
             for entry in &mut scratch.leaf {
@@ -151,9 +161,24 @@ pub fn brute_index_query<T: GpuIndex>(
 ) -> (Vec<Neighbor>, KernelStats) {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
+    assert!(tree.num_points() > 0, "brute-force fallback over zero points");
+    // No fault state here (the fallback never carries one), so the metering
+    // option applies directly.
+    match opts.metering {
+        Metering::Simulated => brute_index_query_with::<T, true>(tree, q, k, cfg, opts),
+        Metering::Off => brute_index_query_with::<T, false>(tree, q, k, cfg, opts),
+    }
+}
+
+fn brute_index_query_with<T: GpuIndex, const M: bool>(
+    tree: &T,
+    q: &[f32],
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
     let n = tree.num_points();
-    assert!(n > 0, "brute-force fallback over zero points");
-    let mut block = Block::new(opts.threads_per_block, cfg);
+    let mut block: Block<'static, M> = Block::new(opts.threads_per_block, cfg);
     let tile = fallback_tile(block.threads() as usize, tree.dims(), cfg.smem_per_sm);
     let tile_bytes = (tile * tree.dims() * 4) as u64;
     // fallback_tile guarantees this fits (down to a single point per tile).
@@ -161,6 +186,9 @@ pub fn brute_index_query<T: GpuIndex>(
     let mut list = GpuKnnList::new(k, opts.smem_policy, &mut block, cfg.smem_per_sm);
 
     let dc = dist_cost(tree.dims());
+    // Resolved once per launch, not per point: the fallback scans the whole
+    // dataset, so per-call dispatch would dominate small dims.
+    let dk = DistKernel::for_dims_lanes(tree.dims(), opts.lanes);
     let mut dists: Vec<(f32, u32)> = Vec::with_capacity(tile);
     let mut start = 0usize;
     while start < n {
@@ -170,7 +198,7 @@ pub fn brute_index_query<T: GpuIndex>(
         dists.clear();
         block.par_for(len, dc, |i| {
             let p = start + i;
-            dists.push((dist(q, tree.point(p)), tree.point_id(p)));
+            dists.push((dk.dist(q, tree.point(p)), tree.point_id(p)));
         });
         block.set_phase(Phase::ResultMerge);
         for &(d, id) in &dists {
@@ -194,13 +222,27 @@ pub fn brute_index_range<T: GpuIndex>(
 ) -> (Vec<Neighbor>, KernelStats) {
     assert!(radius >= 0.0, "radius must be non-negative");
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
+    match opts.metering {
+        Metering::Simulated => brute_index_range_with::<T, true>(tree, q, radius, cfg, opts),
+        Metering::Off => brute_index_range_with::<T, false>(tree, q, radius, cfg, opts),
+    }
+}
+
+fn brute_index_range_with<T: GpuIndex, const M: bool>(
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> (Vec<Neighbor>, KernelStats) {
     let n = tree.num_points();
-    let mut block = Block::new(opts.threads_per_block, cfg);
+    let mut block: Block<'static, M> = Block::new(opts.threads_per_block, cfg);
     let tile = fallback_tile(block.threads() as usize, tree.dims(), cfg.smem_per_sm);
     let tile_bytes = (tile * tree.dims() * 4) as u64;
     let _ = block.reserve_shared(tile_bytes, cfg.smem_per_sm);
 
     let dc = dist_cost(tree.dims());
+    let dk = DistKernel::for_dims_lanes(tree.dims(), opts.lanes);
     let mut out: Vec<Neighbor> = Vec::new();
     let mut start = 0usize;
     while start < n {
@@ -210,7 +252,7 @@ pub fn brute_index_range<T: GpuIndex>(
         let mut hits = 0u64;
         block.par_for(len, dc, |i| {
             let p = start + i;
-            let d = dist(q, tree.point(p));
+            let d = dk.dist(q, tree.point(p));
             if d <= radius {
                 out.push(Neighbor { dist: d, id: tree.point_id(p) });
                 hits += 1;

@@ -18,29 +18,44 @@ pub mod tpss;
 
 use std::cell::RefCell;
 
-use psb_geom::DistKernel;
-use psb_gpu::{Block, DeviceConfig, NodeKind, Phase, TraceSink};
+use psb_geom::{DistKernel, DistLanes};
+use psb_gpu::{Block, DeviceConfig, FaultState, NodeKind, Phase, TraceSink};
 
 use crate::dist_cost;
 use crate::error::KernelError;
 use crate::index::{GpuIndex, SweepScratch};
 use crate::knnlist::GpuKnnList;
-use crate::options::{KernelOptions, NodeLayout};
+use crate::options::{KernelOptions, Metering, NodeLayout};
 
 /// Build the simulated block a kernel launch runs on: `threads_per_block`
 /// threads, mirrored into `sink`, fused [`KernelOptions::fuse`] ways. All
 /// block-structured kernels construct their context here so the fusion knob
-/// applies uniformly.
-pub(crate) fn kernel_block<'s>(
+/// applies uniformly. The `M` parameter picks the metered simulator
+/// (`M = true`) or the zero-accounting fast path (`M = false`) — resolved
+/// once per launch by [`effective_metering`], never per load.
+pub(crate) fn kernel_block<'s, const M: bool>(
     opts: &KernelOptions,
     cfg: &DeviceConfig,
     sink: &'s mut dyn TraceSink,
-) -> Block<'s> {
+) -> Block<'s, M> {
     let mut block = Block::with_sink(opts.threads_per_block, cfg, sink);
     if opts.fuse > 1 {
         block.fuse(opts.fuse);
     }
     block
+}
+
+/// The metering mode a launch actually runs under: the option as requested,
+/// except that fault injection forces [`Metering::Simulated`] — detection
+/// (truncation latch, watchdog, ECC flag) lives inside the accounting an
+/// unmetered block compiles out, so an unmetered faulted launch would never
+/// notice its faults. Every kernel entry dispatches on this exactly once.
+pub(crate) fn effective_metering(opts: &KernelOptions, faults: &Option<FaultState>) -> Metering {
+    if faults.is_some() {
+        Metering::Simulated
+    } else {
+        opts.metering
+    }
 }
 
 /// Traversal step budget: generous enough that no valid tree can come close
@@ -69,7 +84,7 @@ impl Budget {
     }
 
     /// One traversal step: count it, enforce the budget, poll device faults.
-    pub fn tick(&mut self, block: &Block) -> Result<(), KernelError> {
+    pub fn tick<const M: bool>(&mut self, block: &Block<'_, M>) -> Result<(), KernelError> {
         self.steps += 1;
         if self.steps > self.limit {
             return Err(KernelError::StepBudgetExceeded { budget: self.limit });
@@ -173,8 +188,8 @@ pub(crate) fn checked_root<T: GpuIndex>(tree: &T) -> Result<u32, KernelError> {
 /// Meter fetching an internal node's child-volume block. `level` is the node's
 /// tree depth (root = 0), feeding the per-level visit histogram; the load is
 /// attributed to whatever [`Phase`] the block is currently in.
-pub(crate) fn fetch_internal<T: GpuIndex>(
-    block: &mut Block,
+pub(crate) fn fetch_internal<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
     tree: &T,
     n: u32,
     layout: NodeLayout,
@@ -193,8 +208,8 @@ pub(crate) fn fetch_internal<T: GpuIndex>(
 /// the right-sibling link: leaves are laid out contiguously, so the scan is a
 /// prefetchable stream (the paper's "fast linear scanning"). `level` is the
 /// leaf's tree depth for the visit histogram.
-pub(crate) fn fetch_leaf<T: GpuIndex>(
-    block: &mut Block,
+pub(crate) fn fetch_leaf<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
     tree: &T,
     n: u32,
     layout: NodeLayout,
@@ -230,10 +245,13 @@ pub(crate) struct Scratch {
 
 impl Scratch {
     /// Prepare for a query in `dims` dimensions: re-resolve the distance
-    /// kernel only on a dimensionality change, empty every buffer.
-    fn reset_for(&mut self, dims: usize) {
-        if self.dk.dims() != dims {
-            self.dk = DistKernel::for_dims(dims);
+    /// kernel only when the dimensionality or lane selection changes, empty
+    /// every buffer. Resolution therefore happens once per (worker thread ×
+    /// batch), not per query — the fn-pointer dispatch cost vanishes from
+    /// 100k-query wave batches.
+    fn reset_for(&mut self, dims: usize, lanes: DistLanes) {
+        if self.dk.dims() != dims || self.dk.lanes() != lanes {
+            self.dk = DistKernel::for_dims_lanes(dims, lanes);
         }
         self.sweep.clear();
         self.leaf.clear();
@@ -314,8 +332,8 @@ impl SweepMemo {
 /// by the reference sweep and the memo-replay path so both meter identically:
 /// one parallel predicate evaluation, a ballot/find-first-set reduction, and
 /// the serial pick.
-pub(crate) fn leftmost_qualifying<T: GpuIndex>(
-    block: &mut Block,
+pub(crate) fn leftmost_qualifying<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
     tree: &T,
     kids: std::ops::Range<u32>,
     min_d: &[f32],
@@ -340,18 +358,23 @@ thread_local! {
     static SCRATCH_POOL: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
-/// Run `f` with this thread's pooled scratch, reset for `dims`. Falls back to
-/// a fresh scratch if the pool is unexpectedly still borrowed (e.g. a kernel
-/// re-entered through a recovery path) — correctness never depends on reuse.
-pub(crate) fn with_scratch<R>(dims: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+/// Run `f` with this thread's pooled scratch, reset for `dims` and the
+/// batch's lane selection. Falls back to a fresh scratch if the pool is
+/// unexpectedly still borrowed (e.g. a kernel re-entered through a recovery
+/// path) — correctness never depends on reuse.
+pub(crate) fn with_scratch<R>(
+    dims: usize,
+    lanes: DistLanes,
+    f: impl FnOnce(&mut Scratch) -> R,
+) -> R {
     SCRATCH_POOL.with(|pool| match pool.try_borrow_mut() {
         Ok(mut scratch) => {
-            scratch.reset_for(dims);
+            scratch.reset_for(dims, lanes);
             f(&mut scratch)
         }
         Err(_) => {
             let mut scratch = Scratch::default();
-            scratch.reset_for(dims);
+            scratch.reset_for(dims, lanes);
             f(&mut scratch)
         }
     })
@@ -370,8 +393,8 @@ pub(crate) fn with_scratch<R>(dims: usize, f: impl FnOnce(&mut Scratch) -> R) ->
 /// [`Phase::ResultMerge`], which is left set on return — callers re-set their
 /// phase at the next branch they take.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn process_leaf<T: GpuIndex>(
-    block: &mut Block,
+pub(crate) fn process_leaf<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
     tree: &T,
     n: u32,
     q: &[f32],
@@ -392,7 +415,7 @@ pub(crate) fn process_leaf<T: GpuIndex>(
     // otherwise. Counters and values are identical either way.
     let dc = dist_cost(tree.dims());
     block.par_for(len, dc, |_| {});
-    tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.leaf);
+    tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.sweep.tmp, &mut scratch.leaf);
     // Computed distances pass through the fault injector. Without an attached
     // fault state `fault_f32` is the identity and meters nothing, so the
     // sweep is skipped wholesale on the fault-free path.
@@ -417,8 +440,8 @@ pub(crate) fn process_leaf<T: GpuIndex>(
 /// descent uses as its tie-break — packed-arena sweeps derive them from the
 /// same center distance as the bounds, so requesting them up front is free
 /// where computing them per-child later would gather again.
-pub(crate) fn child_distances<T: GpuIndex>(
-    block: &mut Block,
+pub(crate) fn child_distances<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
     tree: &T,
     n: u32,
     q: &[f32],
@@ -453,7 +476,12 @@ pub(crate) fn child_distances<T: GpuIndex>(
 /// Only callable when the node has at least k children. `tmp` is pooled
 /// scratch; the selected element is the same one a full `total_cmp` sort would
 /// put at position `k - 1` (equal keys are bit-identical under a total order).
-pub(crate) fn kth_maxdist(block: &mut Block, max_d: &[f32], k: usize, tmp: &mut Vec<f32>) -> f32 {
+pub(crate) fn kth_maxdist<const M: bool>(
+    block: &mut Block<'_, M>,
+    max_d: &[f32],
+    k: usize,
+    tmp: &mut Vec<f32>,
+) -> f32 {
     debug_assert!(max_d.len() >= k && k >= 1);
     block.par_kth_select(max_d.len(), k);
     tmp.clear();

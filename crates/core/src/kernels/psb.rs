@@ -29,11 +29,12 @@ use crate::error::KernelError;
 use crate::index::GpuIndex;
 
 use super::{
-    checked_children, checked_leaf_id, checked_node, checked_root, child_distances, fetch_internal,
-    kernel_block, kth_maxdist, leftmost_qualifying, process_leaf, Budget, Scratch,
+    checked_children, checked_leaf_id, checked_node, checked_root, child_distances,
+    effective_metering, fetch_internal, kernel_block, kth_maxdist, leftmost_qualifying,
+    process_leaf, Budget, Scratch,
 };
 use crate::knnlist::GpuKnnList;
-use crate::options::KernelOptions;
+use crate::options::{KernelOptions, Metering};
 
 /// Runs one PSB query on a simulated block; returns exact kNN plus counters.
 ///
@@ -82,8 +83,17 @@ pub fn psb_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
-    super::with_scratch(tree.dims(), |scratch| {
-        psb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch, false)
+    // One launch-time dispatch monomorphizes the whole traversal for the
+    // metering mode — no per-load branch anywhere in the hot loop.
+    super::with_scratch(tree.dims(), opts.lanes, |scratch| {
+        match effective_metering(opts, &faults) {
+            Metering::Simulated => {
+                psb_try_query_with::<T, true>(tree, q, k, cfg, opts, faults, sink, scratch, false)
+            }
+            Metering::Off => {
+                psb_try_query_with::<T, false>(tree, q, k, cfg, opts, faults, sink, scratch, false)
+            }
+        }
     })
 }
 
@@ -119,13 +129,20 @@ pub(crate) fn psb_try_query_replay<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
-    super::with_scratch(tree.dims(), |scratch| {
-        psb_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch, true)
+    super::with_scratch(tree.dims(), opts.lanes, |scratch| {
+        match effective_metering(opts, &faults) {
+            Metering::Simulated => {
+                psb_try_query_with::<T, true>(tree, q, k, cfg, opts, faults, sink, scratch, true)
+            }
+            Metering::Off => {
+                psb_try_query_with::<T, false>(tree, q, k, cfg, opts, faults, sink, scratch, true)
+            }
+        }
     })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn psb_try_query_with<T: GpuIndex>(
+fn psb_try_query_with<T: GpuIndex, const M: bool>(
     tree: &T,
     q: &[f32],
     k: usize,
@@ -136,7 +153,7 @@ fn psb_try_query_with<T: GpuIndex>(
     scratch: &mut Scratch,
     replay: bool,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = kernel_block(opts, cfg, sink);
+    let mut block = kernel_block::<M>(opts, cfg, sink);
     block.set_faults(faults);
     // The memo only serves the fault-free path: injected faults perturb each
     // computed value through a per-load RNG stream, which a replay would skip.

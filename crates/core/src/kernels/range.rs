@@ -20,10 +20,10 @@ use crate::index::GpuIndex;
 
 use super::{
     checked_children, checked_leaf_id, checked_leaf_points, checked_node, checked_root,
-    child_distances, fetch_internal, fetch_leaf, Budget, Scratch,
+    child_distances, effective_metering, fetch_internal, fetch_leaf, Budget, Scratch,
 };
 use crate::dist_cost;
-use crate::options::KernelOptions;
+use crate::options::{KernelOptions, Metering};
 
 /// Runs one range query on a simulated block; returns the points within
 /// `radius` of `q`, ascending by distance, plus the block counters.
@@ -69,13 +69,20 @@ pub fn range_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert!(radius >= 0.0, "radius must be non-negative");
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
-    super::with_scratch(tree.dims(), |scratch| {
-        range_try_query_with(tree, q, radius, cfg, opts, faults, sink, scratch)
+    super::with_scratch(tree.dims(), opts.lanes, |scratch| {
+        match effective_metering(opts, &faults) {
+            Metering::Simulated => {
+                range_try_query_with::<T, true>(tree, q, radius, cfg, opts, faults, sink, scratch)
+            }
+            Metering::Off => {
+                range_try_query_with::<T, false>(tree, q, radius, cfg, opts, faults, sink, scratch)
+            }
+        }
     })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn range_try_query_with<T: GpuIndex>(
+fn range_try_query_with<T: GpuIndex, const M: bool>(
     tree: &T,
     q: &[f32],
     radius: f32,
@@ -85,7 +92,7 @@ fn range_try_query_with<T: GpuIndex>(
     sink: &mut dyn TraceSink,
     scratch: &mut Scratch,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = super::kernel_block(opts, cfg, sink);
+    let mut block = super::kernel_block::<M>(opts, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
     let static_smem = tree.degree() as u64 * 4 + block.threads() as u64 * 4;
@@ -152,7 +159,7 @@ fn range_try_query_with<T: GpuIndex>(
             // streams the packed arena block when attached, else gathers
             // exactly as this loop used to (see `process_leaf`).
             block.par_for(len, dc, |_| {});
-            tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.leaf);
+            tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.sweep.tmp, &mut scratch.leaf);
             if block.has_faults() {
                 for entry in &mut scratch.leaf {
                     entry.0 = block.fault_f32(entry.0);

@@ -19,11 +19,11 @@ use crate::error::KernelError;
 use crate::index::GpuIndex;
 
 use super::{
-    checked_children, checked_leaf_id, checked_node, checked_root, child_distances, fetch_internal,
-    kth_maxdist, process_leaf, Budget, Scratch,
+    checked_children, checked_leaf_id, checked_node, checked_root, child_distances,
+    effective_metering, fetch_internal, kth_maxdist, process_leaf, Budget, Scratch,
 };
 use crate::knnlist::GpuKnnList;
-use crate::options::KernelOptions;
+use crate::options::{KernelOptions, Metering};
 
 /// Runs one scan-and-restart query on a simulated block.
 ///
@@ -68,13 +68,20 @@ pub fn restart_try_query<T: GpuIndex>(
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
     assert_eq!(q.len(), tree.dims(), "query dimensionality mismatch");
     assert!(k >= 1, "k must be at least 1");
-    super::with_scratch(tree.dims(), |scratch| {
-        restart_try_query_with(tree, q, k, cfg, opts, faults, sink, scratch)
+    super::with_scratch(tree.dims(), opts.lanes, |scratch| {
+        match effective_metering(opts, &faults) {
+            Metering::Simulated => {
+                restart_try_query_with::<T, true>(tree, q, k, cfg, opts, faults, sink, scratch)
+            }
+            Metering::Off => {
+                restart_try_query_with::<T, false>(tree, q, k, cfg, opts, faults, sink, scratch)
+            }
+        }
     })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn restart_try_query_with<T: GpuIndex>(
+fn restart_try_query_with<T: GpuIndex, const M: bool>(
     tree: &T,
     q: &[f32],
     k: usize,
@@ -84,7 +91,7 @@ fn restart_try_query_with<T: GpuIndex>(
     sink: &mut dyn TraceSink,
     scratch: &mut Scratch,
 ) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
-    let mut block = super::kernel_block(opts, cfg, sink);
+    let mut block = super::kernel_block::<M>(opts, cfg, sink);
     block.set_faults(faults);
     let mut budget = Budget::for_tree(tree);
     let static_smem = 2 * tree.degree() as u64 * 4 + block.threads() as u64 * 4;

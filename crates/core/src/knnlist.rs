@@ -46,7 +46,15 @@ impl GpuKnnList {
     /// memory; if it cannot (huge k), the constructor degrades to a hybrid
     /// split at the largest size that fits, which is what a real implementation
     /// would be forced to do.
-    pub fn new(k: usize, policy: SharedMemPolicy, block: &mut Block, smem_per_sm: u64) -> Self {
+    /// Generic over the block's metering mode: shared-memory reservation
+    /// stays functional on an unmetered block, so the hybrid split comes out
+    /// identical in both modes (part of the fast-path parity contract).
+    pub fn new<const M: bool>(
+        k: usize,
+        policy: SharedMemPolicy,
+        block: &mut Block<'_, M>,
+        smem_per_sm: u64,
+    ) -> Self {
         assert!(k >= 1, "k must be at least 1");
         let want_shared = match policy {
             SharedMemPolicy::AllShared => k,
@@ -93,7 +101,7 @@ impl GpuKnnList {
     /// Metering: an accepted candidate costs a serialized sift
     /// (`log2 k` instructions on one lane); one landing in the global region of
     /// a hybrid list additionally pays a global write.
-    pub fn offer(&mut self, block: &mut Block, dist: f32, id: u32) -> bool {
+    pub fn offer<const M: bool>(&mut self, block: &mut Block<'_, M>, dist: f32, id: u32) -> bool {
         // A NaN distance can only come from corrupted geometry (e.g. an
         // injected bit flip in the exponent): it would land at an arbitrary
         // partition point and silently break the sorted order, so reject it
@@ -209,7 +217,7 @@ mod tests {
     #[test]
     fn oversized_k_degrades_to_a_fitting_split() {
         let cfg = DeviceConfig::k40();
-        let mut b = Block::new(32, &cfg);
+        let mut b: Block<'_> = Block::new(32, &cfg);
         // 10_000 entries = 80 KB > 48 KB: must halve until it fits.
         let list = GpuKnnList::new(10_000, SharedMemPolicy::AllShared, &mut b, cfg.smem_per_sm);
         assert!(b.stats().smem_peak_bytes <= cfg.smem_per_sm);

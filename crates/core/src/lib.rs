@@ -48,7 +48,8 @@ pub use kernels::range::range_try_query;
 pub use kernels::restart::restart_try_query;
 pub use kernels::tpss::{tpss_batch, tpss_batch_traced, tpss_try_batch};
 pub use knnlist::SharedMemPolicy;
-pub use options::{KernelOptions, NodeLayout};
+pub use options::{KernelOptions, Metering, NodeLayout};
+pub use psb_geom::DistLanes;
 pub use psb_metrics::{MetricsHandle, Registry};
 pub use schedule::{hilbert_order, hilbert_permutation, QuerySchedule, ScheduleScratch};
 pub use shard::{partition, shard_sphere, ShardPlan, ShardPolicy};

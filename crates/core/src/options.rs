@@ -1,6 +1,7 @@
 //! Kernel launch options, including the ablation switches called out in
 //! DESIGN.md §7 and the throughput knobs of §12.
 
+use psb_geom::DistLanes;
 use psb_metrics::MetricsHandle;
 
 use crate::knnlist::SharedMemPolicy;
@@ -17,6 +18,25 @@ pub enum NodeLayout {
     /// Array-of-structures: every child entry is its own strided transaction.
     /// Exists to quantify why the paper chose SoA.
     Aos,
+}
+
+/// Whether a launch runs the simulated GPU cost model (DESIGN.md §17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Metering {
+    /// Full `Block` accounting: warp issues, transactions, cycles, phases,
+    /// traces, fault hooks. The default — every figure in the paper
+    /// reproduction reads these counters.
+    #[default]
+    Simulated,
+    /// The zero-accounting fast path: kernels launch on an unmetered block
+    /// whose counter updates compile out of the hot loop entirely
+    /// (monomorphized at launch, never branched per load). Neighbors and
+    /// outcomes are bit-identical to [`Metering::Simulated`]
+    /// (`tests/fastpath_parity.rs`); the returned `KernelStats` stay at
+    /// launch values. Serving and wall-clock bench rows run here. Launches
+    /// that inject faults are forced back to [`Metering::Simulated`] —
+    /// fault detection lives inside the accounting.
+    Off,
 }
 
 /// Options shared by the GPU kernels.
@@ -64,6 +84,15 @@ pub struct KernelOptions {
     /// runners ignore this under a real fault plan (the wave engine serves
     /// the fault-free path only, like the sweep-replay memo).
     pub wave: Option<WaveConfig>,
+    /// Simulated-cost-model switch (DESIGN.md §17). [`Metering::Off`]
+    /// compiles the `Block` accounting out of the hot loop; results are
+    /// bit-identical, `KernelStats` stay at launch values.
+    pub metering: Metering,
+    /// Distance-kernel lane selection: the explicit-SIMD same-op-order
+    /// evaluators (the default) or the reference scalar loops. Both produce
+    /// bit-identical f32 results (`psb-geom`'s identity suites); the switch
+    /// exists for A/B wall-clock benching, not for correctness.
+    pub lanes: DistLanes,
 }
 
 impl Default for KernelOptions {
@@ -78,6 +107,8 @@ impl Default for KernelOptions {
             fuse: 1,
             metrics: MetricsHandle::noop(),
             wave: None,
+            metering: Metering::Simulated,
+            lanes: DistLanes::Simd,
         }
     }
 }
@@ -97,5 +128,7 @@ mod tests {
         assert_eq!(o.fuse, 1);
         assert!(!o.metrics.is_attached(), "telemetry is opt-in");
         assert!(o.wave.is_none(), "the wave engine is opt-in");
+        assert_eq!(o.metering, Metering::Simulated, "figures need the cost model");
+        assert_eq!(o.lanes, DistLanes::Simd, "SIMD lanes are bit-identical, so default-on");
     }
 }

@@ -83,7 +83,7 @@ use crate::kernels::{
     kth_maxdist, process_leaf, with_scratch, Budget, Scratch,
 };
 use crate::knnlist::GpuKnnList;
-use crate::options::{KernelOptions, NodeLayout};
+use crate::options::{KernelOptions, Metering, NodeLayout};
 
 /// Configuration of the buffer-wave engine, carried in
 /// [`KernelOptions::wave`]: `Some` routes the batch engines (psb / bnb /
@@ -167,9 +167,10 @@ impl WaveMode {
 }
 
 /// Per-query traversal state. Fields are disjoint per query, which is what
-/// lets each wave run query-parallel on the host.
-struct QueryState {
-    block: Block<'static>,
+/// lets each wave run query-parallel on the host. Generic over the metering
+/// mode, monomorphized once by [`run_wave`]'s launch dispatch.
+struct QueryState<const M: bool> {
+    block: Block<'static, M>,
     /// The k-best list (kNN mode only).
     list: Option<GpuKnnList>,
     /// Accumulated in-range hits (range mode only).
@@ -199,7 +200,7 @@ struct WorkItem {
 /// A simulated block for one wave query: same shape as the kernels'
 /// [`kernel_block`](crate::kernels), minus the trace sink (the wave engine
 /// does not record event streams).
-fn wave_block(opts: &KernelOptions, cfg: &DeviceConfig) -> Block<'static> {
+fn wave_block<const M: bool>(opts: &KernelOptions, cfg: &DeviceConfig) -> Block<'static, M> {
     let mut block = Block::new(opts.threads_per_block, cfg);
     if opts.fuse > 1 {
         block.fuse(opts.fuse);
@@ -217,12 +218,12 @@ fn share(total: u64, m: u64, j: u64) -> u64 {
 /// Bytes and transactions one coalesced fetch of node `n`'s arena block
 /// moves, mirroring [`fetch_internal`] / [`fetch_leaf`](crate::kernels) for
 /// the same layout.
-fn node_fetch_cost<T: GpuIndex>(
+fn node_fetch_cost<T: GpuIndex, const M: bool>(
     tree: &T,
     n: u32,
     leaf: bool,
     layout: NodeLayout,
-    block: &Block,
+    block: &Block<'_, M>,
 ) -> (u64, u64) {
     match layout {
         NodeLayout::Soa => {
@@ -280,7 +281,7 @@ fn node_levels<T: GpuIndex>(tree: &T, root: u32) -> Result<(Vec<u32>, u32), Kern
 /// PSB phase 1 for one wave query: the identical greedy descent and primed
 /// leaf fold as [`psb_try_query`](crate::kernels::psb::psb_try_query), so the
 /// wave's starting bound (and its metered cost) match the per-query kernel's.
-fn prime_knn<T: GpuIndex>(
+fn prime_knn<T: GpuIndex, const M: bool>(
     tree: &T,
     q: &[f32],
     k: usize,
@@ -288,8 +289,8 @@ fn prime_knn<T: GpuIndex>(
     cfg: &DeviceConfig,
     opts: &KernelOptions,
     scratch: &mut Scratch,
-) -> Result<QueryState, KernelError> {
-    let mut block = wave_block(opts, cfg);
+) -> Result<QueryState<M>, KernelError> {
+    let mut block = wave_block::<M>(opts, cfg);
     let static_smem = 2 * tree.degree() as u64 * 4 + block.threads() as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
@@ -328,13 +329,13 @@ fn prime_knn<T: GpuIndex>(
 
 /// Range-mode per-query setup: no descent (the bound is the radius), just the
 /// block and the range kernel's static shared-memory reservation.
-fn prime_range<T: GpuIndex>(
+fn prime_range<T: GpuIndex, const M: bool>(
     tree: &T,
     radius: f32,
     cfg: &DeviceConfig,
     opts: &KernelOptions,
-) -> Result<QueryState, KernelError> {
-    let mut block = wave_block(opts, cfg);
+) -> Result<QueryState<M>, KernelError> {
+    let mut block = wave_block::<M>(opts, cfg);
     let static_smem = tree.degree() as u64 * 4 + block.threads() as u64 * 4;
     block
         .reserve_shared(static_smem, cfg.smem_per_sm)
@@ -347,10 +348,10 @@ fn prime_range<T: GpuIndex>(
 /// the lane stays active — sweep the node for this query (children into
 /// `state.out`, leaf points into the result list).
 #[allow(clippy::too_many_arguments)]
-fn process_entry<T: GpuIndex>(
+fn process_entry<T: GpuIndex, const M: bool>(
     tree: &T,
     q: &[f32],
-    state: &mut QueryState,
+    state: &mut QueryState<M>,
     item: WorkItem,
     mode: WaveMode,
     level: u32,
@@ -382,7 +383,7 @@ fn process_entry<T: GpuIndex>(
         scratch.leaf.clear();
         let dc = crate::dist_cost(tree.dims());
         state.block.par_for(range.len(), dc, |_| {});
-        tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.leaf);
+        tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.sweep.tmp, &mut scratch.leaf);
         state.block.set_phase(Phase::ResultMerge);
         match mode {
             WaveMode::Knn { .. } => {
@@ -446,10 +447,10 @@ struct WaveCtx<'a, T: GpuIndex> {
 impl<T: GpuIndex> WaveCtx<'_, T> {
     /// Append `(query, mindist)` to node `n`'s buffer; a buffer that reaches
     /// capacity is flushed (swept) immediately.
-    fn push(
+    fn push<const M: bool>(
         &self,
         buffers: &mut [Vec<(u32, f32)>],
-        states: &mut [QueryState],
+        states: &mut [QueryState<M>],
         wr: &mut WaveReport,
         n: u32,
         entry: (u32, f32),
@@ -466,10 +467,16 @@ impl<T: GpuIndex> WaveCtx<'_, T> {
     /// Entries run sequentially in buffer order; results are order-invariant
     /// because all cross-entry state (shares, ranks) is fixed before the
     /// first entry runs.
-    fn flush(
+    ///
+    /// Scratch is borrowed once around the whole sweep, so the distance
+    /// kernel resolves per flush, not per entry. A cascading flush (capacity
+    /// hit while scattering survivors) re-enters [`with_scratch`] and falls
+    /// back to a fresh scratch — rare, and correctness never depends on
+    /// reuse.
+    fn flush<const M: bool>(
         &self,
         buffers: &mut [Vec<(u32, f32)>],
-        states: &mut [QueryState],
+        states: &mut [QueryState<M>],
         wr: &mut WaveReport,
         n: u32,
     ) -> Result<(), KernelError> {
@@ -479,10 +486,10 @@ impl<T: GpuIndex> WaveCtx<'_, T> {
         wr.buffered_entries += u64::from(fill);
         wr.max_fill = wr.max_fill.max(fill);
         let level = self.levels[n as usize];
-        for (rank, &(q, mindist)) in entries.iter().enumerate() {
-            let item = WorkItem { node: n, rank: rank as u32, fill, mindist };
-            let qi = q as usize;
-            with_scratch(self.tree.dims(), |scratch| {
+        with_scratch(self.tree.dims(), self.opts.lanes, |scratch| {
+            for (rank, &(q, mindist)) in entries.iter().enumerate() {
+                let item = WorkItem { node: n, rank: rank as u32, fill, mindist };
+                let qi = q as usize;
                 process_entry(
                     self.tree,
                     self.queries.point(qi),
@@ -492,20 +499,20 @@ impl<T: GpuIndex> WaveCtx<'_, T> {
                     level,
                     self.opts,
                     scratch,
-                )
-            })?;
-            let mut out = std::mem::take(&mut states[qi].out);
-            for (c, child_mindist) in out.drain(..) {
-                self.push(buffers, states, wr, c, (q, child_mindist))?;
+                )?;
+                let mut out = std::mem::take(&mut states[qi].out);
+                for (c, child_mindist) in out.drain(..) {
+                    self.push(buffers, states, wr, c, (q, child_mindist))?;
+                }
+                states[qi].out = out;
             }
-            states[qi].out = out;
-        }
-        Ok(())
+            Ok(())
+        })
     }
 }
 
 /// The wave traversal proper: prime, seed, then sweep level by level.
-fn wave_execute<T: GpuIndex>(
+fn wave_execute<T: GpuIndex, const M: bool>(
     tree: &T,
     queries: &PointSet,
     mode: WaveMode,
@@ -513,16 +520,16 @@ fn wave_execute<T: GpuIndex>(
     opts: &KernelOptions,
     capacity: usize,
     order: Option<&[u32]>,
-) -> Result<(Vec<QueryState>, WaveReport), KernelError> {
+) -> Result<(Vec<QueryState<M>>, WaveReport), KernelError> {
     let root = checked_root(tree)?;
     let (levels, max_level) = node_levels(tree, root)?;
     let nq = queries.len();
 
     // Priming runs query-parallel: each query owns its whole state.
-    let mut states: Vec<QueryState> = (0..nq)
+    let mut states: Vec<QueryState<M>> = (0..nq)
         .into_par_iter()
         .map(|i| match mode {
-            WaveMode::Knn { k } => with_scratch(tree.dims(), |scratch| {
+            WaveMode::Knn { k } => with_scratch(tree.dims(), opts.lanes, |scratch| {
                 prime_knn(tree, queries.point(i), k, root, cfg, opts, scratch)
             }),
             WaveMode::Range { radius } => prime_range(tree, radius, cfg, opts),
@@ -588,7 +595,7 @@ fn wave_execute<T: GpuIndex>(
                 if items.is_empty() {
                     return Ok(());
                 }
-                with_scratch(tree.dims(), |scratch| {
+                with_scratch(tree.dims(), opts.lanes, |scratch| {
                     for item in items {
                         process_entry(
                             tree,
@@ -630,6 +637,23 @@ fn run_wave<T: GpuIndex>(
     opts: &KernelOptions,
     order: Option<&[u32]>,
 ) -> Result<(QueryBatchResult, WaveReport), EngineError> {
+    // Launch-time metering dispatch: the wave engine never carries injected
+    // faults (the resilience engine only routes fault-free plans here), so
+    // the mode is exactly what the caller asked for.
+    match opts.metering {
+        Metering::Simulated => run_wave_with::<T, true>(tree, queries, mode, cfg, opts, order),
+        Metering::Off => run_wave_with::<T, false>(tree, queries, mode, cfg, opts, order),
+    }
+}
+
+fn run_wave_with<T: GpuIndex, const M: bool>(
+    tree: &T,
+    queries: &PointSet,
+    mode: WaveMode,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    order: Option<&[u32]>,
+) -> Result<(QueryBatchResult, WaveReport), EngineError> {
     if queries.is_empty() {
         return Err(EngineError::EmptyBatch);
     }
@@ -640,7 +664,7 @@ fn run_wave<T: GpuIndex>(
     let _batch_span = m.span("engine");
     let _kernel_span = m.span("wave");
     let (states, wave) = m
-        .time("execute", || wave_execute(tree, queries, mode, cfg, opts, capacity, order))
+        .time("execute", || wave_execute::<T, M>(tree, queries, mode, cfg, opts, capacity, order))
         .unwrap_or_else(|e| panic!("wave engine failed on a trusted tree: {e}"));
     let mut neighbors = Vec::with_capacity(states.len());
     let mut per_block = Vec::with_capacity(states.len());

@@ -15,8 +15,15 @@
 //!   **bit-identical** — the specialization is a host-speed change only, which
 //!   the tests below pin down.
 //!
-//! [`DistKernel`] resolves the best form once (per query, in practice) for the
-//! paper's dimensionalities 2/3/4/8/16, falling back to the generic loop.
+//! [`DistKernel`] resolves the best form **once per batch** (hoisted to batch
+//! setup; per-thread scratch caches the resolution so even million-query wave
+//! batches pay for dispatch exactly once per worker) for the paper's
+//! dimensionalities 2/3/4/8/16, falling back to the generic loop. Resolution
+//! defaults to the explicit-SIMD same-op-order kernels in [`crate::simd`] —
+//! bit-identical to the scalar loops by construction — and [`DistLanes`]
+//! selects the scalar reference path for A/B measurement. The batched
+//! `*_rows` forms evaluate one query against a flat SoA run of rows with a
+//! single indirect dispatch for the whole run.
 
 /// The one true squared-distance loop. `#[inline(always)]` so that callers with
 /// compile-time-known slice lengths (see [`sq_dist_d`]) get fully unrolled
@@ -68,34 +75,138 @@ pub fn dist(a: &[f32], b: &[f32]) -> f32 {
     sq_dist(a, b).sqrt()
 }
 
-/// A distance kernel dispatched once per query: dimension-specialized for the
-/// paper's dims (2/3/4/8/16), generic otherwise. The selected function is a
-/// plain `fn` pointer, so carrying it into a per-node sweep costs one indirect
-/// call per evaluation and nothing else.
+/// Lane selection for [`DistKernel`] resolution. Both selections are
+/// **bit-identical** (the `simd` module's same-op-order contract); the switch
+/// exists so benches and identity tests can hold the scalar reference next to
+/// the explicit lanes on the same machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DistLanes {
+    /// Explicit-SIMD same-op-order kernels ([`crate::simd`]): the default.
+    #[default]
+    Simd,
+    /// The scalar (auto-vectorized) loops — the reference op order.
+    Scalar,
+}
+
+/// Explicit-SIMD squared distance with the scalar loop's panic-free fallback
+/// on mismatched lengths (the wide loads require equal lengths; the sweep
+/// fallback paths rely on mismatches degrading, not panicking).
+fn sq_simd(a: &[f32], b: &[f32]) -> f32 {
+    if a.len() == b.len() {
+        crate::simd::sq_dist_wide(a, b)
+    } else {
+        sq_dist_impl(a, b)
+    }
+}
+
+/// Dimension-specialized explicit-SIMD squared distance: constant trip counts
+/// when the lengths really are `D`, graceful fallback otherwise.
+fn sq_simd_d<const D: usize>(a: &[f32], b: &[f32]) -> f32 {
+    match (<&[f32; D]>::try_from(a), <&[f32; D]>::try_from(b)) {
+        (Ok(a), Ok(b)) => crate::simd::sq_dist_wide(a, b),
+        _ => sq_simd(a, b),
+    }
+}
+
+/// One query against a flat SoA run of coordinate rows: appends one squared
+/// distance per `dims`-strided row. A single `fn`-pointer dispatch covers the
+/// whole run (the arena child rows / leaf point runs), instead of one
+/// indirect call per row.
+type SqRows = fn(&[f32], &[f32], &mut Vec<f32>);
+
+fn sq_rows_scalar(q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+    let d = q.len();
+    if d == 0 {
+        return;
+    }
+    for row in rows.chunks_exact(d) {
+        out.push(sq_dist_impl(q, row));
+    }
+}
+
+fn sq_rows_scalar_d<const D: usize>(q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+    let Ok(q) = <&[f32; D]>::try_from(q) else {
+        return sq_rows_scalar(q, rows, out);
+    };
+    for row in rows.chunks_exact(D) {
+        out.push(sq_dist_d::<D>(q, row));
+    }
+}
+
+fn sq_rows_simd(q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+    let d = q.len();
+    if d == 0 {
+        return;
+    }
+    for row in rows.chunks_exact(d) {
+        out.push(crate::simd::sq_dist_wide(q, row));
+    }
+}
+
+fn sq_rows_simd_d<const D: usize>(q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+    let Ok(q) = <&[f32; D]>::try_from(q) else {
+        return sq_rows_simd(q, rows, out);
+    };
+    for row in rows.chunks_exact(D) {
+        out.push(crate::simd::sq_dist_wide(q, row));
+    }
+}
+
+/// A distance kernel dispatched once per batch: dimension-specialized for the
+/// paper's dims (2/3/4/8/16), generic otherwise; explicit-SIMD lanes by
+/// default, scalar reference on request — all selections bit-identical. The
+/// selected functions are plain `fn` pointers, so carrying the kernel into a
+/// per-node sweep costs one indirect call per evaluation (or per *row run*,
+/// for the batched forms) and nothing else.
 #[derive(Clone, Copy, Debug)]
 pub struct DistKernel {
     sq: fn(&[f32], &[f32]) -> f32,
+    sq_rows: SqRows,
     dims: usize,
+    lanes: DistLanes,
 }
 
 impl DistKernel {
-    /// Resolve the kernel for `dims`.
+    /// Resolve the kernel for `dims` with the default (SIMD) lanes.
     pub fn for_dims(dims: usize) -> Self {
-        let sq: fn(&[f32], &[f32]) -> f32 = match dims {
-            2 => sq_dist_d::<2>,
-            3 => sq_dist_d::<3>,
-            4 => sq_dist_d::<4>,
-            8 => sq_dist_d::<8>,
-            16 => sq_dist_d::<16>,
-            _ => sq_dist,
+        Self::for_dims_lanes(dims, DistLanes::default())
+    }
+
+    /// Resolve the scalar-reference kernel for `dims` (benchmark baseline).
+    pub fn scalar_for_dims(dims: usize) -> Self {
+        Self::for_dims_lanes(dims, DistLanes::Scalar)
+    }
+
+    /// Resolve the kernel for `dims` under an explicit lane selection.
+    pub fn for_dims_lanes(dims: usize, lanes: DistLanes) -> Self {
+        type SqFn = fn(&[f32], &[f32]) -> f32;
+        let (sq, sq_rows): (SqFn, SqRows) = match (lanes, dims) {
+            (DistLanes::Simd, 2) => (sq_simd_d::<2>, sq_rows_simd_d::<2>),
+            (DistLanes::Simd, 3) => (sq_simd_d::<3>, sq_rows_simd_d::<3>),
+            (DistLanes::Simd, 4) => (sq_simd_d::<4>, sq_rows_simd_d::<4>),
+            (DistLanes::Simd, 8) => (sq_simd_d::<8>, sq_rows_simd_d::<8>),
+            (DistLanes::Simd, 16) => (sq_simd_d::<16>, sq_rows_simd_d::<16>),
+            (DistLanes::Simd, _) => (sq_simd, sq_rows_simd),
+            (DistLanes::Scalar, 2) => (sq_dist_d::<2>, sq_rows_scalar_d::<2>),
+            (DistLanes::Scalar, 3) => (sq_dist_d::<3>, sq_rows_scalar_d::<3>),
+            (DistLanes::Scalar, 4) => (sq_dist_d::<4>, sq_rows_scalar_d::<4>),
+            (DistLanes::Scalar, 8) => (sq_dist_d::<8>, sq_rows_scalar_d::<8>),
+            (DistLanes::Scalar, 16) => (sq_dist_d::<16>, sq_rows_scalar_d::<16>),
+            (DistLanes::Scalar, _) => (sq_dist, sq_rows_scalar),
         };
-        Self { sq, dims }
+        Self { sq, sq_rows, dims, lanes }
     }
 
     /// The dimensionality this kernel was resolved for.
     #[inline]
     pub fn dims(&self) -> usize {
         self.dims
+    }
+
+    /// The lane selection this kernel was resolved with.
+    #[inline]
+    pub fn lanes(&self) -> DistLanes {
+        self.lanes
     }
 
     /// Squared distance via the resolved kernel.
@@ -109,12 +220,30 @@ impl DistKernel {
     pub fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
         (self.sq)(a, b).sqrt()
     }
+
+    /// Batched rows form: appends the squared distance from `q` to each
+    /// `dims`-strided row of `rows`. Bit-identical to calling [`Self::sq`]
+    /// per row.
+    #[inline]
+    pub fn sq_rows(&self, q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+        (self.sq_rows)(q, rows, out);
+    }
+
+    /// Batched rows form of [`Self::dist`]: appends one distance per row.
+    #[inline]
+    pub fn dist_rows(&self, q: &[f32], rows: &[f32], out: &mut Vec<f32>) {
+        let start = out.len();
+        (self.sq_rows)(q, rows, out);
+        for v in &mut out[start..] {
+            *v = v.sqrt();
+        }
+    }
 }
 
 impl Default for DistKernel {
-    /// The generic (runtime-`dims`) kernel.
+    /// The generic (runtime-`dims`) scalar kernel.
     fn default() -> Self {
-        Self { sq: sq_dist, dims: 0 }
+        Self { sq: sq_dist, sq_rows: sq_rows_scalar, dims: 0, lanes: DistLanes::Scalar }
     }
 }
 
@@ -230,5 +359,67 @@ mod tests {
                 assert_eq!(from_flat.to_bits(), dist(&q, row).to_bits(), "dims {dims} row {i}");
             }
         }
+    }
+
+    /// Both lane selections resolve to bit-identical kernels for every dims —
+    /// the invariant that lets `DistLanes::Simd` be the default without any
+    /// parity-pinned test noticing.
+    #[test]
+    fn lane_selections_are_bit_identical() {
+        for dims in 1..=24 {
+            let simd = DistKernel::for_dims(dims);
+            let scalar = DistKernel::scalar_for_dims(dims);
+            assert_eq!(simd.lanes(), DistLanes::Simd);
+            assert_eq!(scalar.lanes(), DistLanes::Scalar);
+            for trial in 0..50u64 {
+                let (a, b) = random_pair(dims, trial * 53 + dims as u64);
+                assert_eq!(
+                    simd.sq(&a, &b).to_bits(),
+                    scalar.sq(&a, &b).to_bits(),
+                    "dims {dims} trial {trial}"
+                );
+            }
+        }
+    }
+
+    /// The batched rows forms are bit-identical to per-row dispatch under
+    /// both lane selections, including odd-tail dims.
+    #[test]
+    fn batched_rows_match_per_row_bitwise() {
+        for dims in [2usize, 3, 4, 5, 8, 16, 17, 19] {
+            for lanes in [DistLanes::Simd, DistLanes::Scalar] {
+                let dk = DistKernel::for_dims_lanes(dims, lanes);
+                let mut s = dims as u64 * 2221 + 9;
+                let q: Vec<f32> = (0..dims).map(|_| lcg_f32(&mut s)).collect();
+                let rows: Vec<f32> = (0..dims * 23).map(|_| lcg_f32(&mut s)).collect();
+                let mut sq_out = Vec::new();
+                dk.sq_rows(&q, &rows, &mut sq_out);
+                let mut d_out = Vec::new();
+                dk.dist_rows(&q, &rows, &mut d_out);
+                assert_eq!(sq_out.len(), 23);
+                assert_eq!(d_out.len(), 23);
+                for (i, row) in rows.chunks_exact(dims).enumerate() {
+                    assert_eq!(sq_out[i].to_bits(), sq_dist(&q, row).to_bits(), "dims {dims}");
+                    assert_eq!(d_out[i].to_bits(), dist(&q, row).to_bits(), "dims {dims}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_forms_tolerate_degenerate_inputs() {
+        let dk = DistKernel::for_dims(3);
+        let mut out = Vec::new();
+        // Empty run: nothing appended.
+        dk.sq_rows(&[1.0, 2.0, 3.0], &[], &mut out);
+        assert!(out.is_empty());
+        // Zero-dims kernel (the Default placeholder): nothing appended.
+        DistKernel::default().sq_rows(&[], &[1.0, 2.0], &mut out);
+        assert!(out.is_empty());
+        // A ragged tail (rows not a multiple of dims) is ignored, mirroring
+        // `chunks_exact`.
+        dk.sq_rows(&[0.0, 0.0, 0.0], &[3.0, 4.0, 0.0, 7.0], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], 25.0);
     }
 }

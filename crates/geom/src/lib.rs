@@ -27,16 +27,23 @@ pub mod layout;
 pub mod matrix;
 pub mod point;
 pub mod rect;
+pub mod rectkernel;
 pub mod ritter;
+pub mod simd;
 pub mod sphere;
 pub mod welzl;
 
-pub use dist::{dist, sq_dist, sq_dist_d, DistKernel};
+pub use dist::{dist, sq_dist, sq_dist_d, DistKernel, DistLanes};
 pub use hilbert::{hilbert_key, HilbertKey};
 pub use kmeans::{kmeans, KMeansParams, KMeansResult};
 pub use layout::AlignedF32;
 pub use point::PointSet;
 pub use rect::Rect;
+pub use rectkernel::{
+    rect_eval, rect_eval_d, rect_eval_for_dims, rect_min_sq_rows_wide, RectEval, RectKernel,
+    RectRowsOut,
+};
 pub use ritter::{ritter_points, ritter_spheres, RitterMode};
+pub use simd::{dist_simd, sq_dist_simd};
 pub use sphere::{Sphere, SphereRef};
 pub use welzl::welzl;

@@ -31,7 +31,22 @@ use crate::trace::{NodeKind, Phase, TraceEvent, TraceSink};
 /// lanes are partitioned across F fused queries. All issue accounting then
 /// charges lane slots at the group width, so a query whose fanout fills its
 /// lane group no longer pays for the sibling queries' lanes.
-pub struct Block<'s> {
+///
+/// ## The `METER` parameter
+///
+/// `METER = true` (the default, so every existing `Block<'_>` annotation
+/// still means the metered simulator) runs the full accounting above.
+/// `METER = false` is the zero-accounting fast path: every counter,
+/// trace-event, and fault hook body compiles out of the hot loop — `par_for`
+/// still invokes its closure for every item (results stay exact and
+/// bit-identical), but the block's [`KernelStats`] stay at their launch
+/// values. Because fault *detection* (truncation latch, watchdog) lives in
+/// the compiled-out accounting, an unmetered block refuses to carry a fault
+/// state ([`Block::set_faults`] asserts); launch paths that inject faults
+/// must stay metered. Shared-memory reservation remains fully functional in
+/// both modes — the k-best list's hybrid split is sized from it, and it runs
+/// once per launch, not per load.
+pub struct Block<'s, const METER: bool = true> {
     threads: u32,
     warp_size: u32,
     /// Lane slots one issue of this context occupies. Equals `warp_size`
@@ -45,11 +60,12 @@ pub struct Block<'s> {
     faults: Option<FaultState>,
 }
 
-impl std::fmt::Debug for Block<'_> {
+impl<const METER: bool> std::fmt::Debug for Block<'_, METER> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Block")
             .field("threads", &self.threads)
             .field("warp_size", &self.warp_size)
+            .field("metered", &METER)
             .field("phase", &self.phase)
             .field("traced", &self.sink.is_some())
             .field("stats", &self.stats)
@@ -57,7 +73,7 @@ impl std::fmt::Debug for Block<'_> {
     }
 }
 
-impl<'s> Block<'s> {
+impl<'s, const METER: bool> Block<'s, METER> {
     /// A block of `threads` threads on the given device. `threads` is rounded up
     /// to a whole number of warps (CUDA launches always are).
     pub fn new(threads: u32, cfg: &DeviceConfig) -> Self {
@@ -126,7 +142,16 @@ impl<'s> Block<'s> {
     /// Attach (or detach, with `None`) a per-launch fault state. Without one,
     /// every fault hook is a no-op and the block behaves exactly as before —
     /// the same no-op-parity discipline [`Block::with_sink`] follows.
+    ///
+    /// An unmetered block (`METER = false`) cannot carry a fault state: the
+    /// truncation latch and watchdog live inside the compiled-out accounting,
+    /// so injected faults would silently never be detected. Attaching one is
+    /// a launch-path bug and asserts.
     pub fn set_faults(&mut self, faults: Option<FaultState>) {
+        assert!(
+            METER || faults.is_none(),
+            "fault injection requires a metered block (fault detection lives in the accounting)"
+        );
         self.faults = faults;
     }
 
@@ -199,6 +224,9 @@ impl<'s> Block<'s> {
     /// when a sink is present, so untraced runs pay nothing.
     #[inline]
     pub fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if !METER {
+            return;
+        }
         if let Some(sink) = self.sink.as_deref_mut() {
             sink.record(event());
         }
@@ -208,6 +236,9 @@ impl<'s> Block<'s> {
     /// whole-lane-group `slots` capacity (the full warp unfused, one lane
     /// group of it fused). The fundamental metering primitive.
     fn issue(&mut self, warps: u64, active: u64, cost: u64) {
+        if !METER {
+            return;
+        }
         let slots = warps * self.lane_width as u64 * cost;
         let active = active * cost;
         let issues = warps * cost;
@@ -226,15 +257,19 @@ impl<'s> Block<'s> {
     /// item costing `cost_per_item` instructions. `f` is invoked for every item
     /// index in order (sequentially, on the host).
     pub fn par_for(&mut self, n: usize, cost_per_item: u64, mut f: impl FnMut(usize)) {
-        let t = self.threads as usize;
-        let mut remaining = n;
-        while remaining > 0 {
-            let round = remaining.min(t);
-            // Only warps (lane groups) holding at least one of the `round`
-            // items issue.
-            let active_warps = (round as u64).div_ceil(self.lane_width as u64);
-            self.issue(active_warps, round as u64, cost_per_item.max(1));
-            remaining -= round;
+        // The metering rounds compile out unmetered; the work loop below
+        // ALWAYS runs — results are exact in both modes.
+        if METER {
+            let t = self.threads as usize;
+            let mut remaining = n;
+            while remaining > 0 {
+                let round = remaining.min(t);
+                // Only warps (lane groups) holding at least one of the
+                // `round` items issue.
+                let active_warps = (round as u64).div_ceil(self.lane_width as u64);
+                self.issue(active_warps, round as u64, cost_per_item.max(1));
+                remaining -= round;
+            }
         }
         for i in 0..n {
             f(i);
@@ -245,6 +280,9 @@ impl<'s> Block<'s> {
     /// thread: `ceil(log2)` halving steps, each issuing only the warps that still
     /// hold active lanes. The caller computes the actual reduction on the host.
     pub fn par_reduce(&mut self, n: usize, cost_per_step: u64) {
+        if !METER {
+            return;
+        }
         if n <= 1 {
             return;
         }
@@ -265,6 +303,9 @@ impl<'s> Block<'s> {
     /// `log2(n) · (log2(n)+1) / 2` compare-exchange stages over all lanes. For
     /// `k == 1` a plain min-reduction is cheaper and used instead.
     pub fn par_kth_select(&mut self, n: usize, k: usize) {
+        if !METER {
+            return;
+        }
         if n <= 1 {
             return;
         }
@@ -291,11 +332,17 @@ impl<'s> Block<'s> {
 
     /// A block-wide barrier (`__syncthreads()`): every warp issues once.
     pub fn sync(&mut self) {
+        if !METER {
+            return;
+        }
         let w = self.warps() as u64;
         self.issue(w, self.threads as u64, 1);
     }
 
     fn account_load(&mut self, bytes: u64, transactions: u64, streamed: bool) {
+        if !METER {
+            return;
+        }
         self.stats.global_bytes += bytes;
         self.stats.global_transactions += transactions;
         let p = &mut self.stats.phases[self.phase.index()];
@@ -320,6 +367,9 @@ impl<'s> Block<'s> {
     /// are `ceil(bytes / 128)`. The address is treated as data-dependent (a
     /// pointer chase), so the transactions expose memory latency.
     pub fn load_global(&mut self, bytes: u64) {
+        if !METER {
+            return;
+        }
         let t = bytes.div_ceil(self.transaction_bytes).max(1);
         self.account_load(bytes, t, false);
     }
@@ -328,6 +378,9 @@ impl<'s> Block<'s> {
     /// memory system can prefetch (sibling-leaf hops, brute-force tiles), so
     /// the transactions cost bandwidth but expose no dependent-fetch latency.
     pub fn load_global_stream(&mut self, bytes: u64) {
+        if !METER {
+            return;
+        }
         let t = bytes.div_ceil(self.transaction_bytes).max(1);
         self.account_load(bytes, t, true);
     }
@@ -360,7 +413,7 @@ impl<'s> Block<'s> {
     /// transaction count carries the cost penalty. Used by the SoA-vs-AoS
     /// ablation and the task-parallel kd-tree.
     pub fn load_global_strided(&mut self, count: u64, elem_bytes: u64) {
-        if count == 0 {
+        if !METER || count == 0 {
             return;
         }
         let per_elem = elem_bytes.div_ceil(self.transaction_bytes).max(1);
@@ -385,6 +438,9 @@ impl<'s> Block<'s> {
     /// Record one visited index node (paper-facing counter). `level` is the
     /// node's depth from the root (clamped into the level histogram).
     pub fn visit_node(&mut self, level: u32, kind: NodeKind) {
+        if !METER {
+            return;
+        }
         self.stats.nodes_visited += 1;
         self.stats.phases[self.phase.index()].nodes_visited += 1;
         self.stats.level_visits[(level as usize).min(MAX_TRACKED_LEVELS - 1)] += 1;
@@ -396,6 +452,9 @@ impl<'s> Block<'s> {
     /// branch-and-bound return, restart). Pure observability: callers meter
     /// the instruction cost of the move separately (usually one `scalar`).
     pub fn backtrack(&mut self, level: u32) {
+        if !METER {
+            return;
+        }
         self.stats.backtracks += 1;
         self.emit(|| TraceEvent::Backtrack { level });
     }
@@ -640,7 +699,7 @@ mod tests {
     fn sink_mirrors_metering_without_changing_it() {
         let run = |sink: Option<&mut VecSink>| {
             let cfg = DeviceConfig::k40();
-            let mut b = match sink {
+            let mut b: Block<'_> = match sink {
                 Some(s) => Block::with_sink(64, &cfg, s),
                 None => Block::new(64, &cfg),
             };
@@ -780,6 +839,52 @@ mod tests {
         b.load_global(256); // 3 transactions total > 1: latches, stays sticky
         assert_eq!(b.device_fault(), Some(DeviceFault::TruncatedLoad));
         assert_eq!(b.device_fault(), Some(DeviceFault::TruncatedLoad));
+    }
+
+    #[test]
+    fn unmetered_block_runs_work_but_accounts_nothing() {
+        let cfg = DeviceConfig::k40();
+        let mut b: Block<'static, false> = Block::new(128, &cfg);
+        b.fuse(2);
+        let mut seen = 0;
+        b.set_phase(Phase::Descend);
+        b.par_for(130, 3, |_| seen += 1);
+        b.par_reduce(64, 1);
+        b.par_kth_select(64, 8);
+        b.scalar(10);
+        b.sync();
+        b.load_global(300);
+        b.load_global_stream(700);
+        b.load_global_share(64, 1, true);
+        b.load_global_strided(32, 4);
+        b.visit_node(2, NodeKind::Internal);
+        b.backtrack(2);
+        assert_eq!(seen, 130, "par_for must still run every item");
+        let s = b.finish();
+        // Launch values only: one block, everything else untouched.
+        assert_eq!(s, KernelStats { blocks: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn unmetered_block_keeps_shared_memory_functional() {
+        // The k-best list's hybrid split is sized from reserve_shared, so it
+        // must keep working — and keep failing — exactly as when metered.
+        let cfg = DeviceConfig::k40();
+        let mut b: Block<'static, false> = Block::new(128, &cfg);
+        assert!(b.reserve_shared(16 * 1024, cfg.smem_per_sm).is_ok());
+        assert_eq!(
+            b.reserve_shared(cfg.smem_per_sm, cfg.smem_per_sm),
+            Err(cfg.smem_per_sm + 16 * 1024)
+        );
+        assert_eq!(b.coalesced_transactions(300), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a metered block")]
+    fn unmetered_block_rejects_fault_state() {
+        use crate::fault::FaultPlan;
+        let mut b: Block<'static, false> = Block::new(32, &DeviceConfig::k40());
+        b.set_faults(Some(FaultPlan::truncation(1).state_for(0, 0)));
     }
 
     #[test]

@@ -23,75 +23,7 @@ pub use build::{build_rtree, RtreeBuildMethod};
 pub use tree::RsTree;
 
 use psb_core::{gather_child_sweep, gather_leaf_sweep, GpuIndex, SweepScratch};
-use psb_geom::DistKernel;
-
-/// One rectangle evaluation: MINDIST always, MAXDIST when `with_max`, center
-/// (anchor) distance when `with_anchor`. The three accumulator chains are
-/// independent and run in the same per-dimension order as the historical
-/// `child_min_max` / `child_anchor_dist` loops, so fusing them is bit-identical.
-#[inline(always)]
-fn rect_eval_impl(
-    lo: &[f32],
-    hi: &[f32],
-    q: &[f32],
-    with_max: bool,
-    with_anchor: bool,
-) -> (f32, f32, f32) {
-    let mut min_acc = 0f32;
-    let mut max_acc = 0f32;
-    let mut anc_acc = 0f32;
-    for ((&l, &h), &x) in lo.iter().zip(hi).zip(q) {
-        let d = if x < l {
-            l - x
-        } else if x > h {
-            x - h
-        } else {
-            0.0
-        };
-        min_acc += d * d;
-        if with_max {
-            let far = (x - l).abs().max((x - h).abs());
-            max_acc += far * far;
-        }
-        if with_anchor {
-            let center = 0.5 * (l + h);
-            anc_acc += (x - center) * (x - center);
-        }
-    }
-    (min_acc.sqrt(), max_acc.sqrt(), anc_acc.sqrt())
-}
-
-/// Dimension-specialized form of [`rect_eval_impl`]: with slice lengths equal
-/// to `D` the loop inlines with constant trip counts and unrolls; otherwise it
-/// degrades to the generic loop. Bit-identical either way (same op sequence).
-#[inline]
-fn rect_eval_d<const D: usize>(
-    lo: &[f32],
-    hi: &[f32],
-    q: &[f32],
-    with_max: bool,
-    with_anchor: bool,
-) -> (f32, f32, f32) {
-    match (<&[f32; D]>::try_from(lo), <&[f32; D]>::try_from(hi), <&[f32; D]>::try_from(q)) {
-        (Ok(l), Ok(h), Ok(x)) => rect_eval_impl(l, h, x, with_max, with_anchor),
-        _ => rect_eval_impl(lo, hi, q, with_max, with_anchor),
-    }
-}
-
-type RectEval = fn(&[f32], &[f32], &[f32], bool, bool) -> (f32, f32, f32);
-
-/// Resolve the rectangle evaluator for `dims` (the paper's dimensionalities
-/// get the unrolled forms).
-fn rect_eval_for_dims(dims: usize) -> RectEval {
-    match dims {
-        2 => rect_eval_d::<2>,
-        3 => rect_eval_d::<3>,
-        4 => rect_eval_d::<4>,
-        8 => rect_eval_d::<8>,
-        16 => rect_eval_d::<16>,
-        _ => rect_eval_impl,
-    }
-}
+use psb_geom::{DistKernel, RectKernel, RectRowsOut};
 
 impl GpuIndex for RsTree {
     fn dims(&self) -> usize {
@@ -211,29 +143,41 @@ impl GpuIndex for RsTree {
             gather_child_sweep(self, n, q, with_max, with_anchor, out);
             return;
         };
-        let eval = rect_eval_for_dims(self.dims);
-        let d = self.dims;
-        for (lo, hi) in blk.lo.chunks_exact(d).zip(blk.hi.chunks_exact(d)) {
-            let (mn, mx, anc) = eval(lo, hi, q, with_max, with_anchor);
-            out.min_d.push(mn);
-            if with_max {
-                out.max_d.push(mx);
-            }
-            if with_anchor {
-                out.anchor_d.push(anc);
-            }
-        }
+        // Batched one-query-vs-many-rows evaluation over the arena's SoA
+        // corner rows; bit-identical to the per-row eval it replaces.
+        let rk = RectKernel::for_dims(self.dims);
+        rk.eval_rows(
+            q,
+            blk.lo,
+            blk.hi,
+            with_max,
+            with_anchor,
+            &mut RectRowsOut {
+                min_d: &mut out.min_d,
+                max_d: &mut out.max_d,
+                anchor_d: &mut out.anchor_d,
+            },
+        );
     }
 
-    fn leaf_sweep(&self, n: u32, q: &[f32], dk: &DistKernel, out: &mut Vec<(f32, u32)>) {
+    fn leaf_sweep(
+        &self,
+        n: u32,
+        q: &[f32],
+        dk: &DistKernel,
+        tmp: &mut Vec<f32>,
+        out: &mut Vec<(f32, u32)>,
+    ) {
         let run = RsTree::leaf_points(self, n);
         let blk = self.arena.as_ref().and_then(|a| a.leaf(n, run.start as u32, run.len()));
         let Some(blk) = blk else {
             gather_leaf_sweep(self, n, q, out);
             return;
         };
-        for (i, row) in blk.coords.chunks_exact(self.dims).enumerate() {
-            out.push((dk.dist(q, row), blk.id(i)));
+        tmp.clear();
+        dk.dist_rows(q, blk.coords, tmp);
+        for (i, &d) in tmp.iter().enumerate() {
+            out.push((d, blk.id(i)));
         }
     }
 }

@@ -1,12 +1,12 @@
 //! The shard router: MINDIST-ordered shard visits, shard-level pruning,
 //! scatter-gather exact top-k merge, and the replica failover ladder.
 
-use crate::deadline::DeadlineClock;
+use crate::deadline::{DeadlineBudget, DeadlineClock};
 use psb_core::knnlist::GpuKnnList;
 use psb_core::shard::{partition, shard_sphere, ShardPolicy};
 use psb_core::{
     brute_index_query, dist_cost, psb_try_query, EngineError, GpuIndex, KernelError, KernelOptions,
-    QueryOutcome,
+    Metering, QueryOutcome,
 };
 use psb_geom::{PointSet, RitterMode, Sphere};
 use psb_gpu::{
@@ -419,12 +419,28 @@ impl<T: GpuIndex> ShardRouter<T> {
         sink: &mut dyn TraceSink,
     ) -> (Vec<Neighbor>, KernelStats, QueryOutcome) {
         scratch.begin_query();
+        // A cycle-priced deadline charges against the simulated counters; an
+        // unmetered kernel would report zero cycles and the clock would never
+        // advance. Force metering back on for this request only — the
+        // caller's `Metering::Off` stays in effect for unconstrained traffic.
+        let metered_opts;
+        let opts = if opts.metering == Metering::Off
+            && constraints
+                .deadline
+                .as_ref()
+                .is_some_and(|c| matches!(c.budget(), DeadlineBudget::Cycles(_)))
+        {
+            metered_opts = KernelOptions { metering: Metering::Simulated, ..opts.clone() };
+            &metered_opts
+        } else {
+            opts
+        };
         let s = self.shards.len();
         let dims = self.dims;
         let warps = opts.threads_per_block.div_ceil(self.device.warp_size).max(1);
         let skip_mask = constraints.skip;
         let is_skipped = |si: usize| skip_mask.is_some_and(|m| m[si]);
-        let mut block = Block::with_sink(opts.threads_per_block, &self.device, sink);
+        let mut block: Block<'_> = Block::with_sink(opts.threads_per_block, &self.device, sink);
         block.set_phase(Phase::Descend);
         // The shard directory is one SoA record per shard: sphere center
         // (dims × f32) plus radius — the router's analogue of an internal

@@ -76,14 +76,14 @@ pub mod prelude {
         hilbert_permutation, merge_stats, psb_batch, psb_batch_recovering, psb_batch_traced,
         range_batch, range_batch_recovering, restart_batch, restart_batch_recovering, tpss_batch,
         tpss_batch_scheduled, tpss_batch_traced, tpss_try_batch, wave_knn_batch, wave_range_batch,
-        DynamicSsTree, EngineError, KernelError, KernelOptions, NodeLayout, QueryBatchResult,
-        QueryOutcome, QuerySchedule, QueryStream, ScheduleScratch, SharedMemPolicy, StreamKernel,
-        WaveConfig, WaveReport,
+        DynamicSsTree, EngineError, KernelError, KernelOptions, Metering, NodeLayout,
+        QueryBatchResult, QueryOutcome, QuerySchedule, QueryStream, ScheduleScratch,
+        SharedMemPolicy, StreamKernel, WaveConfig, WaveReport,
     };
     pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, SkewedQuerySpec, UniformSpec};
     pub use psb_geom::{
-        dist, hilbert_key, kmeans, ritter_points, ritter_spheres, sq_dist, welzl, KMeansParams,
-        PointSet, Rect, RitterMode, Sphere,
+        dist, dist_simd, hilbert_key, kmeans, ritter_points, ritter_spheres, sq_dist, sq_dist_simd,
+        welzl, DistKernel, DistLanes, KMeansParams, PointSet, Rect, RectKernel, RitterMode, Sphere,
     };
     pub use psb_gpu::{
         launch_blocks, launch_blocks_fused, Block, DeviceConfig, DeviceFault, FaultPlan,

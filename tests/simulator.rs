@@ -13,7 +13,7 @@ proptest! {
         threads in 1u32..512,
     ) {
         let cfg = DeviceConfig::k40();
-        let mut b = Block::new(threads, &cfg);
+        let mut b: Block<'_> = Block::new(threads, &cfg);
         b.par_for(n, cost, |_| {});
         b.par_reduce(n, 1);
         b.scalar(3);
@@ -26,7 +26,7 @@ proptest! {
     #[test]
     fn par_for_active_lanes_equal_work(n in 0usize..5000, threads in 1u32..256) {
         let cfg = DeviceConfig::k40();
-        let mut b = Block::new(threads, &cfg);
+        let mut b: Block<'_> = Block::new(threads, &cfg);
         let mut count = 0usize;
         b.par_for(n, 1, |_| count += 1);
         prop_assert_eq!(count, n, "closure must run once per item");
@@ -37,7 +37,7 @@ proptest! {
     #[test]
     fn transactions_cover_bytes(bytes in 1u64..1_000_000) {
         let cfg = DeviceConfig::k40();
-        let mut b = Block::new(32, &cfg);
+        let mut b: Block<'_> = Block::new(32, &cfg);
         b.load_global(bytes);
         let s = b.finish();
         prop_assert!(s.global_transactions * cfg.transaction_bytes >= bytes);
