@@ -4,7 +4,7 @@
 #   ./ci.sh            # everything
 #   ./ci.sh fmt        # one stage (fmt | clippy | hardlint | test | faults |
 #                      #            shard | chaos | metrics | wave | fastpath |
-#                      #            bench-smoke | bench-compare)
+#                      #            kdtree | bench-smoke | bench-compare)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,7 +20,7 @@ run_clippy() { cargo clippy --workspace --all-targets -- -D warnings; }
 # innermost loop.
 # (clippy.toml re-allows unwrap/expect inside #[cfg(test)].)
 run_hardlint() {
-    cargo clippy -p psb-geom -p psb-core -p psb-sstree -p psb-serve -p psb-metrics \
+    cargo clippy -p psb-geom -p psb-core -p psb-sstree -p psb-kdtree -p psb-serve -p psb-metrics \
         --all-targets -- \
         -D warnings -D clippy::unwrap_used -D clippy::expect_used
 }
@@ -68,6 +68,17 @@ run_fastpath() {
     cargo test -p psb-geom -q
     cargo run --release -p psb-bench --bin bench -- --smoke --out target/BENCH_smoke.json
 }
+# Implicit kd-tree family + rope traversal (DESIGN.md §18): the kdtree
+# crate's construction/search tests, the stack-free golden parity suite
+# (bit-identity against the brute oracle and SS-tree PSB, ± faults,
+# ± Metering::Off), and the rope-link suite (escape links = preorder
+# successors on both bounding-volume arenas; rope-mode range/restart kernels
+# bit-identical to the stacked code).
+run_kdtree() {
+    cargo test -p psb-kdtree -q
+    cargo test -p psb --test kdtree_parity -q
+    cargo test -p psb --test ropes -q
+}
 # Benchmark harness gate: every criterion bench must compile, and the wall-
 # clock bench binary must complete a tiny workload and emit a BENCH_psb.json
 # whose required keys are present, finite, and nonzero (the binary's --smoke
@@ -106,6 +117,7 @@ case "$stage" in
     metrics)       run_metrics ;;
     wave)          run_wave ;;
     fastpath)      run_fastpath ;;
+    kdtree)        run_kdtree ;;
     bench-smoke)   run_bench_smoke ;;
     bench-compare) run_bench_compare ;;
     all)
@@ -119,12 +131,13 @@ case "$stage" in
         echo "== telemetry suite ==" && run_metrics
         echo "== buffer-wave suite ==" && run_wave
         echo "== fast-path suite ==" && run_fastpath
+        echo "== kd-tree suite ==" && run_kdtree
         echo "== bench smoke ==" && run_bench_smoke
         echo "== bench compare gate ==" && run_bench_compare
         echo "CI green."
         ;;
     *)
-        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|wave|fastpath|bench-smoke|bench-compare|all]" >&2
+        echo "usage: $0 [fmt|clippy|hardlint|test|faults|shard|chaos|metrics|wave|fastpath|kdtree|bench-smoke|bench-compare|all]" >&2
         exit 2
         ;;
 esac

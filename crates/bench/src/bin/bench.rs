@@ -56,6 +56,15 @@
 //! never falls behind the default, and `bench compare` gates the section
 //! against the committed baseline.
 //!
+//! Schema v8 adds the third index family and its footprint: a per-workload
+//! `kdtree`/`stackfree` result row (the implicit left-balanced kd-tree under
+//! the Wald stack-free kNN kernel, DESIGN.md §18) and a `memory` section
+//! recording `index_bytes` beside the raw `points_bytes` for all three
+//! families on the headline workload. Index footprints are deterministic
+//! model outputs; the smoke gate asserts the implicit tree costs no more
+//! than the points array plus a constant header, and `bench compare` gates
+//! every family's bytes-per-point against the committed baseline.
+//!
 //! `bench compare old.json new.json [--threshold F]` is the perf-trajectory
 //! gate: it diffs two BENCH files row-by-row and exits nonzero when any
 //! kernel's qps dropped or p99/p999 rose by more than the threshold (default
@@ -72,6 +81,7 @@ use psb_core::kernels::brute::brute_query;
 use psb_core::kernels::psb::psb_query;
 use psb_core::kernels::range::range_query_gpu;
 use psb_core::kernels::restart::restart_query;
+use psb_core::kernels::stackfree::stackfree_query;
 use psb_core::kernels::{bnb::bnb_query, tpss::tpss_batch};
 use psb_core::{
     psb_batch, wave_knn_batch, DistLanes, GpuIndex, KernelOptions, Metering, QuerySchedule,
@@ -80,6 +90,7 @@ use psb_core::{
 use psb_data::{sample_queries, ClusteredSpec, SkewedQuerySpec, UniformSpec};
 use psb_geom::PointSet;
 use psb_gpu::{DeviceConfig, FaultPlan};
+use psb_kdtree::LbKdTree;
 use psb_metrics::{render_json, render_prometheus, render_span_tree, MetricsHandle, Registry};
 use psb_rtree::{build_rtree, RtreeBuildMethod};
 use psb_serve::{
@@ -88,7 +99,7 @@ use psb_serve::{
 };
 use psb_sstree::{build, BuildMethod};
 
-const SCHEMA: &str = "psb-bench-v7";
+const SCHEMA: &str = "psb-bench-v8";
 const K: usize = 8;
 /// Queries per batch: the paper's §V-B experiment size. Per-kernel rows and
 /// the throughput section both run full 240-query batches (smoke mode shrinks
@@ -282,6 +293,48 @@ fn bench_index<T: GpuIndex>(
     // Brute force ignores the index; report it once per (workload, index) so
     // the baseline lands beside each tree's rows in the JSON.
     push("brute", measure(queries, |q| drop(brute_query(ps, q, K, &dev, &opts))));
+}
+
+/// The implicit kd-tree row: the generic six-kernel sweep cannot run on an
+/// index with no bounding volumes, so the family gets exactly the kernel it
+/// exists for — the Wald stack-free kNN.
+fn bench_kdtree(
+    rows: &mut Vec<Row>,
+    workload: &'static str,
+    dims: usize,
+    tree: &LbKdTree,
+    queries: &PointSet,
+    build_ms: f64,
+) {
+    let dev = DeviceConfig::k40();
+    let opts = KernelOptions::default();
+    let (qps, p50, p99, p999) =
+        measure(queries, |q| drop(stackfree_query(tree, q, K, &dev, &opts)));
+    rows.push(Row {
+        workload,
+        dims,
+        index: "kdtree",
+        kernel: "stackfree",
+        build_ms,
+        queries: queries.len(),
+        qps,
+        p50_us: p50,
+        p99_us: p99,
+        p999_us: p999,
+    });
+}
+
+/// The memory section: every family's index footprint beside the raw point
+/// array on the headline workload. All deterministic model outputs — the
+/// arenas and the implicit layout are sized by construction, not measured.
+struct MemoryRow {
+    index: &'static str,
+    index_bytes: u64,
+}
+
+struct Memory {
+    points_bytes: u64,
+    rows: Vec<MemoryRow>,
 }
 
 struct Workload {
@@ -678,6 +731,7 @@ fn emit_json(
     tp: Option<&Throughput>,
     wave: Option<&Wave>,
     fast_path: Option<&FastPath>,
+    memory: Option<&Memory>,
     sharding: &[ShardRow],
     serving: Option<&Serving>,
     metrics_json: Option<&str>,
@@ -768,6 +822,21 @@ fn emit_json(
             fp.metering_off_qps / fp.metered_scalar_qps.max(1e-12),
         );
     }
+    if let Some(m) = memory {
+        // One row per line, each carrying `index` + `index_bytes` +
+        // `points_bytes`: `bench compare` re-extracts the section
+        // line-oriented, keyed on `index_bytes` (no other line has it).
+        let _ = write!(s, ",\n  \"memory\": {{\n    \"workload\": \"uniform-16d\", \"rows\": [");
+        for (i, r) in m.rows.iter().enumerate() {
+            let comma = if i + 1 == m.rows.len() { "" } else { "," };
+            let _ = write!(
+                s,
+                "\n      {{\"index\": \"{}\", \"index_bytes\": {}, \"points_bytes\": {}}}{}",
+                r.index, r.index_bytes, m.points_bytes, comma
+            );
+        }
+        let _ = write!(s, "\n    ]\n  }}");
+    }
     if !sharding.is_empty() {
         let _ = write!(
             s,
@@ -838,6 +907,7 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
         "\"p999_us\"",
         "\"build_ms\"",
         "\"queries\"",
+        "\"stackfree\"",
     ] {
         if !json.contains(key) {
             return Err(format!("missing required key {key}"));
@@ -863,6 +933,9 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
             "\"metered_scalar_qps\"",
             "\"metering_off_qps\"",
             "\"combined_speedup\"",
+            "\"memory\"",
+            "\"index_bytes\"",
+            "\"points_bytes\"",
             "\"metrics\"",
             "\"counters\"",
             "\"histograms\"",
@@ -893,6 +966,8 @@ fn validate(json: &str, expect_speedup: bool) -> Result<(), String> {
         "simd_qps",
         "metering_off_qps",
         "combined_speedup",
+        "index_bytes",
+        "points_bytes",
     ] {
         let pat = format!("\"{field}\": ");
         let mut rest = json;
@@ -920,6 +995,7 @@ fn main() {
     let mut throughput: Option<Throughput> = None;
     let mut wave: Option<Wave> = None;
     let mut fast_path: Option<FastPath> = None;
+    let mut memory: Option<Memory> = None;
     let mut sharding: Vec<ShardRow> = Vec::new();
     let mut serving: Option<Serving> = None;
     let mut metrics_json: Option<String> = None;
@@ -947,10 +1023,24 @@ fn main() {
             ss_build_ms,
         );
         bench_index(&mut rows, w.name, w.dims, "rtree", &rtree, &w.points, &w.queries, rt_build_ms);
+        // The implicit kd-tree has no legacy layout to strip — it *is* the
+        // point array — so its row is identical under --legacy-layout.
+        let t = Instant::now();
+        let kdtree = LbKdTree::build(&w.points);
+        let kd_build_ms = t.elapsed().as_secs_f64() * 1e3;
+        bench_kdtree(&mut rows, w.name, w.dims, &kdtree, &w.queries, kd_build_ms);
 
         // Headline comparison: PSB / SS-tree / 16-dim uniform, arena vs
         // stripped, on the identical tree and query set.
         if !cfg.legacy && w.name == "uniform" && w.dims == 16 {
+            memory = Some(Memory {
+                points_bytes: w.points.len() as u64 * kdtree.point_entry_bytes(),
+                rows: vec![
+                    MemoryRow { index: "sstree", index_bytes: sstree.index_bytes() },
+                    MemoryRow { index: "rtree", index_bytes: rtree.index_bytes() },
+                    MemoryRow { index: "kdtree", index_bytes: kdtree.index_bytes() },
+                ],
+            });
             let arena_qps = headline_qps(&sstree, &w.queries);
             let mut stripped = sstree.clone();
             stripped.strip_arena();
@@ -1007,6 +1097,17 @@ fn main() {
             fp.metering_off_qps / fp.metered_scalar_qps.max(1e-12),
         );
     }
+    if let Some(m) = &memory {
+        for r in &m.rows {
+            eprintln!(
+                "memory {}: index {} bytes vs points {} bytes ({:.3}x)",
+                r.index,
+                r.index_bytes,
+                m.points_bytes,
+                r.index_bytes as f64 / m.points_bytes.max(1) as f64
+            );
+        }
+    }
     for r in &sharding {
         eprintln!(
             "sharding S={}: {:.1} qps, prune rate {:.3}, {} nodes visited",
@@ -1035,6 +1136,7 @@ fn main() {
         throughput.as_ref(),
         wave.as_ref(),
         fast_path.as_ref(),
+        memory.as_ref(),
         &sharding,
         serving.as_ref(),
         metrics_json.as_deref(),
@@ -1105,6 +1207,21 @@ fn main() {
                     fp.metering_off_qps, fp.simd_qps
                 );
                 std::process::exit(1);
+            }
+        }
+        // Memory gate: the implicit kd-tree's whole pitch is "the index is
+        // the point array". Its footprint is a deterministic model output:
+        // anything beyond the points plus a constant header means the family
+        // silently grew per-node state.
+        if let Some(m) = &memory {
+            if let Some(kd) = m.rows.iter().find(|r| r.index == "kdtree") {
+                if kd.index_bytes > m.points_bytes + 64 {
+                    eprintln!(
+                        "smoke: MEMORY REGRESSION: kdtree {} bytes > points {} bytes + 64",
+                        kd.index_bytes, m.points_bytes
+                    );
+                    std::process::exit(1);
+                }
             }
         }
         // Serving gate: the pressured replay must actually exercise the

@@ -40,13 +40,15 @@ use std::io::{BufReader, BufWriter};
 use psb_bench::{load_trace, render_trace_report};
 use psb_core::{
     bnb_batch, bnb_batch_traced, brute_batch, psb_batch, psb_batch_recovering, psb_batch_traced,
-    restart_batch, tpss_batch, EngineError, KernelOptions, QueryBatchResult,
+    restart_batch, stackfree_batch, tpss_batch, EngineError, GpuIndex, KernelOptions,
+    QueryBatchResult,
 };
 use psb_data::{sample_queries, ClusteredSpec};
 use psb_geom::PointSet;
 use psb_gpu::{launch_blocks, DeviceConfig, FaultPlan, JsonlSink, LaunchReport, Phase};
-use psb_kdtree::{gpu::knn_task_parallel, KdTree};
+use psb_kdtree::{gpu::knn_task_parallel, KdTree, LbKdTree};
 use psb_metrics::{render_json, render_prometheus, render_span_tree, MetricsHandle, Registry};
+use psb_rtree::{build_rtree, RtreeBuildMethod};
 use psb_serve::{ServeConfig, ShardRouter};
 use psb_srtree::SrTree;
 use psb_sstree::{build, BuildMethod};
@@ -244,12 +246,26 @@ fn main() {
         a.queries
     );
     println!(
-        "tree: {} nodes, {} leaves, height {}, leaf fill {:.0}%, index {:.1} MB\n",
+        "tree: {} nodes, {} leaves, height {}, leaf fill {:.0}%, index {:.1} MB",
         tree.num_nodes(),
         tree.num_leaves(),
         tree.height(),
         tree.leaf_utilization() * 100.0,
         tree.total_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // Index footprint for all three families on the same data (the implicit
+    // kd-tree *is* the point array, plus a constant header).
+    let rtree = build_rtree(&data, a.degree, &RtreeBuildMethod::Hilbert);
+    let kd_lb = LbKdTree::build(&data);
+    let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+    println!(
+        "index bytes: sstree {:.2} MB, rtree {:.2} MB, implicit kdtree {:.2} MB \
+         (points array {:.2} MB)\n",
+        mb(tree.index_bytes()),
+        mb(rtree.index_bytes()),
+        mb(kd_lb.index_bytes()),
+        mb(data.len() as u64 * kd_lb.point_entry_bytes()),
     );
 
     println!(
@@ -291,6 +307,11 @@ fn main() {
     let kd = KdTree::build(&data, 1); // minimal kd-tree (single-point leaves)
     let (_, kd_blocks) = knn_task_parallel(&kd, &queries, a.k, &cfg, 32);
     show("task-parallel kdtree", &launch_blocks(&cfg, 1, &kd_blocks));
+
+    show(
+        "stackfree kdtree",
+        &run("stackfree", stackfree_batch(&kd_lb, &queries, a.k, &cfg, &opts)).report,
+    );
 
     // Per-phase view of the paper's central comparison: where each traversal
     // spends its bytes and loses its lanes.

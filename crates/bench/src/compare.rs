@@ -27,6 +27,11 @@
 //!   exists to catch), and `mean_buffer_fill` — a deterministic model output —
 //!   must not drop by more than the threshold (lost fill means lost fetch
 //!   amortization even if this machine's wall clock hides it).
+//! * **memory section** (schema v8+) — per-family index footprint on the
+//!   headline workload. Footprints are deterministic model outputs, so the
+//!   gate compares **bytes per point** (robust to workload resizes): a family
+//!   whose per-point footprint grew by more than the threshold fails. A
+//!   family present in only one file is a note.
 //! * **fast-path section** (schema v7+) — the headline batch under the SIMD +
 //!   `Metering::Off` fast path. `metering_off_qps` is gated like a row qps
 //!   (relative drop beyond threshold fails), and `combined_speedup` — the
@@ -97,6 +102,22 @@ pub struct FastPathSection {
     pub combined_speedup: f64,
 }
 
+/// One memory-section row (schema v8+): an index family's footprint beside
+/// the raw point array. Deterministic model outputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemoryRow {
+    pub index: String,
+    pub index_bytes: f64,
+    pub points_bytes: f64,
+}
+
+impl MemoryRow {
+    /// Footprint normalized by workload size, the cross-file comparable.
+    pub fn bytes_per_point(&self) -> f64 {
+        self.index_bytes / self.points_bytes.max(1.0)
+    }
+}
+
 /// The subset of a BENCH file the gate compares.
 #[derive(Clone, Debug, Default)]
 pub struct BenchFile {
@@ -108,6 +129,9 @@ pub struct BenchFile {
     pub wave: Option<WaveSection>,
     /// Present on schema v7+ files that carry a `fast_path` section.
     pub fast_path: Option<FastPathSection>,
+    /// Present on schema v8+ files that carry a `memory` section; empty
+    /// otherwise.
+    pub memory: Vec<MemoryRow>,
 }
 
 /// One threshold violation between two matched rows.
@@ -154,7 +178,17 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     let mut serving = None;
     let mut wave = None;
     let mut fast_path = None;
+    let mut memory = Vec::new();
     for line in json.lines() {
+        // A memory row is the only line shape carrying `index_bytes`.
+        if let (Some(index), Some(index_bytes), Some(points_bytes)) = (
+            str_field(line, "index"),
+            num_field(line, "index_bytes"),
+            num_field(line, "points_bytes"),
+        ) {
+            memory.push(MemoryRow { index, index_bytes, points_bytes });
+            continue;
+        }
         // The fast-path section is emitted on a single line; nothing else in
         // the file carries `metering_off_qps` or `combined_speedup`.
         if let (Some(metered_scalar), Some(simd), Some(off), Some(combined)) = (
@@ -223,7 +257,7 @@ pub fn parse_bench(json: &str) -> Result<BenchFile, String> {
     if rows.is_empty() {
         return Err("no result rows found (not a BENCH file?)".to_string());
     }
-    Ok(BenchFile { schema, rows, serving, wave, fast_path })
+    Ok(BenchFile { schema, rows, serving, wave, fast_path, memory })
 }
 
 /// Compares matched rows; returns every violation of `threshold` (a fraction:
@@ -330,6 +364,21 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Vec<Regressi
             });
         }
     }
+    for om in &old.memory {
+        let Some(nm) = new.memory.iter().find(|n| n.index == om.index) else { continue };
+        // Deterministic model output, compared per point so workload resizes
+        // between baselines don't read as footprint changes.
+        let (o, n) = (om.bytes_per_point(), nm.bytes_per_point());
+        if o > 0.0 && n > o * (1.0 + threshold) {
+            out.push(Regression {
+                key: format!("memory/{}", om.index),
+                metric: "index_bytes_per_point",
+                old: o,
+                new: n,
+                ratio: n / o - 1.0,
+            });
+        }
+    }
     if let (Some(of), Some(nf)) = (&old.fast_path, &new.fast_path) {
         if of.metering_off_qps > 0.0
             && nf.metering_off_qps < of.metering_off_qps * (1.0 - threshold)
@@ -416,6 +465,16 @@ pub fn render_report(
         }
         _ => {}
     }
+    for om in &old.memory {
+        if !new.memory.iter().any(|n| n.index == om.index) {
+            let _ = writeln!(s, "  note: memory row {} missing from new file", om.index);
+        }
+    }
+    for nm in &new.memory {
+        if !old.memory.iter().any(|o| o.index == nm.index) {
+            let _ = writeln!(s, "  note: memory row {} new (no baseline)", nm.index);
+        }
+    }
     match (&old.fast_path, &new.fast_path) {
         (Some(_), None) => {
             let _ = writeln!(s, "  note: fast-path section missing from new file");
@@ -492,6 +551,70 @@ mod tests {
              \"metering_off_qps\": {:.3}, \"combined_speedup\": {:.4}\n  }}\n}}\n",
             fp.metered_scalar_qps, fp.simd_qps, fp.metering_off_qps, fp.combined_speedup
         )
+    }
+
+    /// Appends a memory section (the v8 one-row-per-line shape) to a bench
+    /// file.
+    fn with_memory(json: &str, rows: &[(&str, u64, u64)]) -> String {
+        let body = json.trim_end().trim_end_matches('}');
+        let mut s =
+            format!("{body},\n  \"memory\": {{\n    \"workload\": \"uniform-16d\", \"rows\": [");
+        for (i, (index, ib, pb)) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            let _ = write!(
+                s,
+                "\n      {{\"index\": \"{index}\", \"index_bytes\": {ib}, \
+                 \"points_bytes\": {pb}}}{comma}"
+            );
+        }
+        s.push_str("\n    ]\n  }\n}\n");
+        s
+    }
+
+    #[test]
+    fn memory_section_parses_and_gates() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let old = parse_bench(&with_memory(
+            &base,
+            &[("sstree", 2_400_000, 1_600_000), ("kdtree", 1_600_016, 1_600_000)],
+        ))
+        .unwrap();
+        assert_eq!(old.memory.len(), 2, "memory rows must parse back out");
+        assert_eq!(old.memory[1].index, "kdtree");
+
+        // Self-compare is clean, and a workload resize at the same
+        // bytes-per-point ratio is not a regression.
+        assert!(compare(&old, &old, 0.0).is_empty());
+        let resized = parse_bench(&with_memory(
+            &base,
+            &[("sstree", 4_800_000, 3_200_000), ("kdtree", 3_200_016, 3_200_000)],
+        ))
+        .unwrap();
+        assert!(compare(&old, &resized, 0.10).is_empty());
+
+        // A family whose per-point footprint grew beyond the threshold fails.
+        let grown = parse_bench(&with_memory(
+            &base,
+            &[("sstree", 2_400_000, 1_600_000), ("kdtree", 2_600_000, 1_600_000)],
+        ))
+        .unwrap();
+        let regs = compare(&old, &grown, 0.10);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].key, "memory/kdtree");
+        assert_eq!(regs[0].metric, "index_bytes_per_point");
+    }
+
+    #[test]
+    fn memory_row_in_one_file_is_a_note_not_a_regression() {
+        let base = bench_json(&[("uniform", 16, "sstree", "psb", 1000.0, 50.0)]);
+        let old = parse_bench(&base).unwrap();
+        let new = parse_bench(&with_memory(&base, &[("kdtree", 1_600_016, 1_600_000)])).unwrap();
+        let regs = compare(&old, &new, 0.10);
+        assert!(regs.is_empty());
+        let report = render_report(&old, &new, 0.10, &regs);
+        assert!(report.contains("memory row kdtree new"));
+        let report = render_report(&new, &old, 0.10, &compare(&new, &old, 0.10));
+        assert!(report.contains("memory row kdtree missing"));
     }
 
     #[test]

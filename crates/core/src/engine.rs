@@ -19,7 +19,7 @@ use psb_gpu::{
 use psb_sstree::Neighbor;
 
 use crate::error::{EngineError, KernelError, QueryOutcome};
-use crate::index::GpuIndex;
+use crate::index::{GpuIndex, ImplicitKdIndex};
 use rayon::prelude::*;
 
 use crate::kernels::tpss::tpss_batch;
@@ -30,6 +30,7 @@ use crate::kernels::{
     bnb::bnb_try_query, brute::brute_index_query, brute::brute_index_range, brute::brute_query,
     psb::psb_query, psb::psb_query_replay, psb::psb_query_traced, psb::psb_try_query,
     psb::psb_try_query_replay, range::range_try_query, restart::restart_try_query,
+    stackfree::stackfree_query, stackfree::stackfree_try_query,
 };
 use crate::options::KernelOptions;
 use crate::schedule::{hilbert_order, QuerySchedule};
@@ -501,6 +502,47 @@ pub fn restart_batch_recovering<T: GpuIndex>(
         "restart",
         plan,
         |q, faults| restart_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
+        |q| brute_index_query(tree, q, k, cfg, opts),
+    )
+}
+
+/// Stack-free kNN over a batch of queries (the implicit left-balanced kd-tree
+/// family — see `kernels::stackfree`).
+///
+/// [`KernelOptions::wave`] is ignored here by design: the buffer-wave engine
+/// amortizes *node-block* fetches over query buffers, and the implicit tree
+/// has no node blocks to amortize (every node is one point entry), so there
+/// is no wave schedule to run. Everything else — Hilbert scheduling,
+/// metering modes, metrics — behaves like the other per-query engines.
+pub fn stackfree_batch<T: ImplicitKdIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+) -> Result<QueryBatchResult, EngineError> {
+    run_batch(queries, cfg, opts, "stackfree", |q| stackfree_query(tree, q, k, cfg, opts))
+}
+
+/// [`stackfree_batch`] under a fault plan, with the retry/degrade recovery
+/// ladder. The degraded rung is the same exact brute scan as every other
+/// engine's — it touches only the flat point array, which the implicit tree
+/// has by construction.
+pub fn stackfree_batch_recovering<T: ImplicitKdIndex>(
+    tree: &T,
+    queries: &PointSet,
+    k: usize,
+    cfg: &DeviceConfig,
+    opts: &KernelOptions,
+    plan: &FaultPlan,
+) -> Result<QueryBatchResult, EngineError> {
+    run_batch_recovering(
+        queries,
+        cfg,
+        opts,
+        "stackfree",
+        plan,
+        |q, faults| stackfree_try_query(tree, q, k, cfg, opts, faults, &mut NoopSink),
         |q| brute_index_query(tree, q, k, cfg, opts),
     )
 }

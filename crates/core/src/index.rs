@@ -16,6 +16,11 @@
 use psb_geom::DistKernel;
 use psb_sstree::SsTree;
 
+/// Sentinel rope link: "no next subtree" — returned by [`GpuIndex::rope`] for
+/// the root and every node on the rightmost root-to-leaf spine. Matches the
+/// tree crates' own `NO_ROPE` constants bit-for-bit.
+pub const NO_ROPE: u32 = u32::MAX;
+
 /// Reusable output buffers for a per-node child sweep. Pooled in the engine's
 /// per-thread [`Scratch`](crate::kernels::Scratch) so the batch loop performs
 /// no per-node allocation.
@@ -124,6 +129,23 @@ pub trait GpuIndex: Sync {
     fn num_points(&self) -> usize;
     /// Largest leaf id under `n`'s subtree.
     fn subtree_max_leaf(&self, n: u32) -> u32;
+    /// Rope (escape) link of node `n`: the next node in depth-first preorder
+    /// *after skipping `n`'s entire subtree* — the right sibling when one
+    /// exists, else the nearest ancestor's right sibling — or [`NO_ROPE`] for
+    /// the root and the rightmost spine. Stack-free traversals
+    /// ([`KernelOptions::rope`](crate::KernelOptions)) follow it instead of
+    /// backtracking through parent links or re-descending from the root.
+    fn rope(&self, n: u32) -> u32;
+    /// Depth of node `n` below the root (root = 0). Feeds the per-level visit
+    /// histogram when a stack-free traversal arrives at a node without having
+    /// tracked a descent counter.
+    fn node_depth(&self, n: u32) -> u32;
+    /// Total modeled device-resident footprint of the index in bytes: every
+    /// node's fetched representation (internal child-volume blocks plus leaf
+    /// point blocks — the arena *and* the reordered points it packs). This is
+    /// the paper's index-memory comparison number, reported by `inspect` and
+    /// the bench harness's `memory` section.
+    fn index_bytes(&self) -> u64;
     /// Bytes fetched for internal node `n` (its child bounding volumes, SoA).
     fn internal_node_bytes(&self, n: u32) -> u64;
     /// Bytes fetched for leaf node `n` (its points, SoA).
@@ -185,6 +207,28 @@ pub trait GpuIndex: Sync {
     }
 }
 
+/// An implicit left-balanced kd-tree traversable by the stack-free kernel
+/// (Wald's arithmetic parent-link traversal — see `kernels::stackfree`).
+///
+/// The index *is* the reordered points array: every node holds exactly one
+/// point, children live at `2n + 1` / `2n + 2`, and the splitting plane is the
+/// node's own coordinate in the round-robin dimension — no bounding volumes,
+/// no child pointers, no per-node metadata. The [`GpuIndex`] supertrait keeps
+/// the family on the engine plumbing (recovery fallback, scheduling,
+/// `index_bytes`, inspection); the bounding-volume kernels themselves are
+/// **not** routed to it (`child_min_max` has nothing to evaluate — a
+/// documented opt-out).
+pub trait ImplicitKdIndex: GpuIndex {
+    /// Point position held by node `n`. The left-balanced layout stores one
+    /// point per node in heap order, so the default is the identity.
+    fn node_point(&self, n: u32) -> usize {
+        n as usize
+    }
+    /// Splitting dimension of node `n` (round-robin by depth in Wald's
+    /// construction).
+    fn split_dim(&self, n: u32) -> usize;
+}
+
 impl GpuIndex for SsTree {
     fn dims(&self) -> usize {
         self.dims
@@ -230,6 +274,21 @@ impl GpuIndex for SsTree {
     }
     fn subtree_max_leaf(&self, n: u32) -> u32 {
         self.subtree_max_leaf[n as usize]
+    }
+    fn rope(&self, n: u32) -> u32 {
+        // Every construction/load path derives ropes in `rebuild_arena`; an
+        // empty array means a hand-assembled tree that skipped it — an API
+        // misuse, not device corruption, so it asserts rather than erroring.
+        assert!(!self.rope.is_empty(), "rope links missing: call rebuild_arena() first");
+        self.rope[n as usize]
+    }
+    fn node_depth(&self, n: u32) -> u32 {
+        (self.level[self.root as usize] - self.level[n as usize]) as u32
+    }
+    fn index_bytes(&self) -> u64 {
+        // Node bytes already include the leaf point blocks: internal nodes
+        // carry the child-sphere SoA, leaves carry their packed points + ids.
+        self.total_bytes()
     }
     fn internal_node_bytes(&self, n: u32) -> u64 {
         SsTree::internal_node_bytes(self, n)

@@ -14,6 +14,7 @@ pub mod brute;
 pub mod psb;
 pub mod range;
 pub mod restart;
+pub mod stackfree;
 pub mod tpss;
 
 use std::cell::RefCell;
@@ -468,6 +469,45 @@ pub(crate) fn child_distances<T: GpuIndex, const M: bool>(
             *v = block.fault_f32(*v);
         }
     }
+}
+
+/// Follow node `n`'s rope (escape) link, metered as one pointer-sized load
+/// plus the branch. Returns [`NO_ROPE`](crate::index::NO_ROPE) at the end of
+/// the preorder sweep; any other target is bounds-checked like every
+/// structural link.
+pub(crate) fn checked_rope<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
+    tree: &T,
+    n: u32,
+) -> Result<u32, KernelError> {
+    block.scalar(1);
+    block.load_global(4);
+    let r = tree.rope(n);
+    if r == crate::index::NO_ROPE {
+        Ok(crate::index::NO_ROPE)
+    } else {
+        checked_node(tree, "rope", n, r)
+    }
+}
+
+/// Evaluate one node's **own** bounding volume against the query — the
+/// node-centric arrival test of the rope traversals, where each node fetches
+/// its own entry instead of the parent sweeping all children at once. Metered
+/// as a one-item sweep at the index's node-shape cost; the bound passes
+/// through the fault injector exactly like the batched sweep's.
+pub(crate) fn node_min_dist<T: GpuIndex, const M: bool>(
+    block: &mut Block<'_, M>,
+    tree: &T,
+    n: u32,
+    q: &[f32],
+) -> f32 {
+    block.load_global(tree.child_entry_bytes());
+    block.par_for(1, tree.child_eval_cost(false), |_| {});
+    let mut d = tree.child_min_max(n, q, false).0;
+    if block.has_faults() {
+        d = block.fault_f32(d);
+    }
+    d
 }
 
 /// The k-th smallest MAXDIST bound (Algorithm 1 line 14): an upper bound on the

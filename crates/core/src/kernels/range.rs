@@ -12,15 +12,16 @@
 //! Result rows are written to global memory (metered as streaming writes, the
 //! way a real kernel would append via an atomic cursor into an output buffer).
 
-use psb_gpu::{DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{Block, DeviceConfig, FaultState, KernelStats, NodeKind, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::error::KernelError;
-use crate::index::GpuIndex;
+use crate::index::{GpuIndex, NO_ROPE};
 
 use super::{
     checked_children, checked_leaf_id, checked_leaf_points, checked_node, checked_root,
-    child_distances, effective_metering, fetch_internal, fetch_leaf, Budget, Scratch,
+    checked_rope, child_distances, effective_metering, fetch_internal, fetch_leaf, node_min_dist,
+    Budget, Scratch,
 };
 use crate::dist_cost;
 use crate::options::{KernelOptions, Metering};
@@ -101,6 +102,10 @@ fn range_try_query_with<T: GpuIndex, const M: bool>(
         .map_err(|needed| KernelError::SmemOverflow { needed, limit: cfg.smem_per_sm })?;
     let mut out: Vec<Neighbor> = Vec::new();
     let dc = dist_cost(tree.dims());
+
+    if opts.rope {
+        return range_rope_with(block, budget, tree, q, radius, opts, scratch, out);
+    }
 
     let last_leaf = (tree.num_leaves() - 1) as u32;
     let mut visited: i64 = -1;
@@ -210,6 +215,80 @@ fn range_try_query_with<T: GpuIndex, const M: bool>(
     Ok((out, block.finish()))
 }
 
+/// Rope-mode range sweep (DESIGN.md §18): a single preorder pass with **no**
+/// per-level state — no level counter, no parent backtracking, no
+/// `visitedLeafId` cursor. Every arriving node evaluates its own volume;
+/// qualifying internal nodes fall through to their first child, everything
+/// else follows the escape link until it runs off the rightmost spine.
+/// Exactness: the node set *entered* is exactly the stacked sweep's (a node
+/// is entered iff its volume intersects the range and its ancestors do —
+/// `tests/ropes.rs` pins the equivalence), so the same leaves produce the
+/// same rows.
+#[allow(clippy::too_many_arguments)]
+fn range_rope_with<T: GpuIndex, const M: bool>(
+    mut block: Block<'_, M>,
+    mut budget: Budget,
+    tree: &T,
+    q: &[f32],
+    radius: f32,
+    opts: &KernelOptions,
+    scratch: &mut Scratch,
+    mut out: Vec<Neighbor>,
+) -> Result<(Vec<Neighbor>, KernelStats), KernelError> {
+    let dc = dist_cost(tree.dims());
+    let mut n = checked_root(tree)?;
+    loop {
+        budget.tick(&block)?;
+        block.set_phase(Phase::Descend);
+        // The root carries no volume worth testing (it always qualifies);
+        // every other arrival fetches and evaluates its own entry.
+        let qualifies = n == tree.root() || node_min_dist(&mut block, tree, n, q) <= radius;
+        let next = if !qualifies {
+            block.set_phase(Phase::Backtrack);
+            checked_rope(&mut block, tree, n)?
+        } else if tree.is_leaf(n) {
+            let range = checked_leaf_points(tree, n)?;
+            block.set_phase(Phase::LeafScan);
+            fetch_leaf(&mut block, tree, n, opts.layout, false, tree.node_depth(n));
+            scratch.leaf.clear();
+            block.par_for(range.len(), dc, |_| {});
+            tree.leaf_sweep(n, q, &scratch.dk, &mut scratch.sweep.tmp, &mut scratch.leaf);
+            if block.has_faults() {
+                for entry in &mut scratch.leaf {
+                    entry.0 = block.fault_f32(entry.0);
+                }
+            }
+            block.set_phase(Phase::ResultMerge);
+            let mut hits = 0u64;
+            for &(d, id) in &scratch.leaf {
+                if d <= radius {
+                    out.push(Neighbor { dist: d, id });
+                    hits += 1;
+                }
+            }
+            if hits > 0 {
+                block.scalar(2);
+                block.load_global_stream(hits * 8);
+            }
+            block.set_phase(Phase::Backtrack);
+            checked_rope(&mut block, tree, n)?
+        } else {
+            block.visit_node(tree.node_depth(n), NodeKind::Internal);
+            checked_children(tree, n)?.start
+        };
+        if next == NO_ROPE {
+            break;
+        }
+        n = next;
+    }
+
+    if let Some(fault) = block.device_fault() {
+        return Err(fault.into());
+    }
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    Ok((out, block.finish()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +344,26 @@ mod tests {
         let q = ps.point(0).to_vec();
         let (got, _) = range_query_gpu(&tree, &q, 1e9, &cfg, &KernelOptions::default());
         assert_eq!(got.len(), ps.len());
+    }
+
+    #[test]
+    fn rope_mode_is_bit_identical_to_stacked() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let stacked = KernelOptions::default();
+        let rope = KernelOptions { rope: true, ..Default::default() };
+        for q in sample_queries(&ps, 10, 0.01, 144).iter() {
+            for radius in [10.0f32, 200.0, 2000.0] {
+                let (a, _) = range_query_gpu(&tree, q, radius, &cfg, &stacked);
+                let (b, sb) = range_query_gpu(&tree, q, radius, &cfg, &rope);
+                assert_eq!(a.len(), b.len(), "radius {radius}");
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                    assert_eq!(x.id, y.id);
+                }
+                assert_eq!(sb.backtracks, 0, "rope mode carries no parent state");
+            }
+        }
     }
 
     #[test]

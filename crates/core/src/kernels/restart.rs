@@ -12,15 +12,15 @@
 //! Exactness argument is identical to PSB's: the cursor only advances past
 //! leaves that are visited or provably outside the pruning distance.
 
-use psb_gpu::{DeviceConfig, FaultState, KernelStats, NoopSink, Phase, TraceSink};
+use psb_gpu::{DeviceConfig, FaultState, KernelStats, NodeKind, NoopSink, Phase, TraceSink};
 use psb_sstree::Neighbor;
 
 use crate::error::KernelError;
-use crate::index::GpuIndex;
+use crate::index::{GpuIndex, NO_ROPE};
 
 use super::{
-    checked_children, checked_leaf_id, checked_node, checked_root, child_distances,
-    effective_metering, fetch_internal, kth_maxdist, process_leaf, Budget, Scratch,
+    checked_children, checked_leaf_id, checked_node, checked_root, checked_rope, child_distances,
+    effective_metering, fetch_internal, kth_maxdist, node_min_dist, process_leaf, Budget, Scratch,
 };
 use crate::knnlist::GpuKnnList;
 use crate::options::{KernelOptions, Metering};
@@ -132,6 +132,53 @@ fn restart_try_query_with<T: GpuIndex, const M: bool>(
     budget.tick(&block)?;
     process_leaf(&mut block, tree, n, q, &mut list, scratch, opts, false, level)?;
     pruning = pruning.min(list.bound());
+
+    // Rope mode (DESIGN.md §18): instead of restarting from the root, follow
+    // the escape links — one preorder pass with no re-descents and no
+    // `visitedLeafId` cursor. Each arriving node evaluates its own volume;
+    // qualifying internal nodes fall through to their first child, everything
+    // else ropes to the next subtree. The primed leaf is revisited once, which
+    // is harmless: the k-best list rejects exact duplicates. Exact for the
+    // same reason the restart sweep is — a subtree is skipped only when its
+    // MINDIST is at least the (monotone) pruning distance.
+    if opts.rope {
+        let mut m = tree.root();
+        loop {
+            budget.tick(&block)?;
+            block.set_phase(Phase::Descend);
+            let qualifies = m == tree.root() || node_min_dist(&mut block, tree, m, q) < pruning;
+            let next = if !qualifies {
+                block.set_phase(Phase::Backtrack);
+                checked_rope(&mut block, tree, m)?
+            } else if tree.is_leaf(m) {
+                process_leaf(
+                    &mut block,
+                    tree,
+                    m,
+                    q,
+                    &mut list,
+                    scratch,
+                    opts,
+                    false,
+                    tree.node_depth(m),
+                )?;
+                pruning = pruning.min(list.bound());
+                block.set_phase(Phase::Backtrack);
+                checked_rope(&mut block, tree, m)?
+            } else {
+                block.visit_node(tree.node_depth(m), NodeKind::Internal);
+                checked_children(tree, m)?.start
+            };
+            if next == NO_ROPE {
+                break;
+            }
+            m = next;
+        }
+        if let Some(fault) = block.device_fault() {
+            return Err(fault.into());
+        }
+        return Ok((list.into_sorted(), block.finish()));
+    }
 
     let last_leaf = (tree.num_leaves() - 1) as u32;
     let mut visited: i64 = -1;
@@ -249,6 +296,26 @@ mod tests {
             for (x, y) in a.iter().zip(&b) {
                 assert!((x.dist - y.dist).abs() <= y.dist.max(1.0) * 1e-4);
             }
+        }
+    }
+
+    #[test]
+    fn rope_mode_matches_stacked_bitwise() {
+        let (ps, tree) = setup();
+        let cfg = DeviceConfig::k40();
+        let stacked = KernelOptions::default();
+        let rope = KernelOptions { rope: true, ..Default::default() };
+        for q in sample_queries(&ps, 12, 0.01, 96).iter() {
+            let (a, _) = restart_query(&tree, q, 8, &cfg, &stacked);
+            let (b, sb) = restart_query(&tree, q, 8, &cfg, &rope);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+                assert_eq!(x.id, y.id);
+            }
+            // The only backtracks left are the rope hops' phase tags; the
+            // re-descent machinery is gone.
+            assert!(sb.nodes_visited > 0);
         }
     }
 

@@ -37,15 +37,19 @@ pub use dynamic::DynamicSsTree;
 pub use engine::{
     bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, merge_stats, psb_batch,
     psb_batch_recovering, psb_batch_traced, range_batch, range_batch_recovering, restart_batch,
-    restart_batch_recovering, tpss_batch_scheduled, QueryBatchResult,
+    restart_batch_recovering, stackfree_batch, stackfree_batch_recovering, tpss_batch_scheduled,
+    QueryBatchResult,
 };
 pub use error::{EngineError, KernelError, QueryOutcome};
-pub use index::{gather_child_sweep, gather_leaf_sweep, GpuIndex, SweepScratch};
+pub use index::{
+    gather_child_sweep, gather_leaf_sweep, GpuIndex, ImplicitKdIndex, SweepScratch, NO_ROPE,
+};
 pub use kernels::bnb::bnb_try_query;
 pub use kernels::brute::{brute_index_query, brute_index_range, brute_try_query};
 pub use kernels::psb::psb_try_query;
 pub use kernels::range::range_try_query;
 pub use kernels::restart::restart_try_query;
+pub use kernels::stackfree::{stackfree_query, stackfree_query_traced, stackfree_try_query};
 pub use kernels::tpss::{tpss_batch, tpss_batch_traced, tpss_try_batch};
 pub use knnlist::SharedMemPolicy;
 pub use options::{KernelOptions, Metering, NodeLayout};

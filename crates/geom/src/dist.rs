@@ -75,6 +75,24 @@ pub fn dist(a: &[f32], b: &[f32]) -> f32 {
     sq_dist(a, b).sqrt()
 }
 
+/// Signed offset from a query coordinate to an axis-aligned splitting plane:
+/// negative (or zero) when the query lies on the low side of the plane. This
+/// is the kd-tree traversal's entire bounding geometry — the sign picks the
+/// close child, and the absolute value is the *exact* Euclidean distance from
+/// the query to the plane, compared against the current k-th best to decide
+/// whether the far subtree can still contain a closer point.
+#[inline]
+pub fn plane_gap(q: f32, plane: f32) -> f32 {
+    q - plane
+}
+
+/// Whether the far side of a splitting plane at signed offset `gap` (from
+/// [`plane_gap`]) can still hold a point strictly closer than `bound`.
+#[inline]
+pub fn plane_in_range(gap: f32, bound: f32) -> bool {
+    gap.abs() < bound
+}
+
 /// Lane selection for [`DistKernel`] resolution. Both selections are
 /// **bit-identical** (the `simd` module's same-op-order contract); the switch
 /// exists so benches and identity tests can hold the scalar reference next to
@@ -219,6 +237,16 @@ impl DistKernel {
     #[inline]
     pub fn dist(&self, a: &[f32], b: &[f32]) -> f32 {
         (self.sq)(a, b).sqrt()
+    }
+
+    /// Signed query-to-splitting-plane offset (the kd traversal's only
+    /// per-node geometry). A single subtraction has nothing to lane-dispatch,
+    /// but routing it through the resolved kernel keeps every kernel's
+    /// geometry behind one handle — and pins the op order the bit-identity
+    /// suites check.
+    #[inline]
+    pub fn plane_gap(&self, q: f32, plane: f32) -> f32 {
+        plane_gap(q, plane)
     }
 
     /// Batched rows form: appends the squared distance from `q` to each
@@ -404,6 +432,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The plane-gap helper is one subtraction in a fixed order; the kernel
+    /// method must be bit-identical to the free function, and the in-range
+    /// predicate strict (a point exactly on the bound cannot improve it).
+    #[test]
+    fn plane_gap_is_exact_and_strict() {
+        let mut s = 11u64;
+        for _ in 0..200 {
+            let q = lcg_f32(&mut s);
+            let p = lcg_f32(&mut s);
+            let g = plane_gap(q, p);
+            assert_eq!(g.to_bits(), (q - p).to_bits());
+            assert_eq!(g.to_bits(), DistKernel::for_dims(3).plane_gap(q, p).to_bits());
+            // |gap| is the 1-D Euclidean distance to the plane, bitwise.
+            assert_eq!(g.abs().to_bits(), dist(&[q], &[p]).to_bits());
+        }
+        assert!(plane_in_range(plane_gap(3.0, 1.0), 2.5));
+        assert!(!plane_in_range(plane_gap(3.0, 1.0), 2.0), "bound is strict");
+        assert!(plane_gap(1.0, 3.0) <= 0.0, "low side is negative");
     }
 
     #[test]

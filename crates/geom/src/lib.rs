@@ -33,7 +33,7 @@ pub mod simd;
 pub mod sphere;
 pub mod welzl;
 
-pub use dist::{dist, sq_dist, sq_dist_d, DistKernel, DistLanes};
+pub use dist::{dist, plane_gap, plane_in_range, sq_dist, sq_dist_d, DistKernel, DistLanes};
 pub use hilbert::{hilbert_key, HilbertKey};
 pub use kmeans::{kmeans, KMeansParams, KMeansResult};
 pub use layout::AlignedF32;

@@ -14,11 +14,56 @@
 //!   parallelism.
 
 pub mod gpu;
+pub mod lb;
+
+pub use lb::LbKdTree;
 
 use psb_geom::{dist, PointSet};
 
 /// Sentinel: no child.
 pub const NIL: u32 = u32::MAX;
+
+/// Typed construction errors shared by both kd-tree families (the median-split
+/// task-parallel tree and the left-balanced implicit tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KdBuildError {
+    /// Zero points: there is nothing to index.
+    Empty,
+    /// `leaf_cap == 0` (median-split family only; leaves must hold a point).
+    ZeroLeafCap,
+    /// Point `id` carries a NaN or infinite coordinate in dimension `dim`.
+    /// kd-trees compare *coordinates*, not distances: a NaN split plane
+    /// poisons every pruning decision below it silently, so non-finite input
+    /// is rejected at build instead of at query.
+    NonFinite { id: u32, dim: usize },
+}
+
+impl std::fmt::Display for KdBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "cannot build a kd-tree over zero points"),
+            Self::ZeroLeafCap => write!(f, "leaf_cap must be at least 1"),
+            Self::NonFinite { id, dim } => {
+                write!(f, "point {id} has a non-finite coordinate in dimension {dim}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KdBuildError {}
+
+/// Rejects the first NaN/∞ coordinate in the set (build-time gate for both
+/// families).
+fn check_finite(points: &PointSet) -> Result<(), KdBuildError> {
+    for (i, p) in points.iter().enumerate() {
+        for (d, &x) in p.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(KdBuildError::NonFinite { id: i as u32, dim: d });
+            }
+        }
+    }
+    Ok(())
+}
 
 /// One kd-tree node. Internal nodes split on `dim` at `split`; leaves own a
 /// contiguous range of the reordered point array.
@@ -59,20 +104,36 @@ pub struct KdTree {
 impl KdTree {
     /// Builds a kd-tree by recursive median split on the widest dimension.
     /// `leaf_cap` points or fewer terminate a branch (GPU-style small leaves).
+    /// Panicking wrapper over [`KdTree::try_build`] for callers with known-good
+    /// input.
     pub fn build(points: &PointSet, leaf_cap: usize) -> Self {
-        assert!(!points.is_empty(), "cannot build a kd-tree over zero points");
-        assert!(leaf_cap >= 1);
+        match Self::try_build(points, leaf_cap) {
+            Ok(t) => t,
+            Err(e) => panic!("kd-tree build failed: {e}"),
+        }
+    }
+
+    /// Fallible build: rejects empty input, a zero leaf cap, and any NaN/∞
+    /// coordinate (see [`KdBuildError::NonFinite`]) before touching the data.
+    pub fn try_build(points: &PointSet, leaf_cap: usize) -> Result<Self, KdBuildError> {
+        if points.is_empty() {
+            return Err(KdBuildError::Empty);
+        }
+        if leaf_cap == 0 {
+            return Err(KdBuildError::ZeroLeafCap);
+        }
+        check_finite(points)?;
         let mut order: Vec<u32> = (0..points.len() as u32).collect();
         let mut nodes = Vec::new();
         let mut out_order = Vec::with_capacity(points.len());
         build_rec(points, &mut order[..], leaf_cap, &mut nodes, &mut out_order);
-        KdTree {
+        Ok(KdTree {
             dims: points.dims(),
             points: points.gather(&out_order),
             point_ids: out_order,
             nodes,
             leaf_cap,
-        }
+        })
     }
 
     /// Tree height (1 for a single leaf).
@@ -225,7 +286,7 @@ pub fn knn_cpu(tree: &KdTree, q: &[f32], k: usize) -> Vec<Neighbor> {
 }
 
 fn offer(best: &mut Vec<Neighbor>, k: usize, d: f32, id: u32) {
-    if best.len() >= k && d >= best.last().unwrap().dist {
+    if best.len() >= k && d >= best.last().map_or(f32::INFINITY, |n| n.dist) {
         return;
     }
     let pos = best.partition_point(|n| (n.dist, n.id) < (d, id));
@@ -247,7 +308,8 @@ fn knn_rec(tree: &KdTree, n: u32, q: &[f32], k: usize, best: &mut Vec<Neighbor>)
     let diff = q[node.dim as usize] - node.split;
     let (near, far) = if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
     knn_rec(tree, near, q, k, best);
-    let bound = if best.len() >= k { best.last().unwrap().dist } else { f32::INFINITY };
+    let bound =
+        if best.len() >= k { best.last().map_or(f32::INFINITY, |n| n.dist) } else { f32::INFINITY };
     if diff.abs() < bound {
         knn_rec(tree, far, q, k, best);
     }
@@ -325,6 +387,28 @@ mod tests {
         let mut ids = t.point_ids.clone();
         ids.sort_unstable();
         assert_eq!(ids, (0..ps.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_finite_coordinates_are_rejected_with_a_typed_error() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut ps = PointSet::new(3);
+            ps.push(&[1.0, 2.0, 3.0]);
+            ps.push(&[4.0, bad, 6.0]);
+            assert_eq!(
+                KdTree::try_build(&ps, 8).err(),
+                Some(KdBuildError::NonFinite { id: 1, dim: 1 }),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_builds_are_typed_errors() {
+        assert_eq!(KdTree::try_build(&PointSet::new(2), 8).err(), Some(KdBuildError::Empty));
+        let mut ps = PointSet::new(2);
+        ps.push(&[0.0, 0.0]);
+        assert_eq!(KdTree::try_build(&ps, 0).err(), Some(KdBuildError::ZeroLeafCap));
     }
 
     #[test]

@@ -184,6 +184,7 @@ fn materialize(points: &PointSet, degree: usize, order: &[u32]) -> RsTree {
         subtree_max_leaf: sub_max,
         leaf_node_of,
         root: 0,
+        rope: Vec::new(),
         arena: None,
     };
     tree.rebuild_arena();

@@ -71,6 +71,16 @@ impl GpuIndex for RsTree {
     fn subtree_max_leaf(&self, n: u32) -> u32 {
         self.subtree_max_leaf[n as usize]
     }
+    fn rope(&self, n: u32) -> u32 {
+        assert!(!self.rope.is_empty(), "rope links missing: call rebuild_arena() first");
+        self.rope[n as usize]
+    }
+    fn node_depth(&self, n: u32) -> u32 {
+        (self.level[self.root as usize] - self.level[n as usize]) as u32
+    }
+    fn index_bytes(&self) -> u64 {
+        self.total_bytes()
+    }
     fn internal_node_bytes(&self, n: u32) -> u64 {
         RsTree::internal_node_bytes(self, n)
     }

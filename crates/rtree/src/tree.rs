@@ -9,6 +9,8 @@ use crate::arena::RectArena;
 pub const NO_PARENT: u32 = u32::MAX;
 /// Sentinel leaf id for internal nodes.
 pub const NOT_A_LEAF: u32 = u32::MAX;
+/// Sentinel rope link: "no next subtree" (the root and the rightmost spine).
+pub const NO_ROPE: u32 = u32::MAX;
 
 /// A flattened packed R-tree. Construct via [`crate::build_rtree`].
 #[derive(Clone, Debug)]
@@ -42,6 +44,12 @@ pub struct RsTree {
     pub leaf_node_of: Vec<u32>,
     /// Root node id.
     pub root: u32,
+    /// Rope (escape) link per node: right sibling when one exists, else the
+    /// nearest ancestor's right sibling, else [`NO_ROPE`] — the next node in
+    /// preorder after skipping this node's subtree (mirror of
+    /// `psb_sstree::SsTree::rope`). Derived by [`RsTree::rebuild_arena`];
+    /// empty until then.
+    pub rope: Vec<u32>,
     /// Packed per-node device arena (see [`crate::arena`]): a derived cache,
     /// rebuilt after construction and stripped (`None`) to benchmark the
     /// legacy gather layout.
@@ -55,15 +63,54 @@ impl RsTree {
         self.parent.len()
     }
 
-    /// Rebuild the packed device arena from the current node arrays.
+    /// Rebuild the packed device arena from the current node arrays. Also
+    /// rederives the rope links, so every queryable tree carries them.
     pub fn rebuild_arena(&mut self) {
         self.arena = None;
+        self.rebuild_ropes();
         self.arena = Some(RectArena::build(self));
     }
 
+    /// Recompute the [`RsTree::rope`] escape links (same rule as the
+    /// SS-tree's): `c + 1` for non-last children, the parent's rope for last
+    /// children, [`NO_ROPE`] at the root. Top-down so each parent's rope is
+    /// in place before its children consult it.
+    pub fn rebuild_ropes(&mut self) {
+        let nn = self.num_nodes();
+        self.rope.clear();
+        self.rope.resize(nn, NO_ROPE);
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                continue;
+            }
+            let kids = self.children(n);
+            for c in kids.clone() {
+                self.rope[c as usize] =
+                    if c + 1 < kids.end { c + 1 } else { self.rope[n as usize] };
+                stack.push(c);
+            }
+        }
+    }
+
     /// Drop the packed arena, forcing sweeps onto the legacy gather path.
+    /// Rope links stay: they are structure, not a geometry cache.
     pub fn strip_arena(&mut self) {
         self.arena = None;
+    }
+
+    /// Total index size in bytes (sum over nodes; mirror of
+    /// `psb_sstree::SsTree::total_bytes`).
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.num_nodes() as u32)
+            .map(|n| {
+                if self.is_leaf(n) {
+                    self.leaf_node_bytes(n)
+                } else {
+                    self.internal_node_bytes(n)
+                }
+            })
+            .sum()
     }
 
     /// Whether node `n` is a leaf.
@@ -253,6 +300,30 @@ impl RsTree {
         }
         if let Some(p) = seen.iter().position(|&s| !s) {
             return Err(format!("point {p} not covered"));
+        }
+        // Rope links are derived (empty until `rebuild_arena`); when present
+        // they must match the escape rule exactly.
+        if !self.rope.is_empty() {
+            if self.rope.len() != nn {
+                return Err(format!("rope array length {} != {nn} nodes", self.rope.len()));
+            }
+            if self.rope[self.root as usize] != NO_ROPE {
+                return Err("root carries a rope link".into());
+            }
+            let mut stack = vec![self.root];
+            while let Some(n) = stack.pop() {
+                if self.is_leaf(n) {
+                    continue;
+                }
+                let kids = self.children(n);
+                for c in kids.clone() {
+                    let want = if c + 1 < kids.end { c + 1 } else { self.rope[n as usize] };
+                    if self.rope[c as usize] != want {
+                        return Err(format!("node {c}: rope link broken"));
+                    }
+                    stack.push(c);
+                }
+            }
         }
         Ok(())
     }

@@ -274,6 +274,7 @@ pub(crate) fn materialize(points: &PointSet, degree: usize, levels: Vec<Level>) 
         subtree_max_leaf: subtree_max,
         leaf_node_of,
         root: 0,
+        rope: Vec::new(),
         arena: None,
     };
     // Every construction path (bottom-up, top-down, dynamic rebuild) funnels

@@ -58,6 +58,8 @@ pub enum StructuralError {
     /// A sphere has a NaN/infinite center coordinate or a negative or
     /// non-finite radius.
     NonFiniteGeometry { node: u32 },
+    /// A rope (escape) link does not land on the correct next-subtree node.
+    RopeBroken { node: u32 },
     /// Some arena nodes are unreachable from the root.
     UnreachableNodes { nodes: usize, visited: usize },
     /// The traversal visited more nodes than the arena holds — the links form
@@ -122,6 +124,9 @@ impl fmt::Display for StructuralError {
             }
             NonFiniteGeometry { node } => {
                 write!(f, "node {node} has a non-finite center or radius")
+            }
+            RopeBroken { node } => {
+                write!(f, "node {node}: rope link does not land on the next-subtree node")
             }
             UnreachableNodes { nodes, visited } => {
                 write!(f, "arena holds {nodes} nodes but only {visited} are reachable from root")

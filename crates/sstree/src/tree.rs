@@ -22,6 +22,9 @@ use crate::error::StructuralError;
 pub const NO_PARENT: u32 = u32::MAX;
 /// Sentinel leaf id for internal nodes.
 pub const NOT_A_LEAF: u32 = u32::MAX;
+/// Sentinel rope link: "no next subtree" (the root and every node on the
+/// rightmost root-to-leaf spine).
+pub const NO_ROPE: u32 = u32::MAX;
 
 /// A flattened SS-tree. Construct via [`crate::build`] or [`crate::topdown`].
 #[derive(Clone, Debug)]
@@ -57,6 +60,13 @@ pub struct SsTree {
     pub leaf_node_of: Vec<u32>,
     /// Root node id.
     pub root: u32,
+    /// Rope (escape) link per node: the next node in depth-first preorder
+    /// *after skipping this node's entire subtree* — the right sibling when
+    /// one exists, else the nearest ancestor's right sibling, else
+    /// [`NO_ROPE`]. Stack-free traversals follow it instead of backtracking
+    /// through parent links. Derived alongside the arena by
+    /// [`SsTree::rebuild_arena`]; empty until then.
+    pub rope: Vec<u32>,
     /// Packed per-node device arena (see [`crate::arena`]): a derived cache of
     /// the node geometry above, rebuilt after construction/load and stripped
     /// (`None`) to benchmark the legacy gather layout.
@@ -110,13 +120,41 @@ impl SsTree {
 
     /// Rebuild the packed device arena from the current node arrays. Call
     /// after any structural mutation (construction and load do it for you).
+    /// Also rederives the rope links: every path that yields a queryable tree
+    /// funnels through here, so the links can never go stale separately from
+    /// the arena.
     pub fn rebuild_arena(&mut self) {
         self.arena = None;
+        self.rebuild_ropes();
         self.arena = Some(SphereArena::build(self));
     }
 
+    /// Recompute the [`SsTree::rope`] escape links from the parent/child
+    /// structure: `rope(c)` is `c + 1` for every non-last child (children are
+    /// contiguous), the parent's rope for each last child, and [`NO_ROPE`] at
+    /// the root. Top-down from the root so each parent's rope exists before
+    /// its children consult it.
+    pub fn rebuild_ropes(&mut self) {
+        let nn = self.num_nodes();
+        self.rope.clear();
+        self.rope.resize(nn, NO_ROPE);
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if self.is_leaf(n) {
+                continue;
+            }
+            let kids = self.children(n);
+            for c in kids.clone() {
+                self.rope[c as usize] =
+                    if c + 1 < kids.end { c + 1 } else { self.rope[n as usize] };
+                stack.push(c);
+            }
+        }
+    }
+
     /// Drop the packed arena, forcing sweeps onto the legacy gather path
-    /// (the benchmark harness's `--legacy-layout` baseline).
+    /// (the benchmark harness's `--legacy-layout` baseline). Rope links stay:
+    /// they are structure, not a geometry cache.
     pub fn strip_arena(&mut self) {
         self.arena = None;
     }
@@ -355,6 +393,36 @@ impl SsTree {
         }
         if let Some(p) = seen_points.iter().position(|&s| !s) {
             return Err(StructuralError::OrphanPoint { point: p });
+        }
+        // Rope links are derived state (empty until `rebuild_arena`); when
+        // present they must match the escape rule exactly — a wrong link sends
+        // a stack-free traversal into a subtree it already covered or past one
+        // it never visited.
+        if !self.rope.is_empty() {
+            if self.rope.len() != nn {
+                return Err(StructuralError::ArrayLength {
+                    array: "rope",
+                    len: self.rope.len(),
+                    nodes: nn,
+                });
+            }
+            if self.rope[self.root as usize] != NO_ROPE {
+                return Err(StructuralError::RopeBroken { node: self.root });
+            }
+            let mut stack = vec![self.root];
+            while let Some(n) = stack.pop() {
+                if self.is_leaf(n) {
+                    continue;
+                }
+                let kids = self.children(n);
+                for c in kids.clone() {
+                    let want = if c + 1 < kids.end { c + 1 } else { self.rope[n as usize] };
+                    if self.rope[c as usize] != want {
+                        return Err(StructuralError::RopeBroken { node: c });
+                    }
+                    stack.push(c);
+                }
+            }
         }
         Ok(())
     }

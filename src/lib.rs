@@ -70,15 +70,19 @@ pub mod prelude {
     pub use psb_core::kernels::psb::{psb_query, psb_query_traced, psb_try_query};
     pub use psb_core::kernels::range::{range_query_gpu, range_query_gpu_traced, range_try_query};
     pub use psb_core::kernels::restart::{restart_query, restart_query_traced, restart_try_query};
+    pub use psb_core::kernels::stackfree::{
+        stackfree_query, stackfree_query_traced, stackfree_try_query,
+    };
     pub use psb_core::shard::{partition, shard_sphere, ShardPlan, ShardPolicy};
     pub use psb_core::{
         bnb_batch, bnb_batch_recovering, bnb_batch_traced, brute_batch, dist_cost, hilbert_order,
         hilbert_permutation, merge_stats, psb_batch, psb_batch_recovering, psb_batch_traced,
-        range_batch, range_batch_recovering, restart_batch, restart_batch_recovering, tpss_batch,
-        tpss_batch_scheduled, tpss_batch_traced, tpss_try_batch, wave_knn_batch, wave_range_batch,
-        DynamicSsTree, EngineError, KernelError, KernelOptions, Metering, NodeLayout,
+        range_batch, range_batch_recovering, restart_batch, restart_batch_recovering,
+        stackfree_batch, stackfree_batch_recovering, tpss_batch, tpss_batch_scheduled,
+        tpss_batch_traced, tpss_try_batch, wave_knn_batch, wave_range_batch, DynamicSsTree,
+        EngineError, GpuIndex, ImplicitKdIndex, KernelError, KernelOptions, Metering, NodeLayout,
         QueryBatchResult, QueryOutcome, QuerySchedule, QueryStream, ScheduleScratch,
-        SharedMemPolicy, StreamKernel, WaveConfig, WaveReport,
+        SharedMemPolicy, StreamKernel, WaveConfig, WaveReport, NO_ROPE,
     };
     pub use psb_data::{sample_queries, ClusteredSpec, NoaaSpec, SkewedQuerySpec, UniformSpec};
     pub use psb_geom::{
@@ -90,7 +94,7 @@ pub mod prelude {
         FaultState, JsonlSink, KernelStats, LaunchReport, NodeKind, NoopSink, Phase,
         PhaseBreakdown, PhaseStats, TraceEvent, TraceSink, VecSink,
     };
-    pub use psb_kdtree::{gpu::knn_task_parallel, knn_cpu, KdTree};
+    pub use psb_kdtree::{gpu::knn_task_parallel, knn_cpu, KdBuildError, KdTree, LbKdTree};
     pub use psb_metrics::{
         render_json, render_prometheus, render_span_tree, Histogram, HistogramSummary,
         MetricsHandle, Registry, Snapshot, SpanStat,
